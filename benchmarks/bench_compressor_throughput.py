@@ -1,0 +1,70 @@
+"""Compressor throughput survey (repo performance table).
+
+Not a paper experiment — the throughput table any compression library
+publishes: per-compressor encode/decode speed and ratio on a common
+field at a common relative error level. Useful both as documentation
+and as a regression canary for the pure-Python hot paths (the Table VI
+/ VIII and parallel-dumping benches all build on these speeds).
+"""
+
+import time
+
+import numpy as np
+
+from repro.compressors import available_compressors, get_compressor
+from repro.datasets import load_series
+from repro.experiments.tables import render_table
+
+_CONFIGS = {
+    "sz": lambda spread: 1e-3 * spread,
+    "sz2": lambda spread: 1e-3 * spread,
+    "zfp": lambda spread: 1e-3 * spread,
+    "mgard": lambda spread: 1e-3 * spread,
+    "fpzip": lambda spread: 16,
+    "digit": lambda spread: 4,
+}
+
+
+def test_compressor_throughput(benchmark, report):
+    data = load_series("nyx-1", "baryon_density").snapshots[0].data
+    spread = float(np.ptp(data))
+    mb = data.nbytes / 1e6
+
+    rows = []
+    speeds = {}
+    for name in sorted(_CONFIGS):
+        assert name in available_compressors()
+        comp = get_compressor(name)
+        config = _CONFIGS[name](spread)
+
+        tick = time.perf_counter()
+        blob = comp.compress(data, config)
+        enc_s = time.perf_counter() - tick
+        tick = time.perf_counter()
+        comp.decompress(blob)
+        dec_s = time.perf_counter() - tick
+        speeds[name] = (mb / enc_s, mb / dec_s)
+        rows.append(
+            [
+                name,
+                f"{config:.4g}",
+                f"{blob.compression_ratio:.2f}",
+                f"{mb / enc_s:.1f} MB/s",
+                f"{mb / dec_s:.1f} MB/s",
+            ]
+        )
+
+    benchmark(lambda: get_compressor("sz").compress(data, 1e-3 * spread))
+
+    report(
+        render_table(
+            ["compressor", "config", "CR", "encode", "decode"],
+            rows,
+            title=f"Compressor throughput on Nyx baryon density ({mb:.1f} MB)",
+        )
+    )
+
+    # Sanity floor: nothing should be pathologically slow (> 60 s/MB).
+    for name, (enc, dec) in speeds.items():
+        assert enc > 1 / 60, f"{name} encode too slow"
+        assert dec > 1 / 60, f"{name} decode too slow"

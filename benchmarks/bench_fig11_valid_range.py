@@ -1,0 +1,52 @@
+"""Fig. 11 — the valid compression ratio range per dataset.
+
+The paper chooses each dataset's evaluated TCR range by distortion
+(e.g. up to ~500 for Nyx baryon density with SZ). This bench derives
+the same kind of range with a PSNR floor and reports it for the main
+datasets, asserting the expected ordering: smoother data sustains a
+wider valid range.
+"""
+
+from repro.analysis.distortion import valid_ratio_range
+from repro.compressors import get_compressor
+from repro.datasets import load_series
+from repro.experiments.tables import render_table
+
+_CASES = (
+    ("nyx-1", "baryon_density"),
+    ("qmcpack-3", "spin0"),
+    ("rtm-big", "pressure"),
+    ("hurricane", "TC"),
+)
+
+
+def test_fig11_valid_ratio_ranges(benchmark, report):
+    comp = get_compressor("sz")
+    rows = []
+    ranges = {}
+    for name, field in _CASES:
+        data = load_series(name, field).snapshots[-1].data
+        lo, hi = valid_ratio_range(comp, data, min_psnr=40.0, n_probes=12)
+        ranges[f"{name}/{field}"] = (lo, hi)
+        rows.append([f"{name}/{field}", f"{lo:.1f}", f"{hi:.1f}"])
+
+    data = load_series("hurricane", "TC").snapshots[-1].data
+    benchmark.pedantic(
+        lambda: valid_ratio_range(comp, data, min_psnr=40.0, n_probes=6),
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        render_table(
+            ["dataset", "min valid CR", "max valid CR (PSNR >= 40 dB)"],
+            rows,
+            title="Fig. 11 - valid compression ratio ranges (SZ)",
+        )
+    )
+
+    for lo, hi in ranges.values():
+        assert 0 < lo < hi
+    # The wave field sustains higher ratios at equal fidelity than the
+    # weather temperature field (the paper's Fig. 3/11 ordering).
+    assert ranges["rtm-big/pressure"][1] > ranges["hurricane/TC"][1]

@@ -1,0 +1,86 @@
+"""Fig. 12 — MCR vs TCR curves: FXRZ vs FRaZ(6) vs FRaZ(15).
+
+For one test dataset per application (SZ and ZFP, as in the figure),
+sweeps target ratios across the valid range and reports the measured
+ratio of every strategy against the ground-truth target. Shape to
+reproduce: FXRZ tracks the target closely; FRaZ-15 tracks loosely;
+FRaZ-6 drifts badly, especially at low targets.
+"""
+
+import numpy as np
+
+from conftest import BENCH_CONFIG
+from repro.experiments.figures import ascii_plot
+from repro.experiments.harness import accuracy_records, summarize_errors
+from repro.experiments.tables import render_table
+
+_CASES = (
+    ("hurricane", "TC", "sz"),
+    ("hurricane", "TC", "zfp"),
+    ("rtm", "pressure", "sz"),
+    ("nyx", "baryon_density", "sz"),
+)
+
+
+def test_fig12_mcr_vs_tcr(benchmark, report):
+    sections = []
+    summaries = {}
+    all_records = {}
+    for app, field, comp_name in _CASES:
+        records = accuracy_records(
+            app, field, comp_name, n_targets=6, config=BENCH_CONFIG
+        )
+        all_records[(app, field, comp_name)] = records
+        rows = [
+            [
+                f"{r.target_ratio:.1f}",
+                f"{r.fxrz_ratio:.1f}",
+                f"{r.fraz[15].measured_ratio:.1f}",
+                f"{r.fraz[6].measured_ratio:.1f}",
+            ]
+            for r in records
+        ]
+        summary = summarize_errors(records)
+        summaries[(app, field, comp_name)] = summary
+        targets = np.array([r.target_ratio for r in records])
+        plot = ascii_plot(
+            targets,
+            {
+                "target": targets,
+                "x_fxrz": np.array([r.fxrz_ratio for r in records]),
+                "15_fraz": np.array(
+                    [r.fraz[15].measured_ratio for r in records]
+                ),
+            },
+            height=10,
+        )
+        sections.append(
+            render_table(
+                ["TCR (truth)", "FXRZ MCR", "FRaZ-15 MCR", "FRaZ-6 MCR"],
+                rows,
+                title=(
+                    f"Fig. 12 - {comp_name} on {app}/{field}: mean err "
+                    f"FXRZ {summary['fxrz']:.1%} / FRaZ15 "
+                    f"{summary['fraz15']:.1%} / FRaZ6 {summary['fraz6']:.1%}"
+                ),
+            )
+            + "\n"
+            + plot
+        )
+
+    # Benchmark the inference kernel on an already-trained pipeline.
+    from repro.experiments.harness import get_trained_fxrz
+    from repro.experiments.corpus import held_out_snapshots
+
+    pipeline = get_trained_fxrz("hurricane", "TC", "sz", config=BENCH_CONFIG)
+    data = held_out_snapshots("hurricane", "TC")[0].data
+    benchmark(lambda: pipeline.estimate_config(data, 20.0))
+
+    report("\n\n".join(sections))
+
+    # Shape assertions, averaged across cases (as the figure reads).
+    fxrz = float(np.mean([s["fxrz"] for s in summaries.values()]))
+    fraz15 = float(np.mean([s["fraz15"] for s in summaries.values()]))
+    fraz6 = float(np.mean([s["fraz6"] for s in summaries.values()]))
+    assert fxrz < fraz6, "FXRZ must beat the 6-iteration search"
+    assert fraz15 < fraz6, "more FRaZ iterations must help"

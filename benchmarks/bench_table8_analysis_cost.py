@@ -1,0 +1,80 @@
+"""Table VIII — analysis time relative to compression time.
+
+The paper's efficiency headline: FXRZ's per-request analysis (features
++ block classification + model prediction) costs a small fraction of
+one compression, while FRaZ-15 costs many compressions — FXRZ ends up
+~108x faster on average. The bench measures both on every
+(application, compressor) pair and asserts the orders of magnitude.
+"""
+
+import numpy as np
+
+from conftest import BENCH_COMPRESSORS, BENCH_CONFIG, BENCH_FIELDS
+from repro.experiments.harness import accuracy_records
+from repro.experiments.tables import render_table
+
+
+def test_table8_analysis_cost(benchmark, report):
+    rows = []
+    fxrz_costs = []
+    fraz_costs = []
+    for app, field in BENCH_FIELDS:
+        for comp_name in BENCH_COMPRESSORS:
+            records = accuracy_records(
+                app, field, comp_name, n_targets=4, config=BENCH_CONFIG
+            )
+            compress = float(np.mean([r.compress_seconds for r in records]))
+            fxrz = float(np.mean([r.fxrz_seconds for r in records])) / compress
+            fraz = (
+                float(np.mean([r.fraz[15].seconds for r in records])) / compress
+            )
+            fxrz_costs.append(fxrz)
+            fraz_costs.append(fraz)
+            rows.append(
+                [
+                    f"{app}/{field}",
+                    comp_name,
+                    f"{fxrz:.3f}x",
+                    f"{fraz:.1f}x",
+                    f"{fraz / fxrz:.0f}x",
+                ]
+            )
+    avg_fxrz = float(np.mean(fxrz_costs))
+    avg_fraz = float(np.mean(fraz_costs))
+    rows.append(
+        [
+            "average",
+            "-",
+            f"{avg_fxrz:.3f}x",
+            f"{avg_fraz:.1f}x",
+            f"{avg_fraz / avg_fxrz:.0f}x",
+        ]
+    )
+
+    from repro.experiments.corpus import held_out_snapshots
+    from repro.experiments.harness import get_trained_fxrz
+
+    pipeline = get_trained_fxrz("hurricane", "TC", "sz", config=BENCH_CONFIG)
+    data = held_out_snapshots("hurricane", "TC")[0].data
+    benchmark(lambda: pipeline.estimate_config(data, 15.0))
+
+    report(
+        render_table(
+            [
+                "test dataset",
+                "comp",
+                "FXRZ analysis/compress",
+                "FRaZ-15 analysis/compress",
+                "speedup",
+            ],
+            rows,
+            title=(
+                "Table VIII - analysis cost relative to one compression "
+                "(paper: FXRZ ~0.14x, FRaZ >> 1x, ~108x apart)"
+            ),
+        )
+    )
+
+    assert avg_fxrz < 1.0, "FXRZ analysis must undercut one compression"
+    assert avg_fraz > 5.0, "FRaZ must cost many compressions"
+    assert avg_fraz / avg_fxrz > 20.0, "orders-of-magnitude separation"

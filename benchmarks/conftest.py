@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures, printing
+the rows to stdout and writing them to ``benchmarks/results/``. The
+FXRZ configuration below is shared across benches so the experiment
+harness's in-process cache amortizes training across the session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.config import FXRZConfig
+
+#: One configuration for the whole bench session -> cache hits.
+BENCH_CONFIG = FXRZConfig(stationary_points=12, augmented_samples=150)
+
+#: The matrix evaluated by the headline accuracy benches: one field per
+#: application, all four compressors.
+BENCH_FIELDS = (
+    ("nyx", "baryon_density"),
+    ("qmcpack", "spin0"),
+    ("rtm", "pressure"),
+    ("hurricane", "TC"),
+)
+BENCH_COMPRESSORS = ("sz", "zfp", "mgard", "fpzip")
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    return _RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, request):
+    """Print a table and persist it under the bench's name."""
+
+    def _report(text: str) -> None:
+        print("\n" + text)
+        name = request.node.name.replace("/", "_")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Use-case: archive a cosmology run under a fixed storage budget.
+
+The paper's second motivating scenario (Sec. III-B): a supercomputer
+user owns N snapshots but only ``budget`` bytes of scratch space. The
+required compression ratio follows directly from the budget; FXRZ turns
+it into per-field error bounds, and a halo analysis shows what the
+resulting distortion means scientifically.
+
+Run:
+    python examples/storage_budget.py [--quick] [--budget-fraction 0.05]
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+import repro
+from repro.analysis.halos import halo_mislocation_fraction
+from repro.compressors import get_compressor
+from repro.datasets import load_series
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.05,
+        help="storage budget as a fraction of the raw size",
+    )
+    args = parser.parse_args(argv)
+
+    fields = ["baryon_density", "temperature"]
+    if not args.quick:
+        fields += ["dark_matter_density", "velocity_x"]
+
+    config = repro.FXRZConfig(
+        stationary_points=10 if args.quick else 20,
+        augmented_samples=80 if args.quick else 200,
+    )
+
+    total_raw = 0
+    total_compressed = 0
+    print(f"storage budget: {args.budget_fraction:.0%} of raw size")
+    print(f"\n{'field':22} {'TCR':>7} {'MCR':>7} {'bytes':>10} {'halo moved':>11}")
+
+    for field in fields:
+        train = [s.data for s in load_series("nyx-1", field)]
+        test = load_series("nyx-2", field).snapshots[0].data
+
+        pipeline = repro.FXRZ(get_compressor("sz"), config=config)
+        pipeline.fit(train)
+
+        # Budget -> target ratio. Clamp into the trained range so the
+        # request stays answerable (Fig. 11's valid range).
+        tcr = 1.0 / args.budget_fraction
+        lo, hi = pipeline.trained_ratio_range(test)
+        tcr = float(np.clip(tcr, max(lo, 2.0), hi * 0.8))
+
+        result = pipeline.compress_to_ratio(test, tcr)
+        total_raw += test.nbytes
+        total_compressed += result.blob.nbytes
+
+        if field.endswith("density"):
+            recon = pipeline.compressor.decompress(result.blob)
+            moved = halo_mislocation_fraction(test, recon, overdensity=3.0)
+            moved_str = f"{moved:10.1%}"
+        else:
+            moved_str = "       n/a"
+        print(
+            f"{field:22} {tcr:7.1f} {result.measured_ratio:7.1f} "
+            f"{result.blob.nbytes:10d} {moved_str}"
+        )
+
+    achieved = total_compressed / total_raw
+    print(
+        f"\nraw {total_raw / 1e6:.1f} MB -> compressed "
+        f"{total_compressed / 1e6:.2f} MB ({achieved:.1%} of raw; "
+        f"budget was {args.budget_fraction:.0%})"
+    )
+    within = achieved <= args.budget_fraction * 1.5
+    print("within 1.5x of budget:" , "yes" if within else "no")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Data-quality analyses used in the paper's evaluation (Sec. V-B/V-C)."""
+
+from repro.analysis.distortion import (
+    max_abs_error,
+    normalized_rmse,
+    psnr,
+    valid_ratio_range,
+)
+from repro.analysis.halos import find_halos, halo_mislocation_fraction
+from repro.analysis.spectrum import isotropic_power_spectrum, spectrum_distortion
+from repro.analysis.variability import series_variability, snapshot_statistics
+
+__all__ = [
+    "psnr",
+    "max_abs_error",
+    "normalized_rmse",
+    "valid_ratio_range",
+    "find_halos",
+    "halo_mislocation_fraction",
+    "isotropic_power_spectrum",
+    "spectrum_distortion",
+    "series_variability",
+    "snapshot_statistics",
+]

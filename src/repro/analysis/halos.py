@@ -1,0 +1,90 @@
+"""Halo finding and the mislocation analysis of Sec. V-C.
+
+The paper quantifies lossy-compression damage on Nyx baryon density by
+the fraction of *halos* (overdense particle clusters) whose location
+changes after reconstruction: 0.46 % / 10.81 % / 79.17 % at error
+bounds 0.001 / 0.05 / 0.45. This module provides a threshold +
+connected-component halo finder (the standard friend-of-friend-on-grid
+approximation) and the mislocation metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import InvalidConfiguration
+
+
+@dataclass(frozen=True)
+class Halo:
+    """One halo: centroid (grid coords), cell count and total mass."""
+
+    centroid: tuple[float, ...]
+    n_cells: int
+    mass: float
+
+
+def find_halos(
+    density: np.ndarray,
+    overdensity: float = 3.0,
+    min_cells: int = 2,
+) -> list[Halo]:
+    """Detect halos as connected components above an overdensity cut.
+
+    Args:
+        density: the (baryon) density field.
+        overdensity: threshold as a multiple of the mean density.
+        min_cells: discard components smaller than this.
+    """
+    if overdensity <= 0:
+        raise InvalidConfiguration("overdensity must be > 0")
+    density = np.asarray(density, dtype=np.float64)
+    threshold = overdensity * float(density.mean())
+    mask = density > threshold
+    labels, n_labels = ndimage.label(mask)
+    if n_labels == 0:
+        return []
+    halos: list[Halo] = []
+    counts = ndimage.sum_labels(np.ones_like(density), labels, range(1, n_labels + 1))
+    masses = ndimage.sum_labels(density, labels, range(1, n_labels + 1))
+    centroids = ndimage.center_of_mass(density, labels, range(1, n_labels + 1))
+    for count, mass, centroid in zip(counts, masses, centroids):
+        if count >= min_cells:
+            halos.append(
+                Halo(
+                    centroid=tuple(float(c) for c in centroid),
+                    n_cells=int(count),
+                    mass=float(mass),
+                )
+            )
+    return halos
+
+
+def halo_mislocation_fraction(
+    original: np.ndarray,
+    reconstruction: np.ndarray,
+    overdensity: float = 3.0,
+    min_cells: int = 2,
+    tolerance: float = 1.0,
+) -> float:
+    """Fraction of original halos lost or moved after reconstruction.
+
+    A halo is *mislocated* when no reconstructed halo centroid lies
+    within ``tolerance`` grid cells of its original centroid.
+    """
+    reference = find_halos(original, overdensity, min_cells)
+    if not reference:
+        raise InvalidConfiguration("no halos found in the original field")
+    candidates = find_halos(reconstruction, overdensity, min_cells)
+    if not candidates:
+        return 1.0
+    cand = np.array([h.centroid for h in candidates])
+    mislocated = 0
+    for halo in reference:
+        deltas = cand - np.array(halo.centroid)
+        if float(np.min(np.sqrt(np.sum(deltas**2, axis=1)))) > tolerance:
+            mislocated += 1
+    return mislocated / len(reference)

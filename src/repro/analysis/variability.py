@@ -1,0 +1,96 @@
+"""Train/test variability demonstration (paper Sec. V-B, Figs. 8-9).
+
+The paper argues its assessment is meaningful because training and
+testing data differ visibly in distribution, standard deviation and
+visualization. These helpers quantify that: per-snapshot summary
+statistics and a distribution distance between two snapshot groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import FieldSeries
+from repro.errors import InvalidConfiguration
+
+
+@dataclass(frozen=True)
+class SnapshotStatistics:
+    """Summary statistics of one snapshot (the Fig. 9 panel numbers)."""
+
+    label: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    skewness: float
+
+
+def snapshot_statistics(series: FieldSeries) -> list[SnapshotStatistics]:
+    """Per-snapshot summary statistics of a field series."""
+    out = []
+    for snap in series:
+        data = snap.data.astype(np.float64)
+        std = float(data.std())
+        if std > 0:
+            skew = float(np.mean(((data - data.mean()) / std) ** 3))
+        else:
+            skew = 0.0
+        out.append(
+            SnapshotStatistics(
+                label=snap.label,
+                mean=float(data.mean()),
+                std=std,
+                minimum=float(data.min()),
+                maximum=float(data.max()),
+                skewness=skew,
+            )
+        )
+    return out
+
+
+def _normalized_histogram(
+    data: np.ndarray, bins: int, lo: float, hi: float
+) -> np.ndarray:
+    hist, _ = np.histogram(data, bins=bins, range=(lo, hi))
+    total = hist.sum()
+    if total == 0:
+        raise InvalidConfiguration("empty histogram")
+    return hist / total
+
+
+def series_variability(
+    train: FieldSeries, test: FieldSeries, bins: int = 64
+) -> dict[str, float]:
+    """Distribution distance between training and testing snapshots.
+
+    Returns:
+        dict with ``histogram_l1`` (total variation x2 of the pooled
+        distributions), ``std_ratio`` (test sigma / train sigma),
+        ``mean_shift`` (|mean difference| / train sigma) and
+        ``tail_ratio`` (99.9th-percentile ratio — the discriminating
+        statistic for heavy-tailed fields whose binned histograms pile
+        into one bin).
+    """
+    if not len(train) or not len(test):
+        raise InvalidConfiguration("both series must be non-empty")
+    train_all = np.concatenate([s.data.ravel() for s in train]).astype(np.float64)
+    test_all = np.concatenate([s.data.ravel() for s in test]).astype(np.float64)
+    lo = float(min(train_all.min(), test_all.min()))
+    hi = float(max(train_all.max(), test_all.max()))
+    if hi == lo:
+        hi = lo + 1.0
+    h_train = _normalized_histogram(train_all, bins, lo, hi)
+    h_test = _normalized_histogram(test_all, bins, lo, hi)
+    train_std = float(train_all.std()) or 1.0
+    train_tail = float(np.percentile(np.abs(train_all), 99.9))
+    test_tail = float(np.percentile(np.abs(test_all), 99.9))
+    return {
+        "histogram_l1": float(np.abs(h_train - h_test).sum()),
+        "std_ratio": float(test_all.std()) / train_std,
+        "mean_shift": abs(float(test_all.mean()) - float(train_all.mean()))
+        / train_std,
+        "tail_ratio": test_tail / train_tail if train_tail > 0 else 1.0,
+    }

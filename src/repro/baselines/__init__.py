@@ -1,0 +1,5 @@
+"""Baselines the paper compares against."""
+
+from repro.baselines.fraz import FRaZ, FRaZResult
+
+__all__ = ["FRaZ", "FRaZResult"]

@@ -1,0 +1,235 @@
+"""Command-line interface for the FXRZ library.
+
+Commands mirror the library's lifecycle so a shell user can run the
+whole fixed-ratio workflow on ``.npy`` files:
+
+* ``repro train``     — fit a pipeline on training arrays, save it.
+* ``repro estimate``  — predict the error config for a target ratio.
+* ``repro compress``  — fixed-ratio compress one array to a blob file.
+* ``repro decompress``— reconstruct an array from a blob file.
+* ``repro search``    — run the FRaZ baseline for comparison.
+* ``repro datasets``  — list the built-in synthetic dataset catalog.
+
+Blob files are a small self-describing container: a JSON header
+(compressor, config, shape, dtype) followed by the compressed payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.baselines.fraz import FRaZ
+from repro.compressors import available_compressors, get_compressor
+from repro.compressors.base import CompressedBlob
+from repro.config import FXRZConfig
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.pipeline import FXRZ
+from repro.datasets.registry import dataset_catalog
+from repro.errors import ReproError
+
+_MAGIC = b"FXRZBLOB"
+
+
+def _load_array(path: str) -> np.ndarray:
+    array = np.load(path)
+    if not isinstance(array, np.ndarray):
+        raise ReproError(f"{path} does not contain a plain ndarray")
+    return array
+
+
+def write_blob(blob: CompressedBlob, path: str | pathlib.Path) -> None:
+    """Serialize a compressed blob with a self-describing header."""
+    header = json.dumps(
+        {
+            "compressor": blob.compressor,
+            "config": blob.config,
+            "shape": list(blob.original_shape),
+            "dtype": blob.original_dtype,
+        }
+    ).encode("utf-8")
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        f.write(len(header).to_bytes(4, "little"))
+        f.write(header)
+        f.write(blob.data)
+
+
+def read_blob(path: str | pathlib.Path) -> CompressedBlob:
+    """Inverse of :func:`write_blob`."""
+    raw = pathlib.Path(path).read_bytes()
+    if raw[: len(_MAGIC)] != _MAGIC:
+        raise ReproError(f"{path} is not an FXRZ blob file")
+    header_len = int.from_bytes(raw[8:12], "little")
+    header = json.loads(raw[12 : 12 + header_len].decode("utf-8"))
+    return CompressedBlob(
+        data=raw[12 + header_len :],
+        original_shape=tuple(header["shape"]),
+        original_dtype=header["dtype"],
+        compressor=header["compressor"],
+        config=float(header["config"]),
+    )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    config = FXRZConfig(
+        sampling_stride=args.stride,
+        stationary_points=args.stationary_points,
+        augmented_samples=args.augmented_samples,
+        use_adjustment=not args.no_adjustment,
+    )
+    pipeline = FXRZ(get_compressor(args.compressor), config=config)
+    arrays = [_load_array(p) for p in args.inputs]
+    report = pipeline.fit(arrays)
+    save_pipeline(pipeline, args.model)
+    print(
+        f"trained on {report.n_datasets} arrays "
+        f"({report.n_samples} samples) in {report.total_seconds:.1f}s; "
+        f"saved to {args.model}"
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    pipeline = load_pipeline(args.model)
+    data = _load_array(args.input)
+    estimate = pipeline.estimate_config(data, args.ratio)
+    print(
+        f"estimated config: {estimate.config:.6g} "
+        f"(ACR {estimate.adjusted_target:.2f}, R {estimate.nonconstant:.2f}, "
+        f"analysis {estimate.analysis_seconds * 1e3:.1f}ms)"
+    )
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    pipeline = load_pipeline(args.model)
+    data = _load_array(args.input)
+    result = pipeline.compress_to_ratio(data, args.ratio)
+    write_blob(result.blob, args.output)
+    print(
+        f"target {args.ratio:.1f}x -> measured {result.measured_ratio:.1f}x "
+        f"(error {result.estimation_error:.1%}); wrote "
+        f"{result.blob.nbytes} bytes to {args.output}"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    blob = read_blob(args.input)
+    kwargs = {}
+    compressor = get_compressor(blob.compressor, **kwargs)
+    array = compressor.decompress(blob)
+    np.save(args.output, array)
+    print(
+        f"reconstructed {array.shape} {array.dtype} array from "
+        f"{blob.compressor}@{blob.config:g}; wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    comp = get_compressor(args.compressor)
+    data = _load_array(args.input)
+    searcher = FRaZ(comp, max_iterations=args.iterations)
+    result = searcher.search(data, args.ratio)
+    print(
+        f"FRaZ({args.iterations}): config {result.config:.6g} -> "
+        f"{result.measured_ratio:.1f}x (error {result.estimation_error:.1%}) "
+        f"in {result.iterations} compressor runs / {result.search_seconds:.2f}s"
+    )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:  # noqa: ARG001
+    for name, entry in dataset_catalog().items():
+        print(
+            f"{name:12} {entry['domain']:18} fields={','.join(entry['fields'])} "
+            f"tsteps={entry['timesteps']} shape={entry['shape']}"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import load_series
+
+    series = load_series(args.dataset, args.field)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for snap in series:
+        path = out_dir / f"{snap.label}.npy"
+        np.save(path, snap.data)
+        print(f"wrote {path} ({snap.data.shape}, {snap.data.dtype})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FXRZ fixed-ratio lossy compression"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="fit a pipeline on .npy arrays")
+    train.add_argument("inputs", nargs="+", help="training .npy files")
+    train.add_argument("--model", required=True, help="output model .npz")
+    train.add_argument("--compressor", default="sz", choices=available_compressors())
+    train.add_argument("--stride", type=int, default=4)
+    train.add_argument("--stationary-points", type=int, default=25)
+    train.add_argument("--augmented-samples", type=int, default=250)
+    train.add_argument("--no-adjustment", action="store_true")
+    train.set_defaults(func=_cmd_train)
+
+    estimate = sub.add_parser("estimate", help="predict config for a ratio")
+    estimate.add_argument("input", help="data .npy file")
+    estimate.add_argument("--model", required=True)
+    estimate.add_argument("--ratio", type=float, required=True)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    compress = sub.add_parser("compress", help="fixed-ratio compress")
+    compress.add_argument("input", help="data .npy file")
+    compress.add_argument("--model", required=True)
+    compress.add_argument("--ratio", type=float, required=True)
+    compress.add_argument("--output", required=True, help="output blob file")
+    compress.set_defaults(func=_cmd_compress)
+
+    decompress = sub.add_parser("decompress", help="reconstruct from a blob")
+    decompress.add_argument("input", help="blob file")
+    decompress.add_argument("--output", required=True, help="output .npy file")
+    decompress.set_defaults(func=_cmd_decompress)
+
+    search = sub.add_parser("search", help="run the FRaZ baseline")
+    search.add_argument("input", help="data .npy file")
+    search.add_argument("--compressor", default="sz", choices=available_compressors())
+    search.add_argument("--ratio", type=float, required=True)
+    search.add_argument("--iterations", type=int, default=15)
+    search.set_defaults(func=_cmd_search)
+
+    datasets = sub.add_parser("datasets", help="list the built-in catalog")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    export = sub.add_parser(
+        "export", help="materialize a built-in dataset as .npy files"
+    )
+    export.add_argument("dataset", help="catalog name, e.g. nyx-1")
+    export.add_argument("field", help="field name, e.g. baryon_density")
+    export.add_argument("--out", required=True, help="output directory")
+    export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Digit-rounding ("bit grooming") lossy compressor.
+
+A third error-control paradigm alongside absolute bounds and mantissa
+precision: keep a number of *significant decimal digits* (Zender's Bit
+Grooming / DigitRounding, widely used in climate archives via NetCDF).
+The config is the digit count 1..7 (float32 carries ~7.2 decimal
+digits); retention is implemented as mantissa bit masking with the bit
+budget derived from the requested digits, after which the groomed
+values are coded losslessly with the same exact integer-Lorenzo +
+byteplane pipeline as the FPZIP-like compressor.
+
+Registered as ``"digit"``. Like FPZIP, the knob is an integer on a
+linear axis and the distortion contract is value-relative — exercising
+FXRZ's compressor-agnostic handling of a third config family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.predictors import lorenzo_reconstruct, lorenzo_residuals
+from repro.encoding import HuffmanCodec
+from repro.encoding.varint import decode_section, encode_section
+from repro.errors import CorruptStreamError, ErrorBoundViolation
+
+_MIN_DIGITS = 1
+_MAX_DIGITS = 7
+
+#: Mantissa bits needed per decimal digit: log2(10) ~ 3.33.
+_BITS_PER_DIGIT = 3.32192809488736
+
+
+def _keep_bits(digits: int) -> int:
+    """Mantissa bits retained for ``digits`` significant digits.
+
+    One extra guard bit keeps the worst-case decimal rounding error
+    below half an ulp of the last kept digit.
+    """
+    return min(23, int(np.ceil(digits * _BITS_PER_DIGIT)) + 1)
+
+
+@register_compressor
+class DigitRoundingCompressor(Compressor):
+    """Keep N significant decimal digits, code the rest away."""
+
+    name = "digit"
+    error_mode = "precision"
+    config_scale = "linear"
+
+    def config_domain(self, array: np.ndarray | None = None) -> tuple[float, float]:
+        """Valid digit counts (inclusive)."""
+        return float(_MIN_DIGITS), float(_MAX_DIGITS)
+
+    def normalize_config(self, config: float) -> float:
+        snapped = int(round(config))
+        if snapped < _MIN_DIGITS or snapped > _MAX_DIGITS:
+            from repro.errors import InvalidConfiguration
+
+            raise InvalidConfiguration(
+                f"digits must be in [{_MIN_DIGITS}, {_MAX_DIGITS}], got {config}"
+            )
+        return float(snapped)
+
+    def _verify_precision(
+        self, original: np.ndarray, reconstruction: np.ndarray, config: float
+    ) -> None:
+        """Each value keeps ``digits`` significant decimal digits."""
+        digits = int(config)
+        orig32 = np.asarray(original, dtype=np.float32).astype(np.float64)
+        recon = np.asarray(reconstruction).astype(np.float64)
+        scale = np.maximum(np.abs(orig32), np.finfo(np.float32).tiny)
+        rel = np.abs(orig32 - recon) / scale
+        # Keeping k significant digits bounds relative error by
+        # ~10**(1-k)/2; allow binary-truncation slack.
+        limit = 10.0 ** (1 - digits)
+        max_rel = float(rel.max())
+        if max_rel > limit:
+            raise ErrorBoundViolation(
+                f"digit: max relative error {max_rel:g} exceeds "
+                f"{digits}-digit limit {limit:g}"
+            )
+
+    # -- compression ----------------------------------------------------------
+
+    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+        digits = int(config)
+        drop = 23 - _keep_bits(digits)
+        as_f32 = array.astype(np.float32)
+        bits = as_f32.view(np.uint32)
+        if drop > 0:
+            # Round-to-nearest grooming: add half of the dropped range
+            # before masking, clamping the carry into the exponent is
+            # fine (it rounds up to the next binade's smallest value).
+            half = np.uint32(1 << (drop - 1))
+            mask = np.uint32(0xFFFFFFFF) << np.uint32(drop)
+            magnitude = bits & np.uint32(0x7FFFFFFF)
+            sign = bits & np.uint32(0x80000000)
+            # Clamp the round-up carry at the largest finite magnitude
+            # so values in the top binade never groom into +-inf.
+            groomed = np.minimum(magnitude + half, np.uint32(0x7F7FFFFF)) & mask
+            bits = sign | groomed
+        signed = bits.view(np.int32).astype(np.int64)
+        ordered = np.where(signed < 0, -(signed & 0x7FFFFFFF), signed & 0x7FFFFFFF)
+        residuals = lorenzo_residuals(ordered)
+        zz = ((residuals << 1) ^ (residuals >> 63)).astype(np.uint64).ravel()
+
+        huffman = HuffmanCodec()
+        sections = [encode_section(bytes([digits]))]
+        for plane in range(5):
+            plane_bytes = (
+                (zz >> np.uint64(8 * plane)) & np.uint64(0xFF)
+            ).astype(np.int64)
+            sections.append(encode_section(huffman.encode(plane_bytes)))
+        return b"".join(sections)
+
+    # -- decompression --------------------------------------------------------
+
+    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+        header, offset = decode_section(blob.data, 0)
+        if len(header) != 1:
+            raise CorruptStreamError("bad digit-rounding header")
+        huffman = HuffmanCodec()
+        count = int(np.prod(blob.original_shape))
+        zz = np.zeros(count, dtype=np.uint64)
+        for plane in range(5):
+            payload, offset = decode_section(blob.data, offset)
+            plane_bytes = huffman.decode(payload)
+            if plane_bytes.size != count:
+                raise CorruptStreamError("digit byteplane size mismatch")
+            zz |= plane_bytes.astype(np.uint64) << np.uint64(8 * plane)
+        residuals = (zz >> np.uint64(1)).astype(np.int64) ^ -(
+            zz & np.uint64(1)
+        ).astype(np.int64)
+        ordered = lorenzo_reconstruct(residuals.reshape(blob.original_shape))
+        negative = ordered < 0
+        magnitude = np.abs(ordered).astype(np.int64)
+        as_int = np.where(negative, magnitude | np.int64(1 << 31), magnitude)
+        values = as_int.astype(np.uint64).astype(np.uint32).view(np.float32)
+        return values.astype(blob.original_dtype).ravel()

@@ -1,0 +1,132 @@
+"""FPZIP-like precision-controlled lossy compressor.
+
+FPZIP controls distortion through an integer *precision* parameter — the
+number of significant bits kept per value (Sec. V-A3: "an integer from 1
+to 32 corresponding to different numbers of significant mantissa bits").
+This re-implementation mirrors that contract:
+
+1. Values are mapped to float32 and their low ``32 - p`` bits are
+   truncated, bounding the *relative* error by ``2**-(p - 9)`` of each
+   value's own magnitude (sign + 8 exponent bits precede the mantissa).
+2. The truncated values are coded **losslessly**: the IEEE bit patterns
+   are mapped to monotonically ordered integers, the d-dimensional
+   Lorenzo residual (an exact integer finite difference) is taken, and
+   residual byteplanes are entropy coded. Truncation makes residuals
+   sparse in their low byteplanes, which is where the ratio comes from.
+
+Because step 2 is exact, the decoder recovers the truncated values
+bit-for-bit, so the precision guarantee is unconditional.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.predictors import lorenzo_reconstruct, lorenzo_residuals
+from repro.encoding import HuffmanCodec
+from repro.encoding.varint import decode_section, encode_section
+from repro.errors import CorruptStreamError, ErrorBoundViolation
+
+_MIN_PRECISION = 10
+_MAX_PRECISION = 32
+
+
+def _float_to_ordered(bits: np.ndarray) -> np.ndarray:
+    """Map IEEE-754 bit patterns to order-preserving signed ints."""
+    as_int = bits.view(np.int32).astype(np.int64)
+    negative = as_int < 0
+    # Negative floats sort inversely in two's complement; flip them.
+    return np.where(negative, -(as_int & 0x7FFFFFFF), as_int & 0x7FFFFFFF)
+
+
+def _ordered_to_float(ordered: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_float_to_ordered`."""
+    negative = ordered < 0
+    magnitude = np.abs(ordered).astype(np.int64)
+    as_int = np.where(negative, magnitude | np.int64(1 << 31), magnitude)
+    return as_int.astype(np.uint64).astype(np.uint32).view(np.float32)
+
+
+@register_compressor
+class FPZIPCompressor(Compressor):
+    """Precision-parameterized predictive compressor."""
+
+    name = "fpzip"
+    error_mode = "precision"
+    config_scale = "linear"
+
+    def config_domain(self, array: np.ndarray | None = None) -> tuple[float, float]:
+        """Valid precision range (inclusive)."""
+        return float(_MIN_PRECISION), float(_MAX_PRECISION)
+
+    def _verify_precision(
+        self, original: np.ndarray, reconstruction: np.ndarray, config: float
+    ) -> None:
+        """Relative per-value bound from mantissa truncation."""
+        precision = int(config)
+        drop = min(max(0, _MAX_PRECISION - precision), 23)
+        orig32 = np.asarray(original, dtype=np.float32).astype(np.float64)
+        recon = np.asarray(reconstruction).astype(np.float64)
+        # Zeroing `drop` mantissa bits changes a value by at most
+        # 2**drop ulps of its own exponent; one float32 ulp is 2**-23
+        # of the value's power-of-two bracket.
+        scale = np.maximum(np.abs(orig32), np.finfo(np.float32).tiny)
+        rel = np.abs(orig32 - recon) / scale
+        limit = 2.0 ** (drop - 23 + 1)
+        max_rel = float(rel.max())
+        if max_rel > limit:
+            raise ErrorBoundViolation(
+                f"fpzip: max relative error {max_rel:g} exceeds "
+                f"precision-{precision} limit {limit:g}"
+            )
+
+    # -- compression ----------------------------------------------------------
+
+    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+        precision = int(config)
+        drop = min(max(0, _MAX_PRECISION - precision), 23)
+        as_f32 = array.astype(np.float32)
+        bits = as_f32.view(np.uint32)
+        if drop:
+            mask = np.uint32(0xFFFFFFFF) << np.uint32(drop)
+            bits = bits & mask
+        ordered = _float_to_ordered(bits)
+        residuals = lorenzo_residuals(ordered)
+        # Zigzag to unsigned; residual magnitudes fit in ~36 bits.
+        zz = ((residuals << 1) ^ (residuals >> 63)).astype(np.uint64).ravel()
+
+        huffman = HuffmanCodec()
+        sections = [encode_section(bytes([precision]))]
+        # Five byteplanes cover the 33-bit zigzag range; high planes are
+        # almost entirely zero and RLE away inside Huffman.
+        for plane in range(5):
+            plane_bytes = ((zz >> np.uint64(8 * plane)) & np.uint64(0xFF)).astype(
+                np.int64
+            )
+            sections.append(encode_section(huffman.encode(plane_bytes)))
+        return b"".join(sections)
+
+    # -- decompression --------------------------------------------------------
+
+    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+        header, offset = decode_section(blob.data, 0)
+        if len(header) != 1:
+            raise CorruptStreamError("bad FPZIP header")
+
+        huffman = HuffmanCodec()
+        count = int(np.prod(blob.original_shape))
+        zz = np.zeros(count, dtype=np.uint64)
+        for plane in range(5):
+            payload, offset = decode_section(blob.data, offset)
+            plane_bytes = huffman.decode(payload)
+            if plane_bytes.size != count:
+                raise CorruptStreamError("FPZIP byteplane size mismatch")
+            zz |= plane_bytes.astype(np.uint64) << np.uint64(8 * plane)
+
+        residuals = (zz >> np.uint64(1)).astype(np.int64) ^ -(
+            zz & np.uint64(1)
+        ).astype(np.int64)
+        ordered = lorenzo_reconstruct(residuals.reshape(blob.original_shape))
+        values = _ordered_to_float(ordered)
+        return values.astype(blob.original_dtype).ravel()

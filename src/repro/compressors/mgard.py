@@ -1,0 +1,211 @@
+"""MGARD-like multigrid error-bounded lossy compressor.
+
+MGARD(+) expresses a field as a hierarchy of multigrid levels: the
+coefficient of a node at level ``l`` is the difference between its value
+and the multilinear interpolation of the surrounding coarser-level
+nodes, and coefficients are quantized with level-dependent steps before
+entropy coding. This re-implementation keeps that structure:
+
+* the same power-of-two refinement pyramid as the SZ-like compressor,
+  but with strictly **linear** (multilinear, axis-factored)
+  interpolation — MGARD's piecewise-linear basis;
+* **level-dependent quantization**: finer levels get geometrically
+  smaller bins (``eb * (1 - r) * r**depth`` with ``r = 1/2``), MGARD's
+  error-budget distribution across levels, summing below ``eb``;
+* coefficients are entropy coded **per level** (one Huffman stream per
+  pyramid level), mirroring MGARD+'s level-grouped encoding.
+
+Compared to the SZ-like compressor this trades prediction quality
+(linear vs cubic) for finer bins at fine levels, which yields a visibly
+different CR-vs-error-bound curve — exactly the behavioural difference
+the paper's compressor-agnostic framework has to absorb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.predictors import interp_prediction_linear
+from repro.compressors.quantizer import LinearQuantizer
+from repro.compressors.sz import _initial_stride, _plan_steps
+from repro.encoding import HuffmanCodec, zero_rle_decode, zero_rle_encode
+from repro.encoding.varint import decode_section, encode_section
+from repro.errors import CorruptStreamError
+
+#: Geometric ratio of the per-level error budget.
+_LEVEL_RATIO = 0.5
+
+
+def _level_bins(error_bound: float, n_levels: int) -> list[float]:
+    """Per-level quantizer bounds, coarse -> fine, each <= error_bound.
+
+    The budget of depth ``d`` is ``eb * (1 - r) * r**d`` normalized so
+    the *maximum* (not the sum) stays below ``eb`` — every point is
+    quantized exactly once in the recon-based scheme, so its error is
+    its own level's bin, not an accumulation.
+    """
+    if n_levels <= 1:
+        return [error_bound]
+    # Coarse levels may use the full bound; fine levels shrink so that
+    # high-frequency detail is kept crisper (MGARD's s>0 flavor).
+    return [
+        error_bound * (_LEVEL_RATIO ** (depth / 2.0))
+        for depth in range(n_levels)
+    ]
+
+
+@register_compressor
+class MGARDCompressor(Compressor):
+    """Multigrid hierarchy compressor with level-scaled quantization."""
+
+    name = "mgard"
+    error_mode = "abs"
+    config_scale = "log"
+
+    # -- compression ----------------------------------------------------------
+
+    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+        data = array.astype(np.float64)
+        mean = float(data.mean())
+        recon = np.zeros_like(data)
+
+        s0 = _initial_stride(data.shape)
+        steps = _plan_steps(data.shape, s0)
+        n_levels = 1 + len({step.cur for step in steps})
+        bins = _level_bins(config, n_levels)
+
+        level_codes: list[list[np.ndarray]] = [[] for _ in range(n_levels)]
+        outlier_parts: list[np.ndarray] = []
+
+        coarse_key = tuple(slice(0, None, s0) for _ in data.shape)
+        quantizer = LinearQuantizer(bins[0])
+        target = data[coarse_key]
+        quant = quantizer.quantize(target - mean)
+        recon_block = mean + quant.dequantized
+        recon_block[quant.outlier_mask] = target[quant.outlier_mask]
+        recon[coarse_key] = recon_block
+        level_codes[0].append(quant.codes.ravel())
+        outlier_parts.append(target[quant.outlier_mask].ravel())
+
+        stride_depth = {
+            cur: depth + 1
+            for depth, cur in enumerate(sorted({s.cur for s in steps}, reverse=True))
+        }
+        for step in steps:
+            depth = stride_depth[step.cur]
+            quantizer = LinearQuantizer(bins[depth])
+            sub_recon = recon[step.key]
+            sub_data = data[step.key]
+            pred = interp_prediction_linear(
+                sub_recon, step.axis, step.new_idx, step.half
+            )
+            target = np.take(sub_data, step.new_idx, axis=step.axis)
+            quant = quantizer.quantize(target - pred)
+            recon_block = pred + quant.dequantized
+            recon_block[quant.outlier_mask] = target[quant.outlier_mask]
+            write_key = list(step.key)
+            write_key[step.axis] = slice(step.half, None, step.cur)
+            recon[tuple(write_key)] = recon_block
+            level_codes[depth].append(quant.codes.ravel())
+            outlier_parts.append(target[quant.outlier_mask].ravel())
+
+        huffman = HuffmanCodec()
+        header = np.array([config, mean], dtype=np.float64).tobytes() + bytes(
+            [n_levels]
+        )
+        sections = [encode_section(header)]
+        for depth in range(n_levels):
+            codes = (
+                np.concatenate(level_codes[depth])
+                if level_codes[depth]
+                else np.zeros(0, dtype=np.int64)
+            )
+            tokens, literals = zero_rle_encode(codes)
+            sections.append(encode_section(huffman.encode(tokens)))
+            sections.append(encode_section(huffman.encode(literals)))
+        outliers = (
+            np.concatenate(outlier_parts)
+            if outlier_parts
+            else np.zeros(0, dtype=np.float64)
+        )
+        sections.append(encode_section(outliers.astype(np.float64).tobytes()))
+        return b"".join(sections)
+
+    # -- decompression --------------------------------------------------------
+
+    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+        header, offset = decode_section(blob.data, 0)
+        if len(header) != 17:
+            raise CorruptStreamError("bad MGARD header")
+        config, mean = np.frombuffer(header[:16], dtype=np.float64)
+        n_levels = header[16]
+
+        huffman = HuffmanCodec()
+        level_streams: list[np.ndarray] = []
+        for _ in range(n_levels):
+            tokens_blob, offset = decode_section(blob.data, offset)
+            literals_blob, offset = decode_section(blob.data, offset)
+            level_streams.append(
+                zero_rle_decode(
+                    huffman.decode(tokens_blob), huffman.decode(literals_blob)
+                )
+            )
+        outlier_blob, offset = decode_section(blob.data, offset)
+        outliers = np.frombuffer(outlier_blob, dtype=np.float64)
+
+        shape = blob.original_shape
+        s0 = _initial_stride(shape)
+        steps = _plan_steps(shape, s0)
+        expected_levels = 1 + len({step.cur for step in steps})
+        if expected_levels != n_levels:
+            raise CorruptStreamError("MGARD level count mismatch")
+        bins = _level_bins(float(config), n_levels)
+
+        recon = np.zeros(shape, dtype=np.float64)
+        level_pos = [0] * n_levels
+        out_pos = 0
+
+        coarse_key = tuple(slice(0, None, s0) for _ in shape)
+        coarse_shape = recon[coarse_key].shape
+        count = int(np.prod(coarse_shape))
+        quantizer = LinearQuantizer(bins[0])
+        block_codes = level_streams[0][:count].reshape(coarse_shape)
+        level_pos[0] = count
+        residuals, mask = quantizer.dequantize(block_codes)
+        recon_block = mean + residuals
+        n_out = int(mask.sum())
+        recon_block[mask] = outliers[out_pos : out_pos + n_out]
+        out_pos += n_out
+        recon[coarse_key] = recon_block
+
+        stride_depth = {
+            cur: depth + 1
+            for depth, cur in enumerate(sorted({s.cur for s in steps}, reverse=True))
+        }
+        for step in steps:
+            depth = stride_depth[step.cur]
+            quantizer = LinearQuantizer(bins[depth])
+            sub_recon = recon[step.key]
+            pred = interp_prediction_linear(
+                sub_recon, step.axis, step.new_idx, step.half
+            )
+            count = pred.size
+            stream = level_streams[depth]
+            pos = level_pos[depth]
+            if pos + count > stream.size:
+                raise CorruptStreamError("MGARD code stream underflow")
+            block_codes = stream[pos : pos + count].reshape(pred.shape)
+            level_pos[depth] = pos + count
+            residuals, mask = quantizer.dequantize(block_codes)
+            recon_block = pred + residuals
+            n_out = int(mask.sum())
+            if out_pos + n_out > outliers.size:
+                raise CorruptStreamError("MGARD outlier stream underflow")
+            recon_block[mask] = outliers[out_pos : out_pos + n_out]
+            out_pos += n_out
+            write_key = list(step.key)
+            write_key[step.axis] = slice(step.half, None, step.cur)
+            recon[tuple(write_key)] = recon_block
+
+        return recon.astype(blob.original_dtype).ravel()

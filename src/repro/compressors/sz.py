@@ -1,0 +1,251 @@
+"""SZ-like error-bounded lossy compressor.
+
+Re-implementation of the SZ3-style interpolation compressor: a
+coarse-to-fine traversal predicts each grid point from already
+reconstructed points by midpoint interpolation (cubic where possible,
+paper Eq. 3), quantizes the residual with linear-scaling quantization
+(bin width ``2*eb``), and entropy-codes the quantization codes with
+zero-run-length + Huffman coding — mirroring SZ's
+prediction/quantization/Huffman(+dictionary) pipeline.
+
+The traversal refines a power-of-two stride pyramid: at each level, each
+axis in turn fills its midpoints. Because both the encoder and the
+decoder update the reconstruction array with *identical* float64
+operations, predictions match bit-for-bit on both sides, and the
+point-wise absolute error bound holds unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.predictors import (
+    interp_prediction_cubic,
+    interp_prediction_linear,
+)
+from repro.compressors.quantizer import LinearQuantizer
+from repro.encoding import HuffmanCodec, zero_rle_decode, zero_rle_encode
+from repro.encoding.range_coder import RangeCoder
+from repro.encoding.varint import decode_section, encode_section
+from repro.errors import CorruptStreamError, EncodingError
+
+
+def _entropy_codec(name: str):
+    """The entropy backend: Huffman (default) or range coding."""
+    return RangeCoder() if name == "range" else HuffmanCodec()
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One refinement step: fill midpoints of ``axis`` at stride ``cur``."""
+
+    axis: int
+    cur: int
+    half: int
+    key: tuple[slice, ...]
+    new_idx: np.ndarray
+
+
+def _initial_stride(shape: tuple[int, ...]) -> int:
+    """Smallest power of two >= max dimension (the pyramid root stride)."""
+    stride = 1
+    while stride < max(shape):
+        stride *= 2
+    return max(stride, 2)
+
+
+def _plan_steps(shape: tuple[int, ...], s0: int) -> list[_Step]:
+    """Deterministic refinement schedule shared by encoder and decoder."""
+    ndim = len(shape)
+    steps: list[_Step] = []
+    cur = s0
+    while cur >= 2:
+        half = cur // 2
+        for axis in range(ndim):
+            new_idx = np.arange(half, shape[axis], cur, dtype=np.int64)
+            if new_idx.size == 0:
+                continue
+            # Axes already refined at this level sit at stride `half`,
+            # axes still pending sit at stride `cur`; the refined axis
+            # itself is left full so interpolation can gather neighbors.
+            key = tuple(
+                slice(None)
+                if a == axis
+                else slice(0, None, half if a < axis else cur)
+                for a in range(ndim)
+            )
+            steps.append(_Step(axis=axis, cur=cur, half=half, key=key, new_idx=new_idx))
+        cur = half
+    return steps
+
+
+@register_compressor
+class SZCompressor(Compressor):
+    """Interpolation-predictive absolute-error-bounded compressor."""
+
+    name = "sz"
+    error_mode = "abs"
+    config_scale = "log"
+
+    def __init__(
+        self, interpolation: str = "cubic", entropy: str = "huffman"
+    ) -> None:
+        if interpolation not in ("cubic", "linear"):
+            raise ValueError("interpolation must be 'cubic' or 'linear'")
+        if entropy not in ("huffman", "range"):
+            raise ValueError("entropy must be 'huffman' or 'range'")
+        self.interpolation = interpolation
+        self.entropy = entropy
+
+    # -- compression ----------------------------------------------------------
+
+    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+        data = array.astype(np.float64)
+        quantizer = LinearQuantizer(config)
+        mean = float(data.mean())
+
+        recon = np.zeros_like(data)
+        codes_parts: list[np.ndarray] = []
+        outlier_parts: list[np.ndarray] = []
+
+        s0 = _initial_stride(data.shape)
+        coarse_key = tuple(slice(0, None, s0) for _ in data.shape)
+        target = data[coarse_key]
+        quant = quantizer.quantize(target - mean)
+        recon_block = mean + quant.dequantized
+        recon_block[quant.outlier_mask] = target[quant.outlier_mask]
+        recon[coarse_key] = recon_block
+        codes_parts.append(quant.codes.ravel())
+        outlier_parts.append(target[quant.outlier_mask].ravel())
+
+        predict = (
+            interp_prediction_cubic
+            if self.interpolation == "cubic"
+            else interp_prediction_linear
+        )
+        for step in _plan_steps(data.shape, s0):
+            sub_recon = recon[step.key]
+            sub_data = data[step.key]
+            pred = predict(sub_recon, step.axis, step.new_idx, step.half)
+            target = np.take(sub_data, step.new_idx, axis=step.axis)
+            quant = quantizer.quantize(target - pred)
+            recon_block = pred + quant.dequantized
+            recon_block[quant.outlier_mask] = target[quant.outlier_mask]
+            write_key = list(step.key)
+            write_key[step.axis] = slice(step.half, None, step.cur)
+            recon[tuple(write_key)] = recon_block
+            codes_parts.append(quant.codes.ravel())
+            outlier_parts.append(target[quant.outlier_mask].ravel())
+
+        codes = np.concatenate(codes_parts)
+        outliers = (
+            np.concatenate(outlier_parts)
+            if outlier_parts
+            else np.zeros(0, dtype=np.float64)
+        )
+        return self._serialize(config, mean, codes, outliers)
+
+    def _serialize(
+        self,
+        config: float,
+        mean: float,
+        codes: np.ndarray,
+        outliers: np.ndarray,
+    ) -> bytes:
+        tokens, literals = zero_rle_encode(codes)
+        entropy = self.entropy
+        if entropy == "range":
+            try:
+                encoded = (
+                    RangeCoder().encode(tokens),
+                    RangeCoder().encode(literals),
+                )
+            except EncodingError:
+                # Range coder's 2**16 alphabet cap exceeded (very small
+                # bounds on rough data): Huffman handles any alphabet.
+                entropy = "huffman"
+        if entropy == "huffman":
+            huffman = HuffmanCodec()
+            encoded = (huffman.encode(tokens), huffman.encode(literals))
+        header = np.array([config, mean], dtype=np.float64).tobytes() + bytes(
+            (
+                1 if self.interpolation == "cubic" else 0,
+                1 if entropy == "range" else 0,
+            )
+        )
+        return b"".join(
+            (
+                encode_section(header),
+                encode_section(encoded[0]),
+                encode_section(encoded[1]),
+                encode_section(outliers.astype(np.float64).tobytes()),
+            )
+        )
+
+    # -- decompression --------------------------------------------------------
+
+    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+        header, offset = decode_section(blob.data, 0)
+        if len(header) != 18:
+            raise CorruptStreamError("bad SZ header")
+        config, mean = np.frombuffer(header[:16], dtype=np.float64)
+        interpolation = "cubic" if header[16] else "linear"
+        codec = _entropy_codec("range" if header[17] else "huffman")
+        tokens_blob, offset = decode_section(blob.data, offset)
+        literals_blob, offset = decode_section(blob.data, offset)
+        outlier_blob, offset = decode_section(blob.data, offset)
+
+        codes = zero_rle_decode(
+            codec.decode(tokens_blob), codec.decode(literals_blob)
+        )
+        outliers = np.frombuffer(outlier_blob, dtype=np.float64)
+
+        shape = blob.original_shape
+        quantizer = LinearQuantizer(float(config))
+        recon = np.zeros(shape, dtype=np.float64)
+        code_pos = 0
+        out_pos = 0
+
+        s0 = _initial_stride(shape)
+        coarse_key = tuple(slice(0, None, s0) for _ in shape)
+        coarse_shape = recon[coarse_key].shape
+        count = int(np.prod(coarse_shape))
+        block_codes = codes[code_pos : code_pos + count].reshape(coarse_shape)
+        code_pos += count
+        residuals, mask = quantizer.dequantize(block_codes)
+        recon_block = mean + residuals
+        n_out = int(mask.sum())
+        recon_block[mask] = outliers[out_pos : out_pos + n_out]
+        out_pos += n_out
+        recon[coarse_key] = recon_block
+
+        predict = (
+            interp_prediction_cubic
+            if interpolation == "cubic"
+            else interp_prediction_linear
+        )
+        for step in _plan_steps(shape, s0):
+            sub_recon = recon[step.key]
+            pred = predict(sub_recon, step.axis, step.new_idx, step.half)
+            count = pred.size
+            if code_pos + count > codes.size:
+                raise CorruptStreamError("SZ code stream underflow")
+            block_codes = codes[code_pos : code_pos + count].reshape(pred.shape)
+            code_pos += count
+            residuals, mask = quantizer.dequantize(block_codes)
+            recon_block = pred + residuals
+            n_out = int(mask.sum())
+            if out_pos + n_out > outliers.size:
+                raise CorruptStreamError("SZ outlier stream underflow")
+            recon_block[mask] = outliers[out_pos : out_pos + n_out]
+            out_pos += n_out
+            write_key = list(step.key)
+            write_key[step.axis] = slice(step.half, None, step.cur)
+            recon[tuple(write_key)] = recon_block
+
+        if code_pos != codes.size:
+            raise CorruptStreamError("trailing SZ quantization codes")
+        return recon.astype(blob.original_dtype).ravel()

@@ -1,0 +1,70 @@
+"""Compressibility Adjustment — CA (paper Sec. IV-E2, Fig. 6-7).
+
+Smooth (near-constant) regions compress to almost nothing and distort
+the relationship between global statistics and achievable ratio. CA
+splits the grid into small cubic blocks, classifies each block as
+*constant* when its value range falls below ``lambda * |mean value|``
+(Table IV: lambda = 0.15 is optimal), and rescales the user's target
+ratio by the non-constant fraction R:
+
+    ACR = TCR * R        (Formula 4)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_BLOCK_SIZE, DEFAULT_LAMBDA
+from repro.errors import InvalidConfiguration
+
+
+def _block_ranges(data: np.ndarray, block_size: int) -> np.ndarray:
+    """Per-block value range; trailing partial blocks are edge-padded."""
+    pad = [(0, (-n) % block_size) for n in data.shape]
+    if any(p[1] for p in pad):
+        data = np.pad(data, pad, mode="edge")
+    split = []
+    for n in data.shape:
+        split.extend((n // block_size, block_size))
+    ndim = data.ndim
+    work = data.reshape(split)
+    perm = [2 * i for i in range(ndim)] + [2 * i + 1 for i in range(ndim)]
+    work = work.transpose(perm)
+    grid = work.shape[:ndim]
+    flat = work.reshape(int(np.prod(grid)), -1)
+    return (flat.max(axis=1) - flat.min(axis=1)).reshape(grid)
+
+
+def constant_block_mask(
+    data: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    lam: float = DEFAULT_LAMBDA,
+) -> np.ndarray:
+    """Boolean block grid: True where a block is constant (Fig. 6)."""
+    if block_size < 2:
+        raise InvalidConfiguration("block_size must be >= 2")
+    if not 0.0 < lam < 1.0:
+        raise InvalidConfiguration("lam must be in (0, 1)")
+    data = np.asarray(data, dtype=np.float64)
+    threshold = lam * abs(float(data.mean()))
+    ranges = _block_ranges(data, block_size)
+    return ranges <= threshold
+
+
+def nonconstant_fraction(
+    data: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    lam: float = DEFAULT_LAMBDA,
+) -> float:
+    """R: fraction of non-constant blocks in the dataset."""
+    mask = constant_block_mask(data, block_size=block_size, lam=lam)
+    return float(1.0 - mask.mean())
+
+
+def adjusted_ratio(target_ratio: float, nonconstant: float) -> float:
+    """Formula (4): ACR = TCR * R, floored to stay a valid ratio."""
+    if target_ratio <= 0:
+        raise InvalidConfiguration("target ratio must be > 0")
+    if not 0.0 <= nonconstant <= 1.0:
+        raise InvalidConfiguration("nonconstant fraction must be in [0, 1]")
+    return max(target_ratio * nonconstant, 1.0)

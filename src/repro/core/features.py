@@ -1,0 +1,175 @@
+"""Feature extraction (paper Sec. IV-C) with uniform sampling (IV-E1).
+
+Eight candidate features are computed; the five the paper adopts
+(value range, mean value, MND, MLD, MSD) are exposed as the model
+input, while the three gradient features exist for the Table II
+correlation study that justifies excluding them.
+
+All features are computed on a stride-K uniform subsample of the grid
+(K=4 -> ~1.5 % of points in 3-D), which the paper shows costs almost
+no accuracy while cutting analysis time ~20x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressors.predictors import lorenzo_residuals
+from repro.errors import InvalidConfiguration
+
+#: All candidate features, in presentation order (Table II columns).
+FEATURE_NAMES = (
+    "value_range",
+    "mean_value",
+    "mnd",
+    "mld",
+    "msd",
+    "mean_gradient",
+    "min_gradient",
+    "max_gradient",
+)
+
+#: The five features FXRZ adopts (Sec. IV-C conclusion).
+SELECTED_FEATURES = ("value_range", "mean_value", "mnd", "mld", "msd")
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """The eight candidate features of one dataset."""
+
+    value_range: float
+    mean_value: float
+    mnd: float
+    mld: float
+    msd: float
+    mean_gradient: float
+    min_gradient: float
+    max_gradient: float
+
+    def selected(self) -> np.ndarray:
+        """The five adopted features as a model-input vector."""
+        return np.array([getattr(self, n) for n in SELECTED_FEATURES])
+
+    def all_features(self) -> np.ndarray:
+        """All eight candidate features (Table II study)."""
+        return np.array([getattr(self, n) for n in FEATURE_NAMES])
+
+
+def uniform_sample(data: np.ndarray, stride: int) -> np.ndarray:
+    """Stride-K uniform sampling along every axis (Fig. 5).
+
+    Keeps the grid structure so neighbor-based features stay
+    well-defined on the subsampled lattice.
+    """
+    if stride < 1:
+        raise InvalidConfiguration("stride must be >= 1")
+    if stride == 1:
+        return data
+    key = tuple(slice(0, None, stride) for _ in data.shape)
+    sampled = data[key]
+    # Never sample below the minimum lattice the features need.
+    if any(n < 2 for n in sampled.shape):
+        return data
+    return sampled
+
+
+def _mean_neighbor_difference(data: np.ndarray) -> float:
+    """Mean |value - mean(face neighbors)| over all points."""
+    neighbor_sum = np.zeros_like(data)
+    neighbor_count = np.zeros(data.shape, dtype=np.int64)
+    for axis in range(data.ndim):
+        lo = [slice(None)] * data.ndim
+        hi = [slice(None)] * data.ndim
+        lo[axis] = slice(0, -1)
+        hi[axis] = slice(1, None)
+        lo_t, hi_t = tuple(lo), tuple(hi)
+        neighbor_sum[lo_t] += data[hi_t]
+        neighbor_count[lo_t] += 1
+        neighbor_sum[hi_t] += data[lo_t]
+        neighbor_count[hi_t] += 1
+    return float(np.mean(np.abs(data - neighbor_sum / neighbor_count)))
+
+
+def _mean_lorenzo_difference(data: np.ndarray) -> float:
+    """Mean |value - Lorenzo prediction| on the interior (Eqs. 1-2)."""
+    residuals = lorenzo_residuals(data)
+    interior = tuple(slice(1, None) if n > 1 else slice(None) for n in data.shape)
+    region = residuals[interior]
+    if region.size == 0:
+        region = residuals
+    return float(np.mean(np.abs(region)))
+
+
+def _mean_spline_difference(data: np.ndarray) -> float:
+    """Mean |value - cross-axis average of the Eq. 3 spline fit|.
+
+    For each axis with length > 6, the cubic fit
+    (-d[i-3] + 9 d[i-1] + 9 d[i+1] - d[i+3]) / 16 is evaluated on that
+    axis's interior; per point, fits from all applicable axes are
+    averaged before the difference is taken.
+    """
+    fit_sum = np.zeros_like(data, dtype=np.float64)
+    fit_count = np.zeros(data.shape, dtype=np.int64)
+    for axis in range(data.ndim):
+        n = data.shape[axis]
+        if n <= 6:
+            continue
+
+        def shifted(offset: int) -> np.ndarray:
+            sl = [slice(None)] * data.ndim
+            sl[axis] = slice(3 + offset, n - 3 + offset)
+            return data[tuple(sl)]
+
+        fit = (
+            -shifted(-3) + 9.0 * shifted(-1) + 9.0 * shifted(1) - shifted(3)
+        ) / 16.0
+        target = [slice(None)] * data.ndim
+        target[axis] = slice(3, n - 3)
+        fit_sum[tuple(target)] += fit
+        fit_count[tuple(target)] += 1
+    covered = fit_count > 0
+    if not covered.any():
+        # Grid too small for any cubic stencil; degrade to MND, the
+        # closest smoothness proxy.
+        return _mean_neighbor_difference(data)
+    avg_fit = fit_sum[covered] / fit_count[covered]
+    return float(np.mean(np.abs(data[covered] - avg_fit)))
+
+
+def _gradient_stats(data: np.ndarray) -> tuple[float, float, float]:
+    """(mean, min, max) of |first differences| across all axes."""
+    total = 0.0
+    count = 0
+    lo = np.inf
+    hi = 0.0
+    for axis in range(data.ndim):
+        if data.shape[axis] < 2:
+            continue
+        grad = np.abs(np.diff(data, axis=axis))
+        total += float(grad.sum())
+        count += grad.size
+        lo = min(lo, float(grad.min()))
+        hi = max(hi, float(grad.max()))
+    if count == 0:
+        return 0.0, 0.0, 0.0
+    return total / count, float(lo), hi
+
+
+def extract_features(data: np.ndarray, stride: int = 1) -> FeatureVector:
+    """Compute the eight candidate features on a stride-K subsample."""
+    if data.size == 0:
+        raise InvalidConfiguration("cannot extract features from empty data")
+    sampled = uniform_sample(np.asarray(data, dtype=np.float64), stride)
+    mean_grad, min_grad, max_grad = _gradient_stats(sampled)
+    return FeatureVector(
+        value_range=float(np.ptp(sampled)),
+        mean_value=float(sampled.mean()),
+        mnd=_mean_neighbor_difference(sampled),
+        mld=_mean_lorenzo_difference(sampled),
+        msd=_mean_spline_difference(sampled),
+        mean_gradient=mean_grad,
+        min_gradient=min_grad,
+        max_gradient=max_grad,
+    )

@@ -1,0 +1,156 @@
+"""Save/load trained FXRZ pipelines.
+
+The paper's deployment story (Sec. III-A) is "the training triggered by
+one user is expected to benefit many other users in the similar
+domain" — which requires shipping a trained model as a file. This
+module serializes a fitted :class:`~repro.core.pipeline.FXRZ` —
+forest structure, training curves, configuration — into a single
+``.npz`` archive and restores it without retraining.
+
+Only the default random-forest model is supported (custom
+``model_factory`` models would need their own codecs); that is the
+model FXRZ adopts, and the one the registry trains.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+
+import numpy as np
+
+from repro.compressors import get_compressor
+from repro.config import FXRZConfig
+from repro.core.augmentation import CompressionCurve
+from repro.core.inference import InferenceEngine
+from repro.core.pipeline import FXRZ
+from repro.core.training import _DatasetRecord
+from repro.errors import InvalidConfiguration, NotFittedError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+_FORMAT_VERSION = 1
+
+
+def _tree_to_arrays(tree: DecisionTreeRegressor) -> dict[str, np.ndarray]:
+    if tree._nodes is None:
+        raise NotFittedError("cannot serialize an unfitted tree")
+    return dict(tree._nodes)
+
+
+def _tree_from_arrays(arrays: dict[str, np.ndarray]) -> DecisionTreeRegressor:
+    tree = DecisionTreeRegressor()
+    tree._nodes = {
+        key: np.asarray(arrays[key])
+        for key in ("feature", "threshold", "left", "right", "value")
+    }
+    return tree
+
+
+def save_pipeline(pipeline: FXRZ, path: str | pathlib.Path) -> None:
+    """Serialize a fitted pipeline to ``path`` (.npz archive)."""
+    if not pipeline.is_fitted:
+        raise NotFittedError("fit the pipeline before saving")
+    model = pipeline.model
+    if not isinstance(model, RandomForestRegressor):
+        raise InvalidConfiguration(
+            "only the default RandomForestRegressor model can be saved"
+        )
+
+    config = pipeline.config
+    # Constructor options a compressor may carry (zfp's mode, sz's
+    # interpolation/entropy); persisted so the reloaded pipeline codes
+    # exactly like the trained one.
+    options = {
+        key: getattr(pipeline.compressor, key)
+        for key in ("mode", "interpolation", "entropy")
+        if hasattr(pipeline.compressor, key)
+    }
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "compressor": pipeline.compressor.name,
+        "compressor_options": options,
+        "config": {
+            "sampling_stride": config.sampling_stride,
+            "block_size": config.block_size,
+            "lam": config.lam,
+            "stationary_points": config.stationary_points,
+            "augmented_samples": config.augmented_samples,
+            "use_adjustment": config.use_adjustment,
+            "seed": config.seed,
+        },
+        "n_trees": len(model.estimators_),
+        "n_records": len(pipeline._training.records),
+    }
+
+    arrays: dict[str, np.ndarray] = {
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    }
+    for i, tree in enumerate(model.estimators_):
+        for key, value in _tree_to_arrays(tree).items():
+            arrays[f"tree{i}_{key}"] = value
+    for i, record in enumerate(pipeline._training.records):
+        arrays[f"rec{i}_features"] = record.features
+        arrays[f"rec{i}_nonconstant"] = np.array([record.nonconstant])
+        arrays[f"rec{i}_configs"] = record.curve.configs
+        arrays[f"rec{i}_ratios"] = record.curve.ratios
+        arrays[f"rec{i}_logflag"] = np.array([int(record.curve.log_config)])
+
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    pathlib.Path(path).write_bytes(buffer.getvalue())
+
+
+def load_pipeline(path: str | pathlib.Path) -> FXRZ:
+    """Restore a pipeline saved by :func:`save_pipeline`."""
+    with np.load(pathlib.Path(path)) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+
+    try:
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+    except (KeyError, ValueError) as exc:
+        raise InvalidConfiguration(f"not an FXRZ pipeline archive: {exc}") from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise InvalidConfiguration(
+            f"unsupported pipeline format {meta.get('format_version')!r}"
+        )
+
+    kwargs = dict(meta.get("compressor_options") or {})
+    if meta.get("compressor_mode"):  # archives written before options
+        kwargs["mode"] = meta["compressor_mode"]
+    compressor = get_compressor(meta["compressor"], **kwargs)
+    config = FXRZConfig(**meta["config"])
+    pipeline = FXRZ(compressor, config=config)
+
+    forest = RandomForestRegressor(n_estimators=meta["n_trees"])
+    forest._trees = [
+        _tree_from_arrays(
+            {
+                key: arrays[f"tree{i}_{key}"]
+                for key in ("feature", "threshold", "left", "right", "value")
+            }
+        )
+        for i in range(meta["n_trees"])
+    ]
+
+    records = []
+    for i in range(meta["n_records"]):
+        curve = CompressionCurve(
+            configs=arrays[f"rec{i}_configs"],
+            ratios=arrays[f"rec{i}_ratios"],
+            log_config=bool(arrays[f"rec{i}_logflag"][0]),
+            build_seconds=0.0,
+        )
+        records.append(
+            _DatasetRecord(
+                features=arrays[f"rec{i}_features"],
+                nonconstant=float(arrays[f"rec{i}_nonconstant"][0]),
+                curve=curve,
+            )
+        )
+
+    pipeline._training.records = records
+    pipeline._training._model = forest
+    pipeline._inference = InferenceEngine(forest, compressor, config=config)
+    return pipeline

@@ -1,0 +1,91 @@
+"""PSNR-targeted error-bound selection (the related-work capability).
+
+Tao et al. (cited in the paper's Sec. II) pick error bounds from a
+target PSNR instead of a target ratio. For uniform quantization with
+bin width ``2*eb``, quantization errors are ~uniform in ``[-eb, eb]``,
+so
+
+    RMSE ~ eb / sqrt(3)  =>  PSNR ~ -20 log10(eb / (range * sqrt(3)))
+
+which inverts in closed form. The analytic estimate is exact only for
+SZ-style quantizers; :func:`calibrated_bound_for_psnr` therefore also
+offers a measured refinement that probes the compressor a couple of
+times (still far cheaper than a full search).
+
+This module complements FXRZ: ratio-targeted control needs learning
+because ratios depend on data statistics; PSNR-targeted control is
+nearly closed-form — exactly why the paper frames fixed-*ratio* as the
+open problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distortion import psnr
+from repro.compressors.base import Compressor
+from repro.errors import InvalidConfiguration
+
+_SQRT3 = float(np.sqrt(3.0))
+
+
+def analytic_bound_for_psnr(data: np.ndarray, target_psnr: float) -> float:
+    """Closed-form error bound expected to deliver ``target_psnr``.
+
+    Assumes uniform quantization error in ``[-eb, eb]`` (the SZ-style
+    quantizer); other compressor families over- or under-deliver and
+    should use :func:`calibrated_bound_for_psnr`.
+    """
+    if target_psnr <= 0:
+        raise InvalidConfiguration("target PSNR must be > 0 dB")
+    value_range = float(np.ptp(data))
+    if value_range == 0:
+        raise InvalidConfiguration("constant data has undefined PSNR")
+    return value_range * _SQRT3 * 10.0 ** (-target_psnr / 20.0)
+
+
+def calibrated_bound_for_psnr(
+    compressor: Compressor,
+    data: np.ndarray,
+    target_psnr: float,
+    probes: int = 2,
+) -> float:
+    """Analytic estimate refined by measuring the compressor's PSNR.
+
+    Each probe compresses once, measures the achieved PSNR, and scales
+    the bound by the dB miss (PSNR is ~linear in ``-20 log10(eb)``).
+
+    Args:
+        compressor: an absolute-error-bounded compressor.
+        data: the dataset.
+        target_psnr: desired reconstruction quality in dB.
+        probes: refinement compressions to spend (0 = pure analytic).
+    """
+    if compressor.error_mode != "abs":
+        raise InvalidConfiguration(
+            "PSNR targeting requires an absolute-error compressor"
+        )
+    if probes < 0:
+        raise InvalidConfiguration("probes must be >= 0")
+    bound = analytic_bound_for_psnr(data, target_psnr)
+    lo, hi = compressor.config_domain(data)
+    bound = float(np.clip(bound, lo, hi))
+    # Stairstep compressors (ZFP) have no config for every PSNR, so the
+    # multiplicative correction can oscillate around the target; keep
+    # the closest bound seen rather than the last.
+    best_bound = bound
+    best_miss = np.inf
+    for _ in range(probes):
+        recon, _ = compressor.roundtrip(data, bound)
+        achieved = psnr(data, recon)
+        if not np.isfinite(achieved):
+            return bound  # lossless already; cannot miss the target
+        miss_db = achieved - target_psnr
+        if abs(miss_db) < abs(best_miss):
+            best_miss = miss_db
+            best_bound = bound
+        if abs(miss_db) < 0.5:
+            break
+        # One dB of excess quality <=> the bound may grow by 10**(1/20).
+        bound = float(np.clip(bound * 10.0 ** (miss_db / 20.0), lo, hi))
+    return best_bound

@@ -1,0 +1,43 @@
+"""Synthetic scientific datasets standing in for SDRBench.
+
+The paper evaluates on Nyx (cosmology), QMCPack (quantum structure),
+RTM (seismic wave propagation) and Hurricane Isabel (weather) fields
+downloaded from SDRBench. Those multi-GB archives are not available
+offline, so this package generates physics-inspired synthetic
+equivalents that reproduce each application's *feature signature*
+(Table I) and support the paper's two capability levels: multiple
+timesteps of one simulation (level 1) and multiple simulation
+configurations of one application (level 2).
+"""
+
+from repro.datasets.base import FieldSnapshot, FieldSeries
+from repro.datasets.grf import gaussian_random_field, power_spectrum_noise
+from repro.datasets.nyx import generate_nyx_field
+from repro.datasets.qmcpack import generate_qmcpack_field
+from repro.datasets.rtm import RTMSimulator, generate_rtm_snapshots
+from repro.datasets.hurricane import generate_hurricane_field
+from repro.datasets.io import load_series_file, save_series
+from repro.datasets.registry import (
+    dataset_catalog,
+    load_series,
+    paper_test_series,
+    paper_training_series,
+)
+
+__all__ = [
+    "FieldSnapshot",
+    "FieldSeries",
+    "gaussian_random_field",
+    "power_spectrum_noise",
+    "generate_nyx_field",
+    "generate_qmcpack_field",
+    "RTMSimulator",
+    "generate_rtm_snapshots",
+    "generate_hurricane_field",
+    "dataset_catalog",
+    "save_series",
+    "load_series_file",
+    "load_series",
+    "paper_training_series",
+    "paper_test_series",
+]

@@ -1,0 +1,69 @@
+"""Descriptors for application fields and snapshot series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class FieldSnapshot:
+    """One field at one timestep of one simulation configuration.
+
+    Attributes:
+        application: application name, e.g. ``"nyx"``.
+        field: field name, e.g. ``"baryon_density"``.
+        label: human-readable snapshot tag (timestep or config id).
+        data: the grid values.
+    """
+
+    application: str
+    field: str
+    label: str
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.data.size == 0:
+            raise DatasetError("snapshot data must be non-empty")
+
+    @property
+    def name(self) -> str:
+        """Fully qualified snapshot name."""
+        return f"{self.application}/{self.field}@{self.label}"
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+
+@dataclass
+class FieldSeries:
+    """An ordered collection of snapshots of one application field."""
+
+    application: str
+    field: str
+    snapshots: list[FieldSnapshot] = field(default_factory=list)
+
+    def add(self, label: str, data: np.ndarray) -> None:
+        """Append a snapshot with consistency checks."""
+        snap = FieldSnapshot(
+            application=self.application, field=self.field, label=label, data=data
+        )
+        if self.snapshots and data.shape != self.snapshots[0].data.shape:
+            # Different simulation configurations legitimately differ in
+            # size (e.g. RTM small vs big scale); keep but don't forbid.
+            pass
+        self.snapshots.append(snap)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self):
+        return iter(self.snapshots)
+
+    @property
+    def name(self) -> str:
+        return f"{self.application}/{self.field}"

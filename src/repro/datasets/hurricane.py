@@ -1,0 +1,92 @@
+"""Synthetic Hurricane Isabel fields over timesteps.
+
+The Hurricane Isabel dataset provides 48 timesteps of atmospheric
+fields on a (100, 500, 500) grid; the paper uses QCLOUD (cloud water
+mixing ratio) and TC (temperature) for its capability level 1
+assessment — train on timesteps {5,10,15,20,25,30}, test on 48.
+
+The synthetic storm is a translating, strengthening Rankine-style
+vortex:
+
+* **TC** — a smooth temperature field with a warm-core anomaly that
+  follows the vortex; large value range and moderate smoothness
+  (Table I: range ~105, mean ~46).
+* **QCLOUD** — cloud water confined to spiral rainbands around the
+  eyewall: *mostly exact zeros*, which makes it the showcase for the
+  compressibility-adjustment optimization (constant blocks, Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.grf import power_spectrum_noise
+from repro.errors import DatasetError
+
+FIELDS = ("TC", "QCLOUD")
+
+#: Total timesteps in the (synthetic) simulation, matching Isabel's 48.
+MAX_TIMESTEP = 48
+
+
+def _vortex_geometry(
+    shape: tuple[int, int, int], timestep: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distance-from-eye, angle and height grids at ``timestep``."""
+    nz, ny, nx = shape
+    frac = timestep / MAX_TIMESTEP
+    # Storm track: drifts diagonally but stays well inside the domain,
+    # as Isabel stays in frame for all 48 steps; the strengthening
+    # vortex therefore covers *more* area at later timesteps.
+    cy = 0.38 + 0.22 * frac
+    cx = 0.62 - 0.22 * frac
+    z = np.linspace(0.0, 1.0, nz)[:, None, None]
+    y = np.linspace(0.0, 1.0, ny)[None, :, None]
+    x = np.linspace(0.0, 1.0, nx)[None, None, :]
+    r = np.sqrt((y - cy) ** 2 + (x - cx) ** 2)
+    theta = np.arctan2(y - cy, x - cx)
+    return r, theta, np.broadcast_to(z, shape)
+
+
+def generate_hurricane_field(
+    field: str,
+    timestep: int,
+    shape: tuple[int, int, int] = (16, 48, 48),
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate one Hurricane field snapshot as float32.
+
+    Args:
+        field: ``"TC"`` or ``"QCLOUD"``.
+        timestep: 1..48; controls the storm position and intensity.
+        shape: (nz, ny, nx) grid.
+        seed: configuration seed (one Isabel run -> keep fixed).
+    """
+    if field not in FIELDS:
+        raise DatasetError(f"unknown Hurricane field {field!r}; choose from {FIELDS}")
+    if not 1 <= timestep <= MAX_TIMESTEP:
+        raise DatasetError(f"timestep must be in [1, {MAX_TIMESTEP}]")
+    r, theta, z = _vortex_geometry(shape, timestep)
+    intensity = 0.6 + 0.8 * (timestep / MAX_TIMESTEP)
+    base_seed = seed * 577 + timestep
+
+    if field == "TC":
+        # Background lapse-rate temperature + warm core + synoptic noise.
+        background = 25.0 - 70.0 * z
+        warm_core = 12.0 * intensity * np.exp(-((r / 0.12) ** 2)) * (1.0 - 0.5 * z)
+        synoptic = 4.0 * power_spectrum_noise(shape, 3.0, base_seed)
+        data = background + warm_core + synoptic
+    else:  # QCLOUD
+        # Spiral rainbands: moisture where the spiral phase aligns,
+        # thresholded so most of the domain is exactly zero.
+        spiral = np.cos(3.0 * theta - 14.0 * r + 6.0 * (timestep / MAX_TIMESTEP))
+        eyewall = np.exp(-(((r - 0.10) / 0.05) ** 2))
+        bands = np.exp(-(((r - 0.28) / 0.10) ** 2)) * np.maximum(spiral, 0.0)
+        turbulence = np.maximum(
+            power_spectrum_noise(shape, 2.5, base_seed + 3), 0.0
+        )
+        cloud = intensity * (eyewall + 0.7 * bands) * (0.4 + 0.6 * turbulence)
+        vertical = np.exp(-(((z - 0.35) / 0.30) ** 2))
+        data = 1.5e-3 * cloud * vertical
+        data[data < 2e-5] = 0.0
+    return data.astype(np.float32)

@@ -1,0 +1,83 @@
+"""Synthetic QMCPack orbital fields.
+
+QMCPack stores electronic orbitals on a 4-D grid (orbital index x 3-D
+spatial grid, e.g. 288x115x69x69 in Table V). Orbitals are smooth
+oscillatory wavefunctions — standing-wave textures whose frequency
+grows with the orbital index — which is exactly the "wave texture"
+regime the paper's MSD feature targets (Sec. IV-C, Fig. 4).
+
+Two fields mirror the paper's Spin0/Spin1; different problem sizes
+(QMCPack-1/2/3) vary the orbital count, realizing capability level 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+FIELDS = ("spin0", "spin1")
+
+
+def _orbital(
+    grid: tuple[np.ndarray, np.ndarray, np.ndarray],
+    index: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One orbital: Gaussian-envelope standing waves, frequency ~ index."""
+    x, y, z = grid
+    # Wave vectors grow with the orbital index like a particle-in-a-box
+    # spectrum, saturating at the basis-set cutoff (larger problem
+    # sizes add orbitals near the cutoff rather than ever-higher
+    # frequencies); random orientation breaks axis alignment.
+    base = 1.0 + 0.22 * min(index, 10)
+    kx, ky, kz = base * (1.0 + 0.3 * rng.random(3))
+    phase = rng.uniform(0, 2 * np.pi, 3)
+    wave = (
+        np.sin(kx * x + phase[0])
+        * np.sin(ky * y + phase[1])
+        * np.sin(kz * z + phase[2])
+    )
+    # Localized envelope (bound states decay away from the nuclei).
+    cx, cy, cz = rng.uniform(0.25, 0.75, 3)
+    width = rng.uniform(0.15, 0.4)
+    envelope = np.exp(
+        -(((x / np.pi - cx) ** 2 + (y / np.pi - cy) ** 2 + (z / np.pi - cz) ** 2))
+        / (2 * width**2)
+    )
+    return wave * (0.3 + envelope)
+
+
+def generate_qmcpack_field(
+    field: str,
+    n_orbitals: int = 12,
+    grid_shape: tuple[int, int, int] = (28, 18, 18),
+    seed: int = 0,
+    amplitude: float = 18.0,
+) -> np.ndarray:
+    """Generate a (n_orbitals, *grid_shape) float32 orbital stack.
+
+    Args:
+        field: ``"spin0"`` or ``"spin1"`` (independent phases/centers).
+        n_orbitals: leading dimension; the paper's problem sizes differ
+            exactly here (288 vs 480 vs 816 orbitals).
+        grid_shape: spatial grid.
+        seed: configuration seed.
+        amplitude: overall scale (Table I reports range ~35 for the
+            big-scale snapshot).
+    """
+    if field not in FIELDS:
+        raise DatasetError(f"unknown QMCPack field {field!r}; choose from {FIELDS}")
+    if n_orbitals < 1:
+        raise DatasetError("n_orbitals must be >= 1")
+    spin_offset = 0 if field == "spin0" else 50_000
+    axes = [np.linspace(0, np.pi, n) for n in grid_shape]
+    grid = np.meshgrid(*axes, indexing="ij")
+    out = np.empty((n_orbitals,) + tuple(grid_shape), dtype=np.float64)
+    for orbital in range(n_orbitals):
+        rng = np.random.default_rng(seed * 7919 + spin_offset + orbital)
+        out[orbital] = _orbital(tuple(grid), orbital, rng)
+    # Shift positive-ish like the paper's reported mean (16.75 for a
+    # 35.4 range): orbitals ride on a positive baseline.
+    out = amplitude * (0.5 + 0.45 * out)
+    return out.astype(np.float32)

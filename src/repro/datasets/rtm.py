@@ -1,0 +1,125 @@
+"""Reverse Time Migration (RTM) snapshots via an FDTD acoustic solver.
+
+RTM propagates a seismic wavefield through a velocity model; the
+snapshots the paper compresses (RTM-Small/RTM-Big in Table V) are the
+pressure field at increasing timesteps. This module integrates the
+3-D acoustic wave equation
+
+    u_tt = c(x)^2 * laplacian(u) + source
+
+with a second-order leapfrog scheme, a Ricker-wavelet point source and
+a layered velocity model — producing the expanding wavefronts and tiny
+value ranges (Table I: range 0.05-0.16) with strong wave texture that
+make RTM the most compressible application in Fig. 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def _ricker(t: np.ndarray, peak_frequency: float) -> np.ndarray:
+    """Ricker (Mexican-hat) source wavelet."""
+    arg = (np.pi * peak_frequency * (t - 1.0 / peak_frequency)) ** 2
+    return (1.0 - 2.0 * arg) * np.exp(-arg)
+
+
+class RTMSimulator:
+    """Leapfrog integrator for the 3-D acoustic wave equation.
+
+    Args:
+        shape: grid dimensions (nx, ny, nz).
+        layers: number of horizontal velocity layers.
+        peak_frequency: source wavelet frequency (grid units).
+        seed: randomizes layer speeds and the source position.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int] = (48, 48, 24),
+        layers: int = 4,
+        peak_frequency: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if any(n < 8 for n in shape):
+            raise DatasetError("RTM grid must be at least 8 in every dimension")
+        self.shape = shape
+        rng = np.random.default_rng(seed)
+        # Layered velocity model along z (depth): faster with depth.
+        nz = shape[2]
+        speeds = np.sort(rng.uniform(0.25, 0.45, layers))
+        boundaries = np.linspace(0, nz, layers + 1).astype(int)
+        c = np.empty(nz)
+        for i in range(layers):
+            c[boundaries[i] : boundaries[i + 1]] = speeds[i]
+        self.velocity = np.broadcast_to(c, shape).copy()
+        self.peak_frequency = peak_frequency
+        sx = int(rng.integers(shape[0] // 3, 2 * shape[0] // 3))
+        sy = int(rng.integers(shape[1] // 3, 2 * shape[1] // 3))
+        self.source = (sx, sy, 2)
+        self._u_prev = np.zeros(shape)
+        self._u = np.zeros(shape)
+        self._step = 0
+
+    def _laplacian(self, u: np.ndarray) -> np.ndarray:
+        lap = -2.0 * u.ndim * u
+        for axis in range(u.ndim):
+            lap += np.roll(u, 1, axis=axis) + np.roll(u, -1, axis=axis)
+        return lap
+
+    def step(self, n_steps: int = 1) -> None:
+        """Advance the field ``n_steps`` leapfrog steps (dt = 1)."""
+        for _ in range(n_steps):
+            lap = self._laplacian(self._u)
+            u_next = (
+                2.0 * self._u
+                - self._u_prev
+                + (self.velocity**2) * lap
+            )
+            t = float(self._step)
+            u_next[self.source] += _ricker(
+                np.array([t]), self.peak_frequency
+            )[0]
+            # Crude absorbing edges: damp a 3-cell boundary shell.
+            for axis in range(3):
+                for sl in (slice(0, 3), slice(-3, None)):
+                    idx = [slice(None)] * 3
+                    idx[axis] = sl
+                    u_next[tuple(idx)] *= 0.90
+            self._u_prev = self._u
+            self._u = u_next
+            self._step += 1
+
+    @property
+    def field(self) -> np.ndarray:
+        """Current pressure field as float32."""
+        return self._u.astype(np.float32)
+
+    @property
+    def timestep(self) -> int:
+        return self._step
+
+
+def generate_rtm_snapshots(
+    shape: tuple[int, int, int],
+    snapshot_steps: list[int],
+    seed: int = 0,
+) -> list[tuple[int, np.ndarray]]:
+    """Run one RTM simulation, capturing the listed timesteps.
+
+    Returns:
+        list of ``(timestep, field)`` pairs in ascending step order.
+    """
+    if not snapshot_steps:
+        raise DatasetError("snapshot_steps must be non-empty")
+    steps = sorted(set(snapshot_steps))
+    if steps[0] < 1:
+        raise DatasetError("snapshot steps must be >= 1")
+    sim = RTMSimulator(shape=shape, seed=seed)
+    out = []
+    for target in steps:
+        sim.step(target - sim.timestep)
+        out.append((target, sim.field))
+    return out

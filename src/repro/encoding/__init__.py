@@ -1,0 +1,46 @@
+"""Lossless coding substrate used by the lossy compressors.
+
+This package provides the entropy/dictionary coding stages that the
+paper's compressors (SZ, ZFP, FPZIP, MGARD+) rely on: bit-level I/O,
+canonical Huffman coding, run-length coding, an LZ77-style dictionary
+coder, and varint header serialization.
+"""
+
+from repro.encoding.bitio import (
+    BitReader,
+    BitWriter,
+    pack_bits,
+    unpack_bits,
+    pack_fixed_width,
+    unpack_fixed_width,
+)
+from repro.encoding.varint import (
+    encode_uvarint,
+    decode_uvarint,
+    encode_array_header,
+    decode_array_header,
+)
+from repro.encoding.huffman import HuffmanCodec
+from repro.encoding.rle import rle_encode, rle_decode, zero_rle_encode, zero_rle_decode
+from repro.encoding.lz import LZCodec
+from repro.encoding.range_coder import RangeCoder
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "pack_bits",
+    "unpack_bits",
+    "pack_fixed_width",
+    "unpack_fixed_width",
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_array_header",
+    "decode_array_header",
+    "HuffmanCodec",
+    "rle_encode",
+    "rle_decode",
+    "zero_rle_encode",
+    "zero_rle_decode",
+    "LZCodec",
+    "RangeCoder",
+]

@@ -1,0 +1,150 @@
+"""Bit-level I/O primitives.
+
+Two families live here:
+
+* :class:`BitWriter` / :class:`BitReader` — simple sequential bit streams
+  used for headers and small payloads.
+* :func:`pack_bits` / :func:`unpack_bits` and the fixed-width variants —
+  vectorized numpy routines used on million-element symbol arrays, where a
+  Python per-symbol loop would be prohibitively slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CorruptStreamError
+
+
+class BitWriter:
+    """Append-only MSB-first bit stream."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write_bit(self, bit: int) -> None:
+        self._bits.append(1 if bit else 0)
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Write ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < 64 and value >> width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def getvalue(self) -> bytes:
+        """Return the stream padded with zero bits to a byte boundary."""
+        if not self._bits:
+            return b""
+        arr = np.array(self._bits, dtype=np.uint8)
+        return np.packbits(arr).tobytes()
+
+
+class BitReader:
+    """Sequential MSB-first reader over bytes produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= len(self._bits):
+            raise CorruptStreamError("bit stream exhausted")
+        bit = int(self._bits[self._pos])
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if self._pos + width > len(self._bits):
+            raise CorruptStreamError("bit stream exhausted")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | int(self._bits[self._pos])
+            self._pos += 1
+        return value
+
+
+def pack_bits(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Pack per-symbol variable-length codes into a contiguous bit buffer.
+
+    The operation is vectorized over symbols: instead of looping over each
+    symbol, we loop over the (small) maximum code length and scatter one
+    bit position of *every* symbol at a time.
+
+    Args:
+        codes: uint64 array of code values, one per symbol (MSB-justified
+            to their own length, i.e. the natural canonical-Huffman code).
+        lengths: per-symbol code lengths in bits (same shape as ``codes``).
+
+    Returns:
+        ``(buffer, total_bits)`` where ``buffer`` is the packed bytes.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    if codes.size == 0:
+        return b"", 0
+    offsets = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    total_bits = int(offsets[-1] + lengths[-1])
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    max_len = int(lengths.max())
+    for j in range(max_len):
+        mask = lengths > j
+        if not mask.any():
+            continue
+        shift = (lengths[mask] - 1 - j).astype(np.uint64)
+        bit_vals = ((codes[mask] >> shift) & np.uint64(1)).astype(np.uint8)
+        bits[offsets[mask] + j] = bit_vals
+    return np.packbits(bits).tobytes(), total_bits
+
+
+def unpack_bits(buffer: bytes, total_bits: int) -> np.ndarray:
+    """Inverse of the byte-packing in :func:`pack_bits`: a flat bit array."""
+    bits = np.unpackbits(np.frombuffer(buffer, dtype=np.uint8))
+    if bits.size < total_bits:
+        raise CorruptStreamError("buffer shorter than declared bit count")
+    return bits[:total_bits]
+
+
+def pack_fixed_width(values: np.ndarray, width: int) -> bytes:
+    """Pack non-negative integers into ``width`` bits each (vectorized)."""
+    if width < 0 or width > 64:
+        raise ValueError("width must be in [0, 64]")
+    values = np.asarray(values, dtype=np.uint64)
+    if width == 0 or values.size == 0:
+        return b""
+    if width < 64 and np.any(values >> np.uint64(width)):
+        raise ValueError(f"some values do not fit in {width} bits")
+    n = values.size
+    bits = np.zeros((n, width), dtype=np.uint8)
+    for j in range(width):
+        bits[:, j] = (values >> np.uint64(width - 1 - j)) & np.uint64(1)
+    return np.packbits(bits.ravel()).tobytes()
+
+
+def unpack_fixed_width(buffer: bytes, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_fixed_width`; returns uint64 values."""
+    if width == 0 or count == 0:
+        return np.zeros(count, dtype=np.uint64)
+    bits = np.unpackbits(np.frombuffer(buffer, dtype=np.uint8))
+    needed = width * count
+    if bits.size < needed:
+        raise CorruptStreamError("buffer shorter than declared payload")
+    bits = bits[:needed].reshape(count, width).astype(np.uint64)
+    values = np.zeros(count, dtype=np.uint64)
+    for j in range(width):
+        values = (values << np.uint64(1)) | bits[:, j]
+    return values

@@ -1,0 +1,131 @@
+"""LZ77-style dictionary codec ("zstd-lite").
+
+SZ's final lossless stage is Zstandard; this codec plays the same role:
+it removes repeated byte patterns that survive the entropy stage. The
+implementation is a greedy hash-chain LZ77 with varint-coded tokens:
+
+    token := <literal_len varint> <literal bytes>
+             <match_len varint> <offset varint>
+
+A ``match_len`` of 0 terminates the stream (its offset is omitted). The
+encoder is a Python loop and therefore deliberately used on bounded-size
+payloads; :meth:`LZCodec.compress` falls back to a stored block when the
+input exceeds ``max_input`` or when compression does not help, so the
+codec never makes a payload more than one byte larger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.varint import decode_uvarint, encode_uvarint
+from repro.errors import CorruptStreamError
+
+_STORED = 0
+_COMPRESSED = 1
+
+_MIN_MATCH = 4
+_MAX_CHAIN = 16
+
+
+class LZCodec:
+    """Greedy LZ77 codec with a stored-block fallback."""
+
+    def __init__(self, window: int = 1 << 16, max_input: int = 1 << 22) -> None:
+        if window < _MIN_MATCH:
+            raise ValueError("window too small")
+        self.window = window
+        self.max_input = max_input
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress bytes; output is never larger than ``len(data) + 6``."""
+        if len(data) <= _MIN_MATCH or len(data) > self.max_input:
+            return bytes([_STORED]) + data
+        packed = self._compress_tokens(data)
+        if len(packed) + 1 >= len(data):
+            return bytes([_STORED]) + data
+        return bytes([_COMPRESSED]) + encode_uvarint(len(data)) + packed
+
+    def decompress(self, blob: bytes) -> bytes:
+        """Inverse of :meth:`compress`."""
+        if not blob:
+            raise CorruptStreamError("empty LZ blob")
+        mode = blob[0]
+        if mode == _STORED:
+            return blob[1:]
+        if mode != _COMPRESSED:
+            raise CorruptStreamError(f"unknown LZ block mode {mode}")
+        expected, offset = decode_uvarint(blob, 1)
+        out = bytearray()
+        data = blob
+        n = len(data)
+        while offset < n:
+            lit_len, offset = decode_uvarint(data, offset)
+            if offset + lit_len > n:
+                raise CorruptStreamError("truncated LZ literals")
+            out += data[offset : offset + lit_len]
+            offset += lit_len
+            match_len, offset = decode_uvarint(data, offset)
+            if match_len == 0:
+                break
+            dist, offset = decode_uvarint(data, offset)
+            if dist == 0 or dist > len(out):
+                raise CorruptStreamError("invalid LZ match distance")
+            start = len(out) - dist
+            for i in range(match_len):
+                out.append(out[start + i])
+        if len(out) != expected:
+            raise CorruptStreamError("LZ output length mismatch")
+        return bytes(out)
+
+    def _compress_tokens(self, data: bytes) -> bytes:
+        n = len(data)
+        heads: dict[int, list[int]] = {}
+        out = bytearray()
+        lit_start = 0
+        pos = 0
+        while pos + _MIN_MATCH <= n:
+            key = int.from_bytes(data[pos : pos + _MIN_MATCH], "little")
+            chain = heads.get(key)
+            best_len = 0
+            best_dist = 0
+            if chain:
+                limit = pos - self.window
+                for cand in reversed(chain[-_MAX_CHAIN:]):
+                    if cand < limit:
+                        break
+                    length = self._match_length(data, cand, pos)
+                    if length > best_len:
+                        best_len = length
+                        best_dist = pos - cand
+            if best_len >= _MIN_MATCH:
+                out += encode_uvarint(pos - lit_start)
+                out += data[lit_start:pos]
+                out += encode_uvarint(best_len)
+                out += encode_uvarint(best_dist)
+                end = pos + best_len
+                # Index a few positions inside the match to keep future
+                # matches findable without indexing every byte.
+                step = max(1, best_len // 8)
+                for p in range(pos, min(end, n - _MIN_MATCH + 1), step):
+                    k = int.from_bytes(data[p : p + _MIN_MATCH], "little")
+                    heads.setdefault(k, []).append(p)
+                pos = end
+                lit_start = pos
+            else:
+                heads.setdefault(key, []).append(pos)
+                pos += 1
+        # Trailing literals + terminator token.
+        out += encode_uvarint(n - lit_start)
+        out += data[lit_start:n]
+        out += encode_uvarint(0)
+        return bytes(out)
+
+    @staticmethod
+    def _match_length(data: bytes, cand: int, pos: int) -> int:
+        n = len(data)
+        length = 0
+        max_len = n - pos
+        while length < max_len and data[cand + length] == data[pos + length]:
+            length += 1
+        return length

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro (FXRZ) library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EncodingError(ReproError):
+    """A lossless codec failed to encode or decode a payload."""
+
+
+class CorruptStreamError(EncodingError):
+    """A serialized stream is malformed or truncated."""
+
+
+class CompressionError(ReproError):
+    """A lossy compressor failed to compress or decompress."""
+
+
+class ErrorBoundViolation(CompressionError):
+    """Decompressed data violates the promised error bound.
+
+    This is raised by verification utilities, never silently ignored:
+    the error-bound guarantee is the core contract of every compressor in
+    :mod:`repro.compressors`.
+    """
+
+
+class InvalidConfiguration(ReproError):
+    """A user-supplied parameter is outside its valid domain."""
+
+
+class NotFittedError(ReproError):
+    """A model or pipeline was used before :meth:`fit` was called."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or registry lookup failed."""
+
+
+class SearchError(ReproError):
+    """An iterative search (FRaZ baseline) failed to produce a result."""

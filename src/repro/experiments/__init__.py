@@ -1,0 +1,28 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.experiments.corpus import (
+    cross_scope_corpus,
+    held_out_snapshots,
+    training_arrays,
+)
+from repro.experiments.harness import (
+    AccuracyRecord,
+    accuracy_records,
+    get_trained_fxrz,
+    target_ratio_grid,
+)
+from repro.experiments.figures import ascii_plot, sparkline
+from repro.experiments.tables import render_table
+
+__all__ = [
+    "training_arrays",
+    "held_out_snapshots",
+    "cross_scope_corpus",
+    "get_trained_fxrz",
+    "accuracy_records",
+    "AccuracyRecord",
+    "target_ratio_grid",
+    "render_table",
+    "ascii_plot",
+    "sparkline",
+]

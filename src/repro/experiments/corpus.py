@@ -1,0 +1,62 @@
+"""Training/test corpus assembly per the paper's capability levels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import FieldSnapshot
+from repro.datasets.registry import (
+    APPLICATIONS,
+    paper_test_series,
+    paper_training_series,
+)
+from repro.errors import DatasetError
+
+#: (application, field) pairs evaluated in Fig. 13, one row each.
+EVALUATED_FIELDS: tuple[tuple[str, str], ...] = (
+    ("nyx", "baryon_density"),
+    ("nyx", "temperature"),
+    ("qmcpack", "spin0"),
+    ("rtm", "pressure"),
+    ("hurricane", "TC"),
+    ("hurricane", "QCLOUD"),
+)
+
+
+def training_arrays(application: str, field: str | None = None) -> list[np.ndarray]:
+    """All training snapshots of one application (optionally one field)."""
+    series_list = paper_training_series(application)
+    if field is not None:
+        series_list = [s for s in series_list if s.field == field]
+        if not series_list:
+            raise DatasetError(f"{application} has no training field {field!r}")
+    return [snap.data for series in series_list for snap in series]
+
+
+def held_out_snapshots(application: str, field: str | None = None) -> list[FieldSnapshot]:
+    """All held-out snapshots of one application (optionally one field)."""
+    series_list = paper_test_series(application)
+    if field is not None:
+        series_list = [s for s in series_list if s.field == field]
+        if not series_list:
+            raise DatasetError(f"{application} has no test field {field!r}")
+    return [snap for series in series_list for snap in series]
+
+
+def cross_scope_corpus() -> tuple[list[np.ndarray], list[FieldSnapshot]]:
+    """Fig. 14's mixed-application corpus.
+
+    Training draws from *every* application (Nyx, QMCPack, Hurricane
+    and RTM-Small); testing is the RTM-Big dataset.
+    """
+    train: list[np.ndarray] = []
+    for app in APPLICATIONS:
+        for series in paper_training_series(app):
+            # Two snapshots per training series — the first and the
+            # last — keep the mixed corpus balanced across applications
+            # while spanning each series' temporal evolution.
+            snaps = list(series)
+            picks = [snaps[0]] if len(snaps) == 1 else [snaps[0], snaps[-1]]
+            train.extend(snap.data for snap in picks)
+    test = held_out_snapshots("rtm")
+    return train, test

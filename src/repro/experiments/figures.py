@@ -1,0 +1,96 @@
+"""Plain-text figure rendering for benchmark output.
+
+The paper's figures are curves (CR vs error bound, MCR vs TCR); the
+benches print their data as tables, and these helpers add a compact
+ASCII rendering so the *shape* — stairsteps, tracking, drift — is
+visible directly in terminal output and the saved result files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfiguration
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 48) -> str:
+    """One-line intensity plot of a series (resampled to ``width``)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise InvalidConfiguration("sparkline needs at least one value")
+    if width < 1:
+        raise InvalidConfiguration("width must be >= 1")
+    if values.size != width:
+        positions = np.linspace(0, values.size - 1, width)
+        values = np.interp(positions, np.arange(values.size), values)
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return _BLOCKS[1] * width
+    scaled = (values - lo) / (hi - lo)
+    indices = np.minimum(
+        (scaled * (len(_BLOCKS) - 1)).astype(int), len(_BLOCKS) - 1
+    )
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def ascii_plot(
+    x,
+    series: dict[str, np.ndarray],
+    height: int = 12,
+    width: int = 60,
+    logy: bool = False,
+) -> str:
+    """Multi-series scatter plot in a character grid.
+
+    Args:
+        x: shared x values.
+        series: label -> y values (each series gets the first letter of
+            its label as the plot marker).
+        height, width: grid size in characters.
+        logy: plot log10(y) (requires positive values).
+
+    Returns:
+        The rendered plot plus a marker legend.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not series:
+        raise InvalidConfiguration("ascii_plot needs at least one series")
+    if height < 2 or width < 2:
+        raise InvalidConfiguration("plot grid too small")
+    prepared = {}
+    for label, ys in series.items():
+        ys = np.asarray(ys, dtype=np.float64)
+        if ys.shape != x.shape:
+            raise InvalidConfiguration(f"series {label!r} length mismatch")
+        if logy:
+            if np.any(ys <= 0):
+                raise InvalidConfiguration("logy requires positive values")
+            ys = np.log10(ys)
+        prepared[label] = ys
+
+    all_y = np.concatenate(list(prepared.values()))
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, ys in prepared.items():
+        marker = label[0]
+        cols = ((x - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int)
+        rows = ((ys - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "  ".join(f"{label[0]}={label}" for label in prepared)
+    y_label = "log10(y)" if logy else "y"
+    lines.append(
+        f"x: {x_lo:.3g}..{x_hi:.3g}   {y_label}: {y_lo:.3g}..{y_hi:.3g}   {legend}"
+    )
+    return "\n".join(lines)

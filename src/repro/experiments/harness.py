@@ -1,0 +1,197 @@
+"""Shared experiment engine behind the benchmark suite.
+
+Training a pipeline and probing valid ratio ranges are expensive, so
+this module memoizes them per (application, field, compressor) within
+the process — one pytest-benchmark session reuses them across benches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.distortion import valid_ratio_range
+from repro.baselines.fraz import FRaZ
+from repro.compressors import get_compressor
+from repro.compressors.base import Compressor
+from repro.config import FXRZConfig
+from repro.core.pipeline import FXRZ
+from repro.datasets.base import FieldSnapshot
+from repro.experiments.corpus import held_out_snapshots, training_arrays
+
+_FXRZ_CACHE: dict[tuple, FXRZ] = {}
+_RANGE_CACHE: dict[tuple, tuple[float, float]] = {}
+_FRAZ_EVAL_CACHE: dict[tuple, dict[float, tuple[float, float]]] = {}
+
+
+@dataclass(frozen=True)
+class FRaZSummary:
+    """FRaZ outcome at one iteration budget."""
+
+    measured_ratio: float
+    error: float
+    seconds: float
+    iterations: int
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """One (snapshot, target ratio) evaluation across strategies."""
+
+    application: str
+    field: str
+    snapshot: str
+    compressor: str
+    target_ratio: float
+    fxrz_config: float
+    fxrz_ratio: float
+    fxrz_error: float
+    fxrz_seconds: float
+    compress_seconds: float
+    fraz: dict[int, FRaZSummary] = field(default_factory=dict)
+
+
+def get_trained_fxrz(
+    application: str,
+    fld: str,
+    compressor_name: str,
+    config: FXRZConfig | None = None,
+    model_factory=None,
+) -> FXRZ:
+    """A trained FXRZ pipeline, memoized per (app, field, compressor)."""
+    cfg = config or FXRZConfig()
+    key = (application, fld, compressor_name, cfg, id(model_factory))
+    if key not in _FXRZ_CACHE:
+        pipeline = FXRZ(
+            get_compressor(compressor_name), config=cfg, model_factory=model_factory
+        )
+        pipeline.fit(training_arrays(application, fld))
+        _FXRZ_CACHE[key] = pipeline
+    return _FXRZ_CACHE[key]
+
+
+def target_ratio_grid(
+    compressor: Compressor,
+    snapshot: FieldSnapshot,
+    n_targets: int,
+    min_psnr: float = 40.0,
+) -> np.ndarray:
+    """Valid TCRs for a snapshot (Fig. 11's range, memoized)."""
+    key = (compressor.name, getattr(compressor, "mode", ""), snapshot.name, min_psnr)
+    if key not in _RANGE_CACHE:
+        _RANGE_CACHE[key] = valid_ratio_range(
+            compressor, snapshot.data, min_psnr=min_psnr
+        )
+    lo, hi = _RANGE_CACHE[key]
+    return np.linspace(lo * 1.1, hi * 0.9, n_targets)
+
+
+def _fraz_cache_for(snapshot: FieldSnapshot, compressor_name: str):
+    key = (snapshot.name, compressor_name)
+    return _FRAZ_EVAL_CACHE.setdefault(key, {})
+
+
+def accuracy_records(
+    application: str,
+    fld: str,
+    compressor_name: str,
+    n_targets: int = 8,
+    fraz_budgets: tuple[int, ...] = (6, 15),
+    min_psnr: float = 40.0,
+    config: FXRZConfig | None = None,
+    max_snapshots: int | None = 1,
+) -> list[AccuracyRecord]:
+    """Evaluate FXRZ and FRaZ over the valid TCR grid of held-out data.
+
+    Args:
+        application: one of the four applications.
+        fld: the field to train and test on.
+        compressor_name: registered compressor name.
+        n_targets: TCRs per snapshot (the paper uses ~25; benches use
+            fewer to bound runtime).
+        fraz_budgets: FRaZ iteration budgets to evaluate (paper: 6, 15).
+        min_psnr: distortion floor defining the valid ratio range.
+        config: FXRZ configuration override.
+        max_snapshots: cap on evaluated test snapshots (None = all).
+    """
+    pipeline = get_trained_fxrz(application, fld, compressor_name, config=config)
+    compressor = pipeline.compressor
+    snapshots = held_out_snapshots(application, fld)
+    if max_snapshots is not None:
+        snapshots = snapshots[:max_snapshots]
+
+    records: list[AccuracyRecord] = []
+    for snapshot in snapshots:
+        targets = target_ratio_grid(compressor, snapshot, n_targets, min_psnr)
+        # Stay inside the pipeline's trained span (the paper tunes
+        # per-dataset TCRs to the applicable range, Sec. V-F): asking a
+        # regressor outside its training support measures
+        # extrapolation, not the method.
+        lo_t, hi_t = pipeline.trained_ratio_range(snapshot.data)
+        lo = max(float(targets[0]), lo_t)
+        hi = min(float(targets[-1]), hi_t * 0.95)
+        if hi <= lo:
+            hi = lo * 1.5
+        targets = np.linspace(lo, hi, n_targets)
+        eval_cache = _fraz_cache_for(snapshot, compressor_name)
+        # One reference compression (at a mid-grid config) times the
+        # denominator of Table VIII's relative analysis cost.
+        mid_estimate = pipeline.estimate_config(
+            snapshot.data, float(np.median(targets))
+        )
+        tick = time.perf_counter()
+        compressor.compress(snapshot.data, mid_estimate.config)
+        compress_seconds = time.perf_counter() - tick
+
+        for tcr in targets:
+            result = pipeline.compress_to_ratio(snapshot.data, float(tcr))
+            fraz_outcomes: dict[int, FRaZSummary] = {}
+            for budget in fraz_budgets:
+                searcher = FRaZ(compressor, max_iterations=budget)
+                outcome = searcher.search(
+                    snapshot.data, float(tcr), cache=eval_cache
+                )
+                fraz_outcomes[budget] = FRaZSummary(
+                    measured_ratio=outcome.measured_ratio,
+                    error=outcome.estimation_error,
+                    seconds=outcome.search_seconds,
+                    iterations=outcome.iterations,
+                )
+            records.append(
+                AccuracyRecord(
+                    application=application,
+                    field=fld,
+                    snapshot=snapshot.label,
+                    compressor=compressor_name,
+                    target_ratio=float(tcr),
+                    fxrz_config=result.estimate.config,
+                    fxrz_ratio=result.measured_ratio,
+                    fxrz_error=result.estimation_error,
+                    fxrz_seconds=result.estimate.analysis_seconds,
+                    compress_seconds=compress_seconds,
+                    fraz=fraz_outcomes,
+                )
+            )
+    return records
+
+
+def summarize_errors(records: list[AccuracyRecord]) -> dict[str, float]:
+    """Mean estimation error per strategy over a record batch."""
+    if not records:
+        return {}
+    out = {"fxrz": float(np.mean([r.fxrz_error for r in records]))}
+    budgets = sorted(records[0].fraz)
+    for budget in budgets:
+        out[f"fraz{budget}"] = float(
+            np.mean([r.fraz[budget].error for r in records])
+        )
+    return out
+
+
+def clear_caches() -> None:
+    """Drop all memoized pipelines/ranges (tests use this for isolation)."""
+    _FXRZ_CACHE.clear()
+    _RANGE_CACHE.clear()
+    _FRAZ_EVAL_CACHE.clear()

@@ -1,0 +1,6 @@
+"""Parallel data-dumping model (the paper's Bebop experiment)."""
+
+from repro.hpc.iosim import DumpBreakdown, DumpScenario, simulate_dump
+from repro.hpc.throughput import measure_throughput
+
+__all__ = ["DumpScenario", "DumpBreakdown", "simulate_dump", "measure_throughput"]

@@ -1,0 +1,29 @@
+"""Per-compressor throughput calibration for the dump model."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.errors import InvalidConfiguration
+
+
+def measure_throughput(
+    compressor: Compressor,
+    data: np.ndarray,
+    config: float,
+    repeats: int = 2,
+) -> float:
+    """Compression throughput in bytes/second (best of ``repeats``)."""
+    if repeats < 1:
+        raise InvalidConfiguration("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        compressor.compress(data, config)
+        best = min(best, time.perf_counter() - start)
+    if best <= 0:
+        best = 1e-9
+    return data.nbytes / best

@@ -1,0 +1,40 @@
+"""Learning substrate: the ML models the paper selects between.
+
+The paper evaluates three regressors for mapping (features, target
+compression ratio) to an error bound setting (Table III): Random Forest
+Regression (chosen), AdaBoost regression, and Support Vector Regression.
+scikit-learn is not available in this environment, so all three are
+implemented from scratch on numpy, along with the k-fold cross
+validation used for hyper-parameter tuning and the correlation/error
+metrics of Tables II and Formula (5).
+"""
+
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.svr import SVR
+from repro.ml.metrics import (
+    estimation_error,
+    mean_absolute_error,
+    mean_estimation_error,
+    pearson_correlation,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.ml.model_selection import GridSearchCV, KFold, train_test_split
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "AdaBoostRegressor",
+    "SVR",
+    "KFold",
+    "GridSearchCV",
+    "train_test_split",
+    "pearson_correlation",
+    "estimation_error",
+    "mean_estimation_error",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "r2_score",
+]

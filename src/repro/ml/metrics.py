@@ -1,0 +1,73 @@
+"""Regression and correlation metrics used throughout the evaluation.
+
+* :func:`pearson_correlation` — Table II's feature/CR correlation.
+* :func:`estimation_error` — the paper's Formula (5):
+  ``|TCR - MCR| / TCR``.
+* Standard regression scores for model diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfiguration
+
+
+def _paired(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise InvalidConfiguration("inputs must have matching shapes")
+    if a.size == 0:
+        raise InvalidConfiguration("inputs must be non-empty")
+    return a, b
+
+
+def pearson_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson product-moment correlation coefficient (Table II)."""
+    a, b = _paired(a, b)
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.sqrt(np.sum(a * a) * np.sum(b * b))
+    if denom == 0:
+        return 0.0
+    return float(np.sum(a * b) / denom)
+
+
+def estimation_error(target_cr: float, measured_cr: float) -> float:
+    """Formula (5): |TCR - MCR| / TCR."""
+    if target_cr <= 0:
+        raise InvalidConfiguration("target compression ratio must be > 0")
+    return abs(target_cr - measured_cr) / target_cr
+
+
+def mean_estimation_error(
+    target_crs: np.ndarray, measured_crs: np.ndarray
+) -> float:
+    """Mean of Formula (5) across paired (TCR, MCR) samples."""
+    t, m = _paired(target_crs, measured_crs)
+    if np.any(t <= 0):
+        raise InvalidConfiguration("target compression ratios must be > 0")
+    return float(np.mean(np.abs(t - m) / t))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean |y - yhat|."""
+    t, p = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(t - p)))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """sqrt(mean (y - yhat)^2)."""
+    t, p = _paired(y_true, y_pred)
+    return float(np.sqrt(np.mean((t - p) ** 2)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    t, p = _paired(y_true, y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot

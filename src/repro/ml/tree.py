@@ -1,0 +1,247 @@
+"""CART regression tree.
+
+Axis-aligned binary splits chosen by variance (sum-of-squared-error)
+reduction, with the usual depth / sample-count stopping rules and
+optional per-split feature subsampling (used by the random forest).
+Split search is vectorized: candidate thresholds per feature are
+evaluated with prefix sums over the sorted targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfiguration, NotFittedError
+
+_NO_CHILD = -1
+
+
+class DecisionTreeRegressor:
+    """Regression tree with variance-reduction splitting.
+
+    Args:
+        max_depth: maximum depth; ``None`` grows until leaves are pure
+            or too small.
+        min_samples_split: minimum samples required to attempt a split.
+        min_samples_leaf: minimum samples each child must retain.
+        max_features: number of features examined per split; ``None``
+            uses all (classic CART), smaller values decorrelate trees
+            inside a forest.
+        random_state: seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise InvalidConfiguration("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise InvalidConfiguration("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise InvalidConfiguration("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._nodes: dict[str, np.ndarray] | None = None
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "DecisionTreeRegressor":
+        """Grow the tree on ``features`` (n, d) and ``targets`` (n,)."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise InvalidConfiguration("features must be 2-D (n_samples, n_features)")
+        if targets.shape != (features.shape[0],):
+            raise InvalidConfiguration("targets must be 1-D matching features rows")
+        if features.shape[0] == 0:
+            raise InvalidConfiguration("cannot fit on zero samples")
+        if sample_weight is None:
+            sample_weight = np.ones(features.shape[0], dtype=np.float64)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            if sample_weight.shape != targets.shape or sample_weight.min() < 0:
+                raise InvalidConfiguration("bad sample_weight")
+
+        rng = np.random.default_rng(self.random_state)
+        # Growable node storage; lists are converted to arrays afterwards.
+        feature_ids: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+
+        def new_node() -> int:
+            feature_ids.append(_NO_CHILD)
+            thresholds.append(0.0)
+            lefts.append(_NO_CHILD)
+            rights.append(_NO_CHILD)
+            values.append(0.0)
+            return len(values) - 1
+
+        root = new_node()
+        stack = [(root, np.arange(features.shape[0]), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            y = targets[idx]
+            w = sample_weight[idx]
+            total_w = w.sum()
+            values[node] = float(np.average(y, weights=w)) if total_w > 0 else float(
+                y.mean()
+            )
+            if (
+                idx.size < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.all(y == y[0])
+            ):
+                continue
+            split = self._best_split(features[idx], y, w, rng)
+            if split is None:
+                continue
+            feat, thr = split
+            mask = features[idx, feat] <= thr
+            left_idx = idx[mask]
+            right_idx = idx[~mask]
+            if (
+                left_idx.size < self.min_samples_leaf
+                or right_idx.size < self.min_samples_leaf
+            ):
+                continue
+            feature_ids[node] = feat
+            thresholds[node] = thr
+            left = new_node()
+            right = new_node()
+            lefts[node] = left
+            rights[node] = right
+            stack.append((left, left_idx, depth + 1))
+            stack.append((right, right_idx, depth + 1))
+
+        self._nodes = {
+            "feature": np.array(feature_ids, dtype=np.int64),
+            "threshold": np.array(thresholds, dtype=np.float64),
+            "left": np.array(lefts, dtype=np.int64),
+            "right": np.array(rights, dtype=np.int64),
+            "value": np.array(values, dtype=np.float64),
+        }
+        return self
+
+    def _best_split(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[int, float] | None:
+        """Return (feature, threshold) with the largest SSE reduction."""
+        n, d = features.shape
+        if self.max_features is not None and self.max_features < d:
+            candidates = rng.choice(d, size=self.max_features, replace=False)
+        else:
+            candidates = np.arange(d)
+
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        wy = weights * targets
+        wy2 = weights * targets * targets
+        parent_sse = wy2.sum() - (wy.sum() ** 2) / max(weights.sum(), 1e-300)
+        for feat in candidates:
+            order = np.argsort(features[:, feat], kind="stable")
+            x_sorted = features[order, feat]
+            w_sorted = weights[order]
+            wy_sorted = wy[order]
+            wy2_sorted = wy2[order]
+            cw = np.cumsum(w_sorted)
+            cwy = np.cumsum(wy_sorted)
+            cwy2 = np.cumsum(wy2_sorted)
+            total_w, total_wy, total_wy2 = cw[-1], cwy[-1], cwy2[-1]
+            # Valid split positions: between distinct consecutive x values,
+            # honoring min_samples_leaf on both sides.
+            pos = np.arange(1, n)
+            valid = x_sorted[1:] > x_sorted[:-1]
+            valid &= pos >= self.min_samples_leaf
+            valid &= (n - pos) >= self.min_samples_leaf
+            if not valid.any():
+                continue
+            k = pos[valid] - 1
+            lw = cw[k]
+            rw = total_w - lw
+            ok = (lw > 0) & (rw > 0)
+            if not ok.any():
+                continue
+            k = k[ok]
+            lw = lw[ok]
+            rw = rw[ok]
+            left_sse = cwy2[k] - (cwy[k] ** 2) / lw
+            right_sse = (total_wy2 - cwy2[k]) - ((total_wy - cwy[k]) ** 2) / rw
+            gain = parent_sse - (left_sse + right_sse)
+            j = int(np.argmax(gain))
+            if gain[j] > best_gain:
+                best_gain = float(gain[j])
+                thr = 0.5 * (x_sorted[k[j]] + x_sorted[k[j] + 1])
+                best = (int(feat), float(thr))
+        return best
+
+    # -- inference ---------------------------------------------------------------
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n, d)."""
+        if self._nodes is None:
+            raise NotFittedError("DecisionTreeRegressor is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        nodes = self._nodes
+        out = np.zeros(features.shape[0], dtype=np.float64)
+        current = np.zeros(features.shape[0], dtype=np.int64)
+        active = np.arange(features.shape[0])
+        while active.size:
+            node_ids = current[active]
+            feats = nodes["feature"][node_ids]
+            leaf = feats == _NO_CHILD
+            if leaf.any():
+                done = active[leaf]
+                out[done] = nodes["value"][current[done]]
+                active = active[~leaf]
+                node_ids = current[active]
+                feats = nodes["feature"][node_ids]
+            if not active.size:
+                break
+            x = features[active, feats]
+            go_left = x <= nodes["threshold"][node_ids]
+            current[active] = np.where(
+                go_left, nodes["left"][node_ids], nodes["right"][node_ids]
+            )
+        return out
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
+        if self._nodes is None:
+            raise NotFittedError("DecisionTreeRegressor is not fitted")
+        return int(self._nodes["value"].size)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (root-only tree has depth 0)."""
+        if self._nodes is None:
+            raise NotFittedError("DecisionTreeRegressor is not fitted")
+        nodes = self._nodes
+        depth = 0
+        stack = [(0, 0)]
+        while stack:
+            node, d = stack.pop()
+            depth = max(depth, d)
+            if nodes["feature"][node] != _NO_CHILD:
+                stack.append((int(nodes["left"][node]), d + 1))
+                stack.append((int(nodes["right"][node]), d + 1))
+        return depth

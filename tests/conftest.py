@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Small grids keep the full suite fast: features, ratios and estimation
+errors are size-intensive, so nothing about correctness depends on the
+512^3 scale of the paper's originals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FXRZConfig
+from repro.ml.forest import RandomForestRegressor
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20230213)
+
+
+@pytest.fixture(scope="session")
+def smooth_field3d() -> np.ndarray:
+    """A smooth, mildly noisy 3-D float32 field (compressor workhorse)."""
+    lin = np.linspace(0, 4 * np.pi, 24)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    noise = np.random.default_rng(7).standard_normal((24, 24, 24))
+    return (np.sin(x) * np.cos(y) * np.sin(z) + 0.05 * noise).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def rough_field3d() -> np.ndarray:
+    """A rough random-walk field exercising the outlier paths."""
+    steps = np.random.default_rng(11).standard_normal((16, 16, 16))
+    return np.cumsum(steps, axis=-1).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def field2d() -> np.ndarray:
+    lin = np.linspace(0, 2 * np.pi, 40)
+    x, y = np.meshgrid(lin, lin, indexing="ij")
+    return (np.sin(2 * x) + np.cos(3 * y)).astype(np.float64)
+
+
+@pytest.fixture()
+def fast_config() -> FXRZConfig:
+    """An FXRZ configuration tuned for test speed."""
+    return FXRZConfig(stationary_points=8, augmented_samples=60)
+
+
+def small_forest_factory(seed: int) -> RandomForestRegressor:
+    """A fast model factory for pipeline tests."""
+    return RandomForestRegressor(
+        n_estimators=10, min_samples_leaf=2, max_features=None, random_state=seed
+    )
+
+
+@pytest.fixture()
+def fast_model_factory():
+    return small_forest_factory

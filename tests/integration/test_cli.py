@@ -1,0 +1,111 @@
+"""Integration tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, read_blob, write_blob
+from repro.compressors import get_compressor
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def npy_files(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-data")
+    rng = np.random.default_rng(4)
+    lin = np.linspace(0, 4 * np.pi, 20)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    paths = []
+    for i in range(2):
+        data = (
+            np.sin(x + 0.3 * i) * np.cos(y)
+            + 0.03 * rng.standard_normal((20,) * 3)
+        ).astype(np.float32)
+        path = root / f"train{i}.npy"
+        np.save(path, data)
+        paths.append(str(path))
+    test_data = (np.sin(x + 0.9) * np.cos(y) + 0.05 * rng.standard_normal((20,) * 3)).astype(np.float32)
+    test_path = root / "test.npy"
+    np.save(test_path, test_data)
+    return paths, str(test_path), root
+
+
+class TestBlobContainer:
+    def test_roundtrip(self, tmp_path, smooth_field3d):
+        comp = get_compressor("sz")
+        blob = comp.compress(smooth_field3d, 0.01)
+        path = tmp_path / "x.fxrz"
+        write_blob(blob, path)
+        restored = read_blob(path)
+        assert restored.compressor == "sz"
+        assert restored.original_shape == smooth_field3d.shape
+        recon = comp.decompress(restored)
+        assert np.array_equal(recon, comp.decompress(blob))
+
+    def test_rejects_non_blob(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"not a blob at all")
+        with pytest.raises(ReproError):
+            read_blob(path)
+
+
+class TestCommands:
+    def test_full_workflow(self, npy_files, capsys):
+        train_paths, test_path, root = npy_files
+        model = str(root / "model.npz")
+        blob = str(root / "out.fxrz")
+        recon = str(root / "recon.npy")
+
+        assert main(
+            ["train", *train_paths, "--model", model,
+             "--stationary-points", "8", "--augmented-samples", "50"]
+        ) == 0
+        assert "trained on 2 arrays" in capsys.readouterr().out
+
+        assert main(["estimate", test_path, "--model", model, "--ratio", "6"]) == 0
+        assert "estimated config" in capsys.readouterr().out
+
+        assert main(
+            ["compress", test_path, "--model", model, "--ratio", "6",
+             "--output", blob]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+
+        assert main(["decompress", blob, "--output", recon]) == 0
+        capsys.readouterr()
+        original = np.load(test_path)
+        reconstructed = np.load(recon)
+        assert reconstructed.shape == original.shape
+
+    def test_search_command(self, npy_files, capsys):
+        _, test_path, _ = npy_files
+        assert main(
+            ["search", test_path, "--ratio", "5", "--iterations", "6"]
+        ) == 0
+        assert "FRaZ(6)" in capsys.readouterr().out
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "nyx-1" in out and "hurricane" in out
+
+    def test_export_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "exported"
+        assert main(
+            ["export", "qmcpack-1", "spin0", "--out", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        files = list(out_dir.glob("*.npy"))
+        assert len(files) == 1
+        data = np.load(files[0])
+        assert data.ndim == 4
+
+    def test_error_paths_return_nonzero(self, npy_files, capsys):
+        _, test_path, root = npy_files
+        bogus_model = str(root / "missing.npz")
+        np.savez(bogus_model, junk=np.arange(3))
+        code = main(
+            ["estimate", test_path, "--model", bogus_model, "--ratio", "5"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,24 @@
+"""Smoke test: the quickstart example must run end-to-end.
+
+Only the quickstart runs here (the other examples share its machinery
+but train more pipelines); `--quick` keeps it to tens of seconds.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestQuickstart:
+    def test_quickstart_quick_mode(self):
+        result = subprocess.run(
+            [sys.executable, str(_EXAMPLES / "quickstart.py"), "--quick"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "mean estimation error" in result.stdout
+        assert "trained in" in result.stdout

@@ -1,0 +1,64 @@
+"""Integration tests of the experiment harness on real registry data."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.config import FXRZConfig
+from repro.datasets.registry import load_series
+from repro.experiments.harness import (
+    accuracy_records,
+    clear_caches,
+    get_trained_fxrz,
+    summarize_errors,
+    target_ratio_grid,
+)
+
+_FAST = FXRZConfig(stationary_points=10, augmented_samples=80)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _isolated_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestHarness:
+    def test_trained_pipeline_cached(self):
+        a = get_trained_fxrz("hurricane", "TC", "sz", config=_FAST)
+        b = get_trained_fxrz("hurricane", "TC", "sz", config=_FAST)
+        assert a is b
+
+    def test_target_grid_is_ascending(self):
+        comp = get_compressor("sz")
+        snap = load_series("hurricane", "TC").snapshots[-1]
+        grid = target_ratio_grid(comp, snap, 6)
+        assert grid.size == 6
+        assert (np.diff(grid) > 0).all()
+
+    def test_accuracy_records_structure(self):
+        records = accuracy_records(
+            "hurricane", "TC", "sz", n_targets=3, config=_FAST
+        )
+        assert len(records) == 3
+        for record in records:
+            assert record.application == "hurricane"
+            assert record.fxrz_error >= 0
+            assert set(record.fraz) == {6, 15}
+            assert record.fraz[15].iterations <= 15
+            assert record.compress_seconds > 0
+
+    def test_headline_ordering(self):
+        """FXRZ accuracy >= FRaZ-15 >= FRaZ-6, cost the reverse."""
+        records = accuracy_records(
+            "hurricane", "TC", "sz", n_targets=5, config=_FAST
+        )
+        summary = summarize_errors(records)
+        assert summary["fxrz"] < summary["fraz6"]
+        mean_fxrz_cost = np.mean([r.fxrz_seconds for r in records])
+        mean_fraz_cost = np.mean([r.fraz[15].seconds for r in records])
+        assert mean_fraz_cost > 10 * mean_fxrz_cost
+
+    def test_summarize_empty(self):
+        assert summarize_errors([]) == {}

@@ -1,0 +1,105 @@
+"""End-to-end FXRZ pipeline tests across all four compressors."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compressors import get_compressor
+from repro.config import FXRZConfig
+from repro.errors import InvalidConfiguration, NotFittedError
+
+from tests.conftest import small_forest_factory
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Three related training fields + one held-out field."""
+    rng = np.random.default_rng(9)
+    lin = np.linspace(0, 4 * np.pi, 24)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    fields = []
+    for i in range(4):
+        noise = rng.standard_normal((24, 24, 24))
+        fields.append(
+            (
+                np.sin(x + 0.4 * i) * np.cos(y - 0.2 * i)
+                + (0.02 + 0.015 * i) * noise
+            ).astype(np.float32)
+        )
+    return fields[:3], fields[3]
+
+
+_FAST = FXRZConfig(stationary_points=10, augmented_samples=80)
+
+
+@pytest.mark.parametrize("name", ["sz", "zfp", "mgard", "fpzip"])
+class TestEndToEnd:
+    def test_fit_then_fix_ratio(self, corpus, name):
+        train, test = corpus
+        pipeline = repro.FXRZ(
+            get_compressor(name), config=_FAST, model_factory=small_forest_factory
+        )
+        report = pipeline.fit(train)
+        assert report.n_datasets == 3
+        assert pipeline.is_fitted
+
+        lo = max(min(c.ratio_range[0] for c in pipeline.curves) * 1.3, 1.6)
+        hi = min(c.ratio_range[1] for c in pipeline.curves) * 0.7
+        if hi <= lo:
+            hi = lo * 1.5
+        errors = []
+        for tcr in np.linspace(lo, hi, 4):
+            result = pipeline.compress_to_ratio(test, float(tcr))
+            assert result.measured_ratio > 0
+            errors.append(result.estimation_error)
+            # The blob must reconstruct fine.
+            recon = pipeline.compressor.decompress(result.blob)
+            assert recon.shape == test.shape
+        assert float(np.mean(errors)) < 0.6  # sane accuracy even tiny-config
+
+
+class TestPipelineContract:
+    def test_estimate_before_fit_raises(self, corpus):
+        train, test = corpus
+        pipeline = repro.FXRZ(get_compressor("sz"), config=_FAST)
+        with pytest.raises(NotFittedError):
+            pipeline.estimate_config(test, 10.0)
+
+    def test_empty_fit_rejected(self):
+        pipeline = repro.FXRZ(get_compressor("sz"), config=_FAST)
+        with pytest.raises(InvalidConfiguration):
+            pipeline.fit([])
+
+    def test_domains_must_pair(self, corpus):
+        train, _ = corpus
+        pipeline = repro.FXRZ(get_compressor("sz"), config=_FAST)
+        with pytest.raises(InvalidConfiguration):
+            pipeline.fit(train, domains=[None])
+
+    def test_training_report_totals(self, corpus):
+        train, _ = corpus
+        pipeline = repro.FXRZ(
+            get_compressor("sz"), config=_FAST, model_factory=small_forest_factory
+        )
+        report = pipeline.fit(train)
+        assert report.total_seconds == pytest.approx(
+            report.stationary_seconds
+            + report.augmentation_seconds
+            + report.fit_seconds
+        )
+
+    def test_analysis_much_cheaper_than_compression(self, corpus):
+        """The headline claim, in miniature: inference never runs the
+        compressor, so it is far cheaper than one compression."""
+        import time
+
+        train, test = corpus
+        pipeline = repro.FXRZ(
+            get_compressor("sz"), config=_FAST, model_factory=small_forest_factory
+        )
+        pipeline.fit(train)
+        estimate = pipeline.estimate_config(test, 8.0)
+        tick = time.perf_counter()
+        pipeline.compressor.compress(test, estimate.config)
+        compress_seconds = time.perf_counter() - tick
+        assert estimate.analysis_seconds < compress_seconds

@@ -1,0 +1,63 @@
+"""Tests of the refinement extension to compress_to_ratio."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compressors import get_compressor
+from repro.config import FXRZConfig
+
+from tests.conftest import small_forest_factory
+
+
+@pytest.fixture(scope="module")
+def pipeline_and_test():
+    rng = np.random.default_rng(21)
+    lin = np.linspace(0, 4 * np.pi, 24)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    fields = [
+        (np.sin(x + 0.4 * i) * np.cos(y) + 0.04 * rng.standard_normal((24,) * 3))
+        .astype(np.float32)
+        for i in range(4)
+    ]
+    config = FXRZConfig(stationary_points=10, augmented_samples=80)
+    pipeline = repro.FXRZ(
+        get_compressor("sz"), config=config, model_factory=small_forest_factory
+    )
+    pipeline.fit(fields[:3])
+    return pipeline, fields[3]
+
+
+class TestRefinement:
+    def test_zero_refinements_is_one_compression(self, pipeline_and_test):
+        pipeline, data = pipeline_and_test
+        result = pipeline.compress_to_ratio(data, 8.0)
+        assert result.compressions == 1
+
+    def test_refinement_never_worse(self, pipeline_and_test):
+        pipeline, data = pipeline_and_test
+        for tcr in (4.0, 8.0, 15.0):
+            base = pipeline.compress_to_ratio(data, tcr)
+            refined = pipeline.compress_to_ratio(data, tcr, max_refinements=2)
+            assert refined.estimation_error <= base.estimation_error + 1e-12
+            assert refined.compressions <= 3
+
+    def test_refinement_stops_at_tolerance(self, pipeline_and_test):
+        pipeline, data = pipeline_and_test
+        result = pipeline.compress_to_ratio(
+            data, 8.0, max_refinements=5, tolerance=1.0
+        )
+        # 100% tolerance: the first answer always satisfies it.
+        assert result.compressions == 1
+
+    def test_refined_blob_is_valid(self, pipeline_and_test):
+        pipeline, data = pipeline_and_test
+        result = pipeline.compress_to_ratio(data, 10.0, max_refinements=2)
+        recon = pipeline.compressor.decompress(result.blob)
+        assert recon.shape == data.shape
+        pipeline.compressor.verify(data, recon, result.blob.config)
+
+    def test_trained_ratio_range_brackets_requests(self, pipeline_and_test):
+        pipeline, data = pipeline_and_test
+        lo, hi = pipeline.trained_ratio_range(data)
+        assert 1.0 <= lo < hi

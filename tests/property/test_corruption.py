@@ -1,0 +1,98 @@
+"""Failure-injection tests: corrupted streams must fail *controlledly*.
+
+Decoders fed damaged bytes must raise a :class:`ReproError` subclass
+(or return wrong-but-well-formed data) — never an uncontrolled
+exception type and never a hang. This guards every decode path against
+the classic entropy-coder failure mode of trusting stream-carried
+sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.compressors.base import CompressedBlob
+from repro.encoding import HuffmanCodec, LZCodec
+from repro.errors import ReproError
+
+_ACCEPTABLE = (ReproError,)
+
+
+def _mutations(data: bytes, rng: np.random.Generator, n: int):
+    """Yield n deterministic corruptions of ``data``."""
+    for _ in range(n):
+        kind = rng.integers(0, 3)
+        if len(data) < 4:
+            yield data + b"\xff"
+            continue
+        if kind == 0:  # truncate
+            cut = int(rng.integers(1, len(data)))
+            yield data[:cut]
+        elif kind == 1:  # flip bytes
+            pos = rng.integers(0, len(data), size=min(4, len(data)))
+            corrupted = bytearray(data)
+            for p in pos:
+                corrupted[p] ^= 0xFF
+            yield bytes(corrupted)
+        else:  # garbage prefix
+            yield bytes(rng.integers(0, 256, 16).astype(np.uint8)) + data[16:]
+
+
+class TestHuffmanCorruption:
+    def test_controlled_failures(self, rng):
+        codec = HuffmanCodec()
+        blob = codec.encode(rng.integers(-50, 50, 5000))
+        for mutated in _mutations(blob, np.random.default_rng(1), 40):
+            try:
+                codec.decode(mutated)
+            except _ACCEPTABLE:
+                pass  # the expected controlled failure
+
+
+class TestRangeCoderCorruption:
+    def test_controlled_failures(self, rng):
+        from repro.encoding import RangeCoder
+
+        coder = RangeCoder()
+        blob = coder.encode(rng.integers(-20, 20, 3000))
+        for mutated in _mutations(blob, np.random.default_rng(3), 40):
+            try:
+                coder.decode(mutated)
+            except _ACCEPTABLE:
+                pass
+
+
+class TestLZCorruption:
+    def test_controlled_failures(self, rng):
+        codec = LZCodec()
+        blob = codec.compress(b"abcdabcdabcd" * 200)
+        for mutated in _mutations(blob, np.random.default_rng(2), 40):
+            try:
+                codec.decompress(mutated)
+            except _ACCEPTABLE:
+                pass
+
+
+@pytest.mark.parametrize("name,config", [
+    ("sz", 0.01), ("sz2", 0.01), ("zfp", 0.01), ("mgard", 0.01),
+    ("fpzip", 16), ("digit", 4),
+])
+class TestCompressorCorruption:
+    def test_controlled_failures(self, smooth_field3d, name, config):
+        comp = get_compressor(name)
+        blob = comp.compress(smooth_field3d, config)
+        mutator = np.random.default_rng(hash(name) % (2**31))
+        for mutated in _mutations(blob.data, mutator, 25):
+            damaged = CompressedBlob(
+                data=mutated,
+                original_shape=blob.original_shape,
+                original_dtype=blob.original_dtype,
+                compressor=blob.compressor,
+                config=blob.config,
+            )
+            try:
+                out = comp.decompress(damaged)
+                # Wrong data is tolerable; wrong *shape* is not.
+                assert out.shape == smooth_field3d.shape
+            except _ACCEPTABLE:
+                pass

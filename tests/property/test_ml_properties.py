@@ -1,0 +1,107 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import pearson_correlation
+from repro.ml.tree import DecisionTreeRegressor
+
+_datasets = st.integers(10, 80).flatmap(
+    lambda n: st.tuples(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n, 3),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n,),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+    )
+)
+
+
+class TestTreeProperties:
+    @given(_datasets)
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_within_target_hull(self, dataset):
+        """A CART leaf averages targets, so predictions never leave
+        the [min(y), max(y)] interval."""
+        x, y = dataset
+        tree = DecisionTreeRegressor(max_depth=6).fit(x, y)
+        pred = tree.predict(x)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @given(_datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_without_subsampling(self, dataset):
+        x, y = dataset
+        p1 = DecisionTreeRegressor(max_depth=4).fit(x, y).predict(x)
+        p2 = DecisionTreeRegressor(max_depth=4).fit(x, y).predict(x)
+        assert np.array_equal(p1, p2)
+
+
+class TestEnsembleProperties:
+    @given(_datasets)
+    @settings(max_examples=12, deadline=None)
+    def test_forest_predictions_within_hull(self, dataset):
+        x, y = dataset
+        forest = RandomForestRegressor(
+            n_estimators=5, max_depth=4, random_state=0
+        ).fit(x, y)
+        pred = forest.predict(x)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @given(_datasets)
+    @settings(max_examples=8, deadline=None)
+    def test_adaboost_predictions_within_hull(self, dataset):
+        x, y = dataset
+        model = AdaBoostRegressor(
+            n_estimators=5, max_depth=3, random_state=0
+        ).fit(x, y)
+        pred = model.predict(x)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+
+class TestMetricProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 200),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pearson_bounded(self, a):
+        rng = np.random.default_rng(0)
+        b = a + rng.standard_normal(a.shape)
+        r = pearson_correlation(a, b)
+        assert -1.0 - 1e-12 <= r <= 1.0 + 1e-12
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 100),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        ),
+        st.floats(0.1, 5.0),
+        st.floats(-10, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pearson_affine_invariance(self, a, scale, shift):
+        # Skip inputs whose spread underflows once shifted (the affine
+        # map is then not faithfully representable in float64).
+        assume(np.ptp(a) * scale > 1e-6 * max(1.0, abs(shift)))
+        rng = np.random.default_rng(1)
+        b = a + rng.standard_normal(a.shape)
+        r1 = pearson_correlation(a, b)
+        r2 = pearson_correlation(a * scale + shift, b)
+        assert np.isclose(r1, r2, atol=1e-6)

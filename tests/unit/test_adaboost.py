@@ -1,0 +1,76 @@
+"""Unit tests for AdaBoost.R2."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfiguration, NotFittedError
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.metrics import r2_score
+
+
+def _wavy(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2, 2, (n, 2))
+    y = np.sin(2 * x[:, 0]) + 0.3 * x[:, 1]
+    return x, y + 0.1 * rng.standard_normal(n)
+
+
+class TestFitting:
+    def test_boosting_beats_single_stump(self):
+        x, y = _wavy()
+        single = AdaBoostRegressor(n_estimators=1, max_depth=2, random_state=0)
+        boosted = AdaBoostRegressor(n_estimators=40, max_depth=2, random_state=0)
+        single.fit(x[:200], y[:200])
+        boosted.fit(x[:200], y[:200])
+        r2_single = r2_score(y[200:], single.predict(x[200:]))
+        r2_boosted = r2_score(y[200:], boosted.predict(x[200:]))
+        assert r2_boosted > r2_single
+
+    def test_perfect_data_short_circuits(self):
+        x = np.linspace(0, 1, 50)[:, None]
+        y = np.where(x[:, 0] < 0.5, 0.0, 1.0)
+        model = AdaBoostRegressor(n_estimators=30, max_depth=2, random_state=0)
+        model.fit(x, y)
+        assert np.allclose(model.predict(x), y)
+
+    def test_deterministic_with_seed(self):
+        x, y = _wavy(150)
+        m1 = AdaBoostRegressor(n_estimators=10, random_state=5).fit(x, y)
+        m2 = AdaBoostRegressor(n_estimators=10, random_state=5).fit(x, y)
+        assert np.array_equal(m1.predict(x[:10]), m2.predict(x[:10]))
+
+    @pytest.mark.parametrize("loss", ["linear", "square", "exponential"])
+    def test_all_losses_fit(self, loss):
+        x, y = _wavy(150)
+        model = AdaBoostRegressor(
+            n_estimators=15, loss=loss, random_state=0
+        ).fit(x, y)
+        assert r2_score(y, model.predict(x)) > 0.3
+
+    def test_prediction_is_weighted_median(self):
+        """The ensemble output must be one of the weak learners' outputs."""
+        x, y = _wavy(100)
+        model = AdaBoostRegressor(n_estimators=12, random_state=1).fit(x, y)
+        probe = x[:5]
+        ensemble = model.predict(probe)
+        individual = np.stack([t.predict(probe) for t in model._estimators])
+        for i in range(probe.shape[0]):
+            assert ensemble[i] in individual[:, i]
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            AdaBoostRegressor().predict(np.zeros((1, 2)))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            AdaBoostRegressor(n_estimators=0)
+        with pytest.raises(InvalidConfiguration):
+            AdaBoostRegressor(loss="cubic")
+        with pytest.raises(InvalidConfiguration):
+            AdaBoostRegressor(learning_rate=0.0)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            AdaBoostRegressor().fit(np.zeros((5, 2)), np.zeros(4))

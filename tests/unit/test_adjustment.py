@@ -1,0 +1,89 @@
+"""Unit tests for Compressibility Adjustment (Sec. IV-E2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjustment import (
+    adjusted_ratio,
+    constant_block_mask,
+    nonconstant_fraction,
+)
+from repro.errors import InvalidConfiguration
+
+
+class TestBlockMask:
+    def test_constant_field_all_constant(self):
+        mask = constant_block_mask(np.full((16, 16), 7.0))
+        assert mask.all()
+
+    def test_mixed_field(self):
+        data = np.full((8, 8), 10.0)
+        data[:4, :4] += np.random.default_rng(0).standard_normal((4, 4)) * 10
+        mask = constant_block_mask(data, block_size=4)
+        assert mask.shape == (2, 2)
+        assert not mask[0, 0]
+        assert mask[1, 1]
+
+    def test_threshold_scales_with_mean(self):
+        # Same relative deviation: classification must match.
+        base = np.full((8, 8), 1.0)
+        base[0, 0] = 1.05
+        scaled = base * 1000
+        assert np.array_equal(
+            constant_block_mask(base), constant_block_mask(scaled)
+        )
+
+    def test_partial_blocks_padded(self):
+        data = np.random.default_rng(1).standard_normal((9, 7))
+        mask = constant_block_mask(data, block_size=4)
+        assert mask.shape == (3, 2)
+
+    def test_zero_mean_field_mostly_nonconstant(self, rng):
+        data = rng.standard_normal((16, 16))
+        assert nonconstant_fraction(data) > 0.9
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            constant_block_mask(np.zeros((4, 4)), block_size=1)
+        with pytest.raises(InvalidConfiguration):
+            constant_block_mask(np.zeros((4, 4)), lam=0.0)
+        with pytest.raises(InvalidConfiguration):
+            constant_block_mask(np.zeros((4, 4)), lam=1.0)
+
+
+class TestNonconstantFraction:
+    def test_bounds(self, rng):
+        data = rng.standard_normal((12, 12, 12))
+        r = nonconstant_fraction(data)
+        assert 0.0 <= r <= 1.0
+
+    def test_sparse_field_has_low_r(self):
+        data = np.zeros((32, 32))
+        data[:4, :4] = np.random.default_rng(2).uniform(1, 2, (4, 4))
+        assert nonconstant_fraction(data) < 0.1
+
+    def test_lambda_monotonicity(self, rng):
+        """Larger lambda -> more blocks counted constant -> lower R."""
+        data = np.abs(rng.standard_normal((24, 24))) + 1.0
+        r_small = nonconstant_fraction(data, lam=0.05)
+        r_large = nonconstant_fraction(data, lam=0.15)
+        assert r_large <= r_small
+
+
+class TestAdjustedRatio:
+    def test_formula_four(self):
+        assert adjusted_ratio(100.0, 0.6) == pytest.approx(60.0)
+
+    def test_full_nonconstant_is_identity(self):
+        assert adjusted_ratio(42.0, 1.0) == 42.0
+
+    def test_floor_at_one(self):
+        assert adjusted_ratio(5.0, 0.01) == 1.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            adjusted_ratio(0.0, 0.5)
+        with pytest.raises(InvalidConfiguration):
+            adjusted_ratio(10.0, 1.5)
+        with pytest.raises(InvalidConfiguration):
+            adjusted_ratio(10.0, -0.1)

@@ -1,0 +1,141 @@
+"""Unit tests for distortion metrics, halo analysis and variability."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distortion import (
+    max_abs_error,
+    normalized_rmse,
+    psnr,
+    valid_ratio_range,
+)
+from repro.analysis.halos import find_halos, halo_mislocation_fraction
+from repro.analysis.variability import series_variability, snapshot_statistics
+from repro.compressors import get_compressor
+from repro.datasets.base import FieldSeries
+from repro.errors import InvalidConfiguration
+
+
+class TestDistortion:
+    def test_exact_match(self, rng):
+        data = rng.standard_normal((10, 10))
+        assert max_abs_error(data, data) == 0.0
+        assert normalized_rmse(data, data) == 0.0
+        assert psnr(data, data) == float("inf")
+
+    def test_known_values(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([0.5, 1.0])
+        assert max_abs_error(a, b) == 0.5
+        assert normalized_rmse(a, b) == pytest.approx(np.sqrt(0.125))
+
+    def test_psnr_decreases_with_noise(self, rng):
+        data = rng.standard_normal((32, 32))
+        small = data + 1e-4 * rng.standard_normal((32, 32))
+        large = data + 1e-1 * rng.standard_normal((32, 32))
+        assert psnr(data, small) > psnr(data, large)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_valid_ratio_range(self, smooth_field3d):
+        comp = get_compressor("sz")
+        lo, hi = valid_ratio_range(comp, smooth_field3d, min_psnr=40.0, n_probes=8)
+        assert 0 < lo < hi
+        # The top of the range must indeed deliver >= 40 dB somewhere.
+        assert hi > 2.0
+
+    def test_stricter_floor_shrinks_range(self, smooth_field3d):
+        comp = get_compressor("sz")
+        _, hi_loose = valid_ratio_range(comp, smooth_field3d, min_psnr=30.0)
+        _, hi_strict = valid_ratio_range(comp, smooth_field3d, min_psnr=60.0)
+        assert hi_strict <= hi_loose
+
+    def test_impossible_floor_rejected(self, rng):
+        comp = get_compressor("sz")
+        noise = rng.standard_normal((16, 16, 16))
+        with pytest.raises(InvalidConfiguration):
+            valid_ratio_range(comp, noise, min_psnr=500.0)
+
+
+def _density_with_halos(seed=0):
+    rng = np.random.default_rng(seed)
+    density = np.abs(rng.standard_normal((32, 32, 32))) * 0.1 + 1.0
+    centers = [(8, 8, 8), (24, 24, 24), (8, 24, 16), (20, 6, 28)]
+    for cx, cy, cz in centers:
+        density[cx - 1 : cx + 2, cy - 1 : cy + 2, cz - 1 : cz + 2] = 20.0
+    return density, centers
+
+
+class TestHalos:
+    def test_finds_planted_halos(self):
+        density, centers = _density_with_halos()
+        halos = find_halos(density, overdensity=5.0)
+        assert len(halos) == len(centers)
+        found = {tuple(round(c) for c in h.centroid) for h in halos}
+        assert found == set(centers)
+
+    def test_min_cells_filters_specks(self):
+        density, _ = _density_with_halos()
+        density[0, 0, 0] = 50.0  # single-cell spike
+        with_specks = find_halos(density, overdensity=5.0, min_cells=1)
+        without = find_halos(density, overdensity=5.0, min_cells=2)
+        assert len(with_specks) == len(without) + 1
+
+    def test_identical_reconstruction_no_mislocation(self):
+        density, _ = _density_with_halos()
+        assert halo_mislocation_fraction(density, density.copy()) == 0.0
+
+    def test_destroyed_halos_fully_mislocated(self):
+        density, _ = _density_with_halos()
+        flat = np.full_like(density, density.mean())
+        assert halo_mislocation_fraction(density, flat) == 1.0
+
+    def test_mislocation_grows_with_error_bound(self):
+        """The Sec. V-C mechanism: larger eb -> more mislocated halos."""
+        density, _ = _density_with_halos()
+        comp = get_compressor("sz")
+        fractions = []
+        for eb in (0.01, 2.0):
+            recon, _ = comp.roundtrip(density, eb)
+            fractions.append(
+                halo_mislocation_fraction(density, recon, overdensity=5.0)
+            )
+        assert fractions[0] <= fractions[1]
+
+    def test_no_halos_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            halo_mislocation_fraction(np.ones((8, 8, 8)), np.ones((8, 8, 8)))
+
+
+class TestVariability:
+    def _series(self, offset, label):
+        series = FieldSeries("app", "f")
+        rng = np.random.default_rng(17)
+        for i in range(3):
+            series.add(f"{label}{i}", offset + rng.standard_normal((16, 16)))
+        return series
+
+    def test_identical_series_zero_distance(self):
+        a = self._series(0.0, "a")
+        stats = series_variability(a, a)
+        assert stats["histogram_l1"] == pytest.approx(0.0)
+        assert stats["std_ratio"] == pytest.approx(1.0)
+        assert stats["mean_shift"] == pytest.approx(0.0)
+
+    def test_shifted_series_detected(self):
+        stats = series_variability(self._series(0.0, "a"), self._series(5.0, "b"))
+        assert stats["mean_shift"] > 3.0
+        assert stats["histogram_l1"] > 0.5
+
+    def test_snapshot_statistics_fields(self):
+        stats = snapshot_statistics(self._series(1.0, "a"))
+        assert len(stats) == 3
+        assert stats[0].mean == pytest.approx(1.0, abs=0.2)
+        assert stats[0].std > 0
+
+    def test_empty_series_rejected(self):
+        empty = FieldSeries("app", "f")
+        with pytest.raises(InvalidConfiguration):
+            series_variability(empty, empty)

@@ -1,0 +1,109 @@
+"""Unit tests for curve-based data augmentation (Sec. IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.core.augmentation import (
+    CompressionCurve,
+    build_curve,
+    stationary_configs,
+)
+from repro.errors import InvalidConfiguration
+
+
+def _toy_curve():
+    configs = np.logspace(-4, -1, 10)
+    ratios = 5.0 + 40.0 * np.linspace(0, 1, 10) ** 2
+    return CompressionCurve(
+        configs=configs, ratios=ratios, log_config=True, build_seconds=0.0
+    )
+
+
+class TestCurve:
+    def test_anchor_points_reproduced(self):
+        curve = _toy_curve()
+        for config, ratio in zip(curve.configs, curve.ratios):
+            assert curve.ratio_for_config(config) == pytest.approx(ratio)
+
+    def test_inversion_roundtrip(self):
+        curve = _toy_curve()
+        for ratio in np.linspace(6, 44, 12):
+            config = curve.config_for_ratio(ratio)
+            assert curve.ratio_for_config(config) == pytest.approx(ratio, rel=0.02)
+
+    def test_ratio_range(self):
+        curve = _toy_curve()
+        lo, hi = curve.ratio_range
+        assert lo == pytest.approx(5.0)
+        assert hi == pytest.approx(45.0)
+
+    def test_clamps_outside_range(self):
+        curve = _toy_curve()
+        assert curve.config_for_ratio(1.0) == pytest.approx(curve.configs[0])
+        assert curve.config_for_ratio(1e9) == pytest.approx(curve.configs[-1])
+
+    def test_nonmonotone_ratios_resolved_by_envelope(self):
+        configs = np.array([1e-3, 1e-2, 1e-1])
+        ratios = np.array([10.0, 8.0, 30.0])  # dip at the middle anchor
+        curve = CompressionCurve(configs, ratios, True, 0.0)
+        config = curve.config_for_ratio(9.0)
+        assert configs[0] <= config <= configs[-1]
+
+    def test_sample_counts_and_range(self):
+        curve = _toy_curve()
+        ratios, configs = curve.sample(50, seed=1)
+        assert ratios.shape == configs.shape == (50,)
+        lo, hi = curve.ratio_range
+        assert ratios.min() >= lo - 1e-9
+        assert ratios.max() <= hi + 1e-9
+
+    def test_sample_deterministic(self):
+        curve = _toy_curve()
+        a = curve.sample(20, seed=5)
+        b = curve.sample(20, seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            CompressionCurve(np.array([1.0]), np.array([2.0]), False, 0.0)
+
+    def test_unsorted_configs_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            CompressionCurve(
+                np.array([2.0, 1.0]), np.array([1.0, 2.0]), False, 0.0
+            )
+
+
+class TestStationaryConfigs:
+    def test_log_spacing_for_abs(self, smooth_field3d):
+        comp = get_compressor("sz")
+        configs = stationary_configs(comp, smooth_field3d, 10)
+        logs = np.log10(configs)
+        assert np.allclose(np.diff(logs), np.diff(logs)[0])
+
+    def test_integer_grid_for_precision(self, smooth_field3d):
+        comp = get_compressor("fpzip")
+        configs = stationary_configs(comp, smooth_field3d, 12)
+        assert np.array_equal(configs, np.round(configs))
+        assert configs.min() >= 10 and configs.max() <= 32
+
+    def test_build_curve_end_to_end(self, smooth_field3d):
+        comp = get_compressor("sz")
+        curve = build_curve(comp, smooth_field3d, n_points=6)
+        assert curve.configs.size == 6
+        assert curve.build_seconds > 0
+        assert (np.diff(np.maximum.accumulate(curve.ratios)) >= 0).all()
+
+    def test_interpolation_accuracy_within_paper_band(self, smooth_field3d):
+        """Fig. 2's claim: interpolated configs land close to requested CRs."""
+        comp = get_compressor("sz")
+        curve = build_curve(comp, smooth_field3d, n_points=25)
+        lo, hi = curve.ratio_range
+        targets = np.linspace(lo * 1.1, hi * 0.9, 6)
+        errors = []
+        for target in targets:
+            config = curve.config_for_ratio(float(target))
+            measured = comp.compression_ratio(smooth_field3d, config)
+            errors.append(abs(measured - target) / target)
+        assert float(np.mean(errors)) < 0.12  # paper: 3-5 % on 512^3 data

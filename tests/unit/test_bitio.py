@@ -1,0 +1,114 @@
+"""Unit tests for repro.encoding.bitio."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.bitio import (
+    BitReader,
+    BitWriter,
+    pack_bits,
+    pack_fixed_width,
+    unpack_bits,
+    unpack_fixed_width,
+)
+from repro.errors import CorruptStreamError
+
+
+class TestBitWriterReader:
+    def test_roundtrip_mixed_widths(self):
+        writer = BitWriter()
+        writer.write_bits(5, 3)
+        writer.write_bits(1, 1)
+        writer.write_bits(1023, 10)
+        writer.write_bit(1)
+        data = writer.getvalue()
+        reader = BitReader(data)
+        assert reader.read_bits(3) == 5
+        assert reader.read_bits(1) == 1
+        assert reader.read_bits(10) == 1023
+        assert reader.read_bit() == 1
+
+    def test_empty_stream(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(8, 3)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(-1, 4)
+
+    def test_read_past_end_raises(self):
+        writer = BitWriter()
+        writer.write_bits(3, 2)
+        reader = BitReader(writer.getvalue())
+        reader.read_bits(2)
+        # Padding bits exist up to the byte boundary; exhaust them.
+        reader.read_bits(6)
+        with pytest.raises(CorruptStreamError):
+            reader.read_bit()
+
+    def test_zero_width_read(self):
+        reader = BitReader(b"\xff")
+        assert reader.read_bits(0) == 0
+
+    def test_remaining_counts_down(self):
+        reader = BitReader(b"\xab")
+        assert reader.remaining == 8
+        reader.read_bits(3)
+        assert reader.remaining == 5
+
+
+class TestPackBits:
+    def test_roundtrip_variable_lengths(self):
+        codes = np.array([0b1, 0b01, 0b111, 0b0001], dtype=np.uint64)
+        lengths = np.array([1, 2, 3, 4], dtype=np.int64)
+        buf, total = pack_bits(codes, lengths)
+        assert total == 10
+        bits = unpack_bits(buf, total)
+        expected = [1, 0, 1, 1, 1, 1, 0, 0, 0, 1]
+        assert bits.tolist() == expected
+
+    def test_empty(self):
+        buf, total = pack_bits(np.zeros(0, np.uint64), np.zeros(0, np.int64))
+        assert buf == b"" and total == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros(3, np.uint64), np.zeros(2, np.int64))
+
+    def test_unpack_truncated_buffer_raises(self):
+        with pytest.raises(CorruptStreamError):
+            unpack_bits(b"\x00", 9)
+
+
+class TestFixedWidth:
+    def test_roundtrip(self):
+        values = np.array([0, 1, 5, 1000, 4095], dtype=np.uint64)
+        buf = pack_fixed_width(values, 12)
+        out = unpack_fixed_width(buf, 12, values.size)
+        assert np.array_equal(out, values)
+
+    def test_width_zero(self):
+        assert pack_fixed_width(np.array([0, 0], np.uint64), 0) == b""
+        out = unpack_fixed_width(b"", 0, 5)
+        assert np.array_equal(out, np.zeros(5, np.uint64))
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_fixed_width(np.array([16], np.uint64), 4)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            pack_fixed_width(np.array([1], np.uint64), 65)
+
+    def test_truncated_payload_raises(self):
+        with pytest.raises(CorruptStreamError):
+            unpack_fixed_width(b"\x00", 12, 10)
+
+    def test_max_width_64(self):
+        values = np.array([2**63 + 12345], dtype=np.uint64)
+        buf = pack_fixed_width(values, 64)
+        assert np.array_equal(unpack_fixed_width(buf, 64, 1), values)

@@ -1,0 +1,70 @@
+"""Unit tests for the CLI argument parser (no workflows executed)."""
+
+import pytest
+
+from repro.cli import build_parser
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return build_parser()
+
+
+class TestParser:
+    def test_train_defaults(self, parser):
+        args = parser.parse_args(["train", "a.npy", "b.npy", "--model", "m.npz"])
+        assert args.inputs == ["a.npy", "b.npy"]
+        assert args.compressor == "sz"
+        assert args.stride == 4
+        assert args.stationary_points == 25
+        assert not args.no_adjustment
+
+    def test_train_overrides(self, parser):
+        args = parser.parse_args(
+            [
+                "train", "a.npy", "--model", "m.npz", "--compressor", "zfp",
+                "--stride", "2", "--no-adjustment",
+            ]
+        )
+        assert args.compressor == "zfp"
+        assert args.stride == 2
+        assert args.no_adjustment
+
+    def test_unknown_compressor_rejected(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["train", "a.npy", "--model", "m.npz", "--compressor", "lz4"]
+            )
+
+    def test_estimate_requires_ratio(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["estimate", "a.npy", "--model", "m.npz"])
+
+    def test_compress_round_trip_args(self, parser):
+        args = parser.parse_args(
+            ["compress", "a.npy", "--model", "m.npz", "--ratio", "12.5",
+             "--output", "a.fxrz"]
+        )
+        assert args.ratio == 12.5
+        assert args.output == "a.fxrz"
+
+    def test_search_defaults(self, parser):
+        args = parser.parse_args(["search", "a.npy", "--ratio", "8"])
+        assert args.iterations == 15
+        assert args.compressor == "sz"
+
+    def test_export_args(self, parser):
+        args = parser.parse_args(["export", "nyx-1", "temperature", "--out", "d"])
+        assert args.dataset == "nyx-1"
+        assert args.field == "temperature"
+
+    def test_command_required(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_all_compressors_offered(self, parser):
+        for name in ("sz", "sz2", "zfp", "fpzip", "mgard", "digit"):
+            args = parser.parse_args(
+                ["search", "a.npy", "--ratio", "5", "--compressor", name]
+            )
+            assert args.compressor == name

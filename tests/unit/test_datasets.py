@@ -1,0 +1,185 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import FieldSeries, FieldSnapshot
+from repro.datasets.grf import gaussian_random_field, power_spectrum_noise
+from repro.datasets.hurricane import generate_hurricane_field
+from repro.datasets.nyx import generate_nyx_field
+from repro.datasets.qmcpack import generate_qmcpack_field
+from repro.datasets.rtm import RTMSimulator, generate_rtm_snapshots
+from repro.errors import DatasetError
+
+
+class TestBase:
+    def test_snapshot_name(self):
+        snap = FieldSnapshot("nyx", "temp", "t0", np.ones((2, 2)))
+        assert snap.name == "nyx/temp@t0"
+        assert snap.nbytes == 32
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(DatasetError):
+            FieldSnapshot("a", "b", "c", np.zeros((0,)))
+
+    def test_series_add_and_iterate(self):
+        series = FieldSeries("nyx", "temp")
+        series.add("t0", np.ones((2, 2)))
+        series.add("t1", np.zeros((2, 2)))
+        assert len(series) == 2
+        assert [s.label for s in series] == ["t0", "t1"]
+        assert series.name == "nyx/temp"
+
+
+class TestGRF:
+    def test_normalized_output(self):
+        field = power_spectrum_noise((32, 32), alpha=3.0, seed=1)
+        assert field.mean() == pytest.approx(0.0, abs=1e-10)
+        assert field.std() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = power_spectrum_noise((16, 16), 2.0, seed=9)
+        b = power_spectrum_noise((16, 16), 2.0, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = power_spectrum_noise((16, 16), 2.0, seed=1)
+        b = power_spectrum_noise((16, 16), 2.0, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_higher_alpha_is_smoother(self):
+        rough = power_spectrum_noise((64, 64), 1.0, seed=3)
+        smooth = power_spectrum_noise((64, 64), 4.0, seed=3)
+        rough_grad = np.abs(np.diff(rough, axis=0)).mean()
+        smooth_grad = np.abs(np.diff(smooth, axis=0)).mean()
+        assert smooth_grad < rough_grad
+
+    def test_mean_sigma_applied(self):
+        field = gaussian_random_field((32, 32), sigma=2.5, mean=10.0, seed=0)
+        assert field.mean() == pytest.approx(10.0)
+        assert field.std() == pytest.approx(2.5)
+
+    def test_tiny_shape_rejected(self):
+        with pytest.raises(DatasetError):
+            power_spectrum_noise((1, 8), 2.0, 0)
+
+
+class TestNyx:
+    def test_density_positive_with_unit_mean(self):
+        rho = generate_nyx_field("baryon_density", shape=(24, 24, 24), seed=1)
+        assert rho.dtype == np.float32
+        assert (rho > 0).all()
+        assert rho.mean() == pytest.approx(1.0, rel=1e-3)
+
+    def test_dark_matter_heavier_tail(self):
+        b = generate_nyx_field("baryon_density", shape=(32, 32, 32), seed=2)
+        dm = generate_nyx_field("dark_matter_density", shape=(32, 32, 32), seed=2)
+        assert dm.max() > b.max()
+
+    def test_velocity_signed(self):
+        v = generate_nyx_field("velocity_x", shape=(16, 16, 16), seed=0)
+        assert v.min() < 0 < v.max()
+
+    def test_timestep_growth_sharpens(self):
+        early = generate_nyx_field("baryon_density", shape=(24,) * 3, timestep=0)
+        late = generate_nyx_field("baryon_density", shape=(24,) * 3, timestep=5)
+        assert late.std() > early.std()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_nyx_field("pressure")
+
+
+class TestQMCPack:
+    def test_shape_and_dtype(self):
+        field = generate_qmcpack_field("spin0", n_orbitals=4, grid_shape=(12, 8, 8))
+        assert field.shape == (4, 12, 8, 8)
+        assert field.dtype == np.float32
+
+    def test_spins_differ(self):
+        s0 = generate_qmcpack_field("spin0", n_orbitals=3, grid_shape=(10, 8, 8))
+        s1 = generate_qmcpack_field("spin1", n_orbitals=3, grid_shape=(10, 8, 8))
+        assert not np.array_equal(s0, s1)
+
+    def test_higher_orbitals_oscillate_more(self):
+        field = generate_qmcpack_field("spin0", n_orbitals=10, grid_shape=(16, 12, 12))
+        low = np.abs(np.diff(field[0], axis=0)).mean()
+        high = np.abs(np.diff(field[9], axis=0)).mean()
+        assert high > low
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_qmcpack_field("spin2")
+        with pytest.raises(DatasetError):
+            generate_qmcpack_field("spin0", n_orbitals=0)
+
+
+class TestRTM:
+    def test_wave_propagates_outward(self):
+        sim = RTMSimulator(shape=(24, 24, 16), seed=0)
+        sim.step(10)
+        early_energy = float(np.abs(sim.field).sum())
+        sim.step(20)
+        late_energy = float(np.abs(sim.field).sum())
+        assert late_energy > 0
+        assert early_energy > 0
+        # The wavefront spreads: nonzero support grows over time.
+        sim2 = RTMSimulator(shape=(24, 24, 16), seed=0)
+        sim2.step(5)
+        support_early = np.count_nonzero(np.abs(sim2.field) > 1e-6)
+        sim2.step(25)
+        support_late = np.count_nonzero(np.abs(sim2.field) > 1e-6)
+        assert support_late > support_early
+
+    def test_snapshots_at_requested_steps(self):
+        snaps = generate_rtm_snapshots((16, 16, 8), [5, 10, 20], seed=1)
+        assert [t for t, _ in snaps] == [5, 10, 20]
+        assert all(s.dtype == np.float32 for _, s in snaps)
+
+    def test_deterministic(self):
+        a = generate_rtm_snapshots((16, 16, 8), [10], seed=4)[0][1]
+        b = generate_rtm_snapshots((16, 16, 8), [10], seed=4)[0][1]
+        assert np.array_equal(a, b)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(DatasetError):
+            RTMSimulator(shape=(4, 16, 16))
+        with pytest.raises(DatasetError):
+            generate_rtm_snapshots((16, 16, 8), [])
+        with pytest.raises(DatasetError):
+            generate_rtm_snapshots((16, 16, 8), [0])
+
+
+class TestHurricane:
+    def test_tc_has_large_range(self):
+        tc = generate_hurricane_field("TC", timestep=10, shape=(8, 32, 32))
+        assert np.ptp(tc) > 30
+
+    def test_qcloud_mostly_zero(self):
+        qc = generate_hurricane_field("QCLOUD", timestep=10, shape=(8, 32, 32))
+        assert (qc == 0).mean() > 0.4
+        assert (qc >= 0).all()
+
+    def test_storm_moves_over_time(self):
+        early = generate_hurricane_field("QCLOUD", timestep=5, shape=(8, 32, 32))
+        late = generate_hurricane_field("QCLOUD", timestep=45, shape=(8, 32, 32))
+        # Centroid of the cloud mass shifts with the storm track.
+        def centroid(f):
+            total = f.sum()
+            ys, xs = np.meshgrid(range(32), range(32), indexing="ij")
+            plane = f.sum(axis=0)
+            return (
+                float((plane * ys).sum() / total),
+                float((plane * xs).sum() / total),
+            )
+        cy_e, cx_e = centroid(early)
+        cy_l, cx_l = centroid(late)
+        assert abs(cy_l - cy_e) + abs(cx_l - cx_e) > 3
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_hurricane_field("WIND", timestep=5)
+        with pytest.raises(DatasetError):
+            generate_hurricane_field("TC", timestep=0)
+        with pytest.raises(DatasetError):
+            generate_hurricane_field("TC", timestep=99)

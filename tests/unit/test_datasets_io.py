@@ -1,0 +1,55 @@
+"""Unit tests for field-series persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import FieldSeries
+from repro.datasets.io import load_series_file, save_series
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def series(rng):
+    s = FieldSeries("nyx", "temperature")
+    for t in range(3):
+        s.add(f"t{t}", rng.standard_normal((8, 8, 8)).astype(np.float32))
+    return s
+
+
+class TestSeriesIO:
+    def test_roundtrip(self, series, tmp_path):
+        path = tmp_path / "series.npz"
+        save_series(series, path)
+        restored = load_series_file(path)
+        assert restored.application == "nyx"
+        assert restored.field == "temperature"
+        assert [s.label for s in restored] == ["t0", "t1", "t2"]
+        for a, b in zip(series, restored):
+            assert np.array_equal(a.data, b.data)
+            assert a.data.dtype == b.data.dtype
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            save_series(FieldSeries("a", "b"), tmp_path / "x.npz")
+
+    def test_garbage_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_series_file(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises((DatasetError, FileNotFoundError)):
+            load_series_file(tmp_path / "nope.npz")
+
+    def test_registry_series_roundtrip(self, tmp_path):
+        from repro.datasets import load_series
+
+        original = load_series("hurricane", "QCLOUD")
+        path = tmp_path / "qcloud.npz"
+        save_series(original, path)
+        restored = load_series_file(path)
+        assert len(restored) == len(original)
+        assert np.array_equal(
+            restored.snapshots[-1].data, original.snapshots[-1].data
+        )

@@ -1,0 +1,61 @@
+"""Determinism guarantees: identical inputs give identical bytes.
+
+Reproducible archives matter for scientific data management (checksums,
+dedup); every compressor and the dataset generators must be bit-stable
+across calls and processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.datasets import (
+    generate_hurricane_field,
+    generate_nyx_field,
+    generate_qmcpack_field,
+)
+
+
+@pytest.mark.parametrize("name,config", [
+    ("sz", 0.01),
+    ("sz2", 0.01),
+    ("zfp", 0.01),
+    ("mgard", 0.01),
+    ("fpzip", 16),
+    ("digit", 4),
+])
+class TestCompressorDeterminism:
+    def test_identical_payloads(self, smooth_field3d, name, config):
+        comp = get_compressor(name)
+        blob_a = comp.compress(smooth_field3d, config)
+        blob_b = comp.compress(smooth_field3d, config)
+        assert blob_a.data == blob_b.data
+
+    def test_fresh_instance_same_payload(self, smooth_field3d, name, config):
+        blob_a = get_compressor(name).compress(smooth_field3d, config)
+        blob_b = get_compressor(name).compress(smooth_field3d, config)
+        assert blob_a.data == blob_b.data
+
+    def test_decompression_deterministic(self, smooth_field3d, name, config):
+        comp = get_compressor(name)
+        blob = comp.compress(smooth_field3d, config)
+        rec_a = comp.decompress(blob)
+        rec_b = comp.decompress(blob)
+        assert np.array_equal(rec_a, rec_b)
+
+
+class TestDatasetDeterminism:
+    def test_nyx_stable(self):
+        a = generate_nyx_field("temperature", shape=(16,) * 3, seed=3, timestep=2)
+        b = generate_nyx_field("temperature", shape=(16,) * 3, seed=3, timestep=2)
+        assert np.array_equal(a, b)
+
+    def test_qmcpack_stable(self):
+        a = generate_qmcpack_field("spin1", n_orbitals=3, grid_shape=(10, 8, 8))
+        b = generate_qmcpack_field("spin1", n_orbitals=3, grid_shape=(10, 8, 8))
+        assert np.array_equal(a, b)
+
+    def test_hurricane_stable(self):
+        a = generate_hurricane_field("QCLOUD", timestep=20, shape=(8, 24, 24))
+        b = generate_hurricane_field("QCLOUD", timestep=20, shape=(8, 24, 24))
+        assert np.array_equal(a, b)

@@ -1,0 +1,97 @@
+"""Unit tests for the digit-rounding (bit grooming) compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.compressors.digit_rounding import DigitRoundingCompressor, _keep_bits
+from repro.errors import InvalidConfiguration
+
+
+@pytest.fixture()
+def comp():
+    return DigitRoundingCompressor()
+
+
+class TestKeepBits:
+    def test_monotone_in_digits(self):
+        bits = [_keep_bits(d) for d in range(1, 8)]
+        assert bits == sorted(bits)
+
+    def test_bounded_by_mantissa(self):
+        assert _keep_bits(7) <= 23
+
+
+class TestRoundtrip:
+    def test_registered(self):
+        assert get_compressor("digit").name == "digit"
+
+    @pytest.mark.parametrize("digits", [1, 2, 3, 4, 5, 6])
+    def test_relative_error_within_digit_limit(self, comp, smooth_field3d, digits):
+        recon, blob = comp.roundtrip(smooth_field3d, digits)
+        comp.verify(smooth_field3d, recon, blob.config)
+
+    def test_seven_digits_lossless_for_float32(self, comp, smooth_field3d):
+        recon, _ = comp.roundtrip(smooth_field3d, 7)
+        assert np.array_equal(recon, smooth_field3d)
+
+    def test_ratio_decreases_with_digits(self, comp, smooth_field3d):
+        ratios = [
+            comp.compression_ratio(smooth_field3d, d) for d in (1, 3, 5, 7)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_decimal_semantics(self, comp):
+        """Three digits keep 1234.x distinguishable from 1235.x."""
+        data = np.array([[1234.0, 1235.0], [1236.0, 1237.0]], dtype=np.float32)
+        recon, _ = comp.roundtrip(data, 4)
+        assert np.all(np.abs(recon - data) / data < 1e-3)
+
+    def test_signed_and_tiny_values(self, comp, rng):
+        data = (rng.standard_normal((8, 8)) * 1e-20).astype(np.float32)
+        recon, blob = comp.roundtrip(data, 3)
+        comp.verify(data, recon, blob.config)
+
+    def test_top_binade_never_grooms_to_inf(self, comp):
+        data = np.full((8, 8), 3.4e38, dtype=np.float32)
+        recon, _ = comp.roundtrip(data, 2)
+        assert np.all(np.isfinite(recon))
+
+    @pytest.mark.parametrize("shape", [(9,), (5, 7), (4, 5, 6)])
+    def test_odd_shapes(self, comp, rng, shape):
+        data = rng.standard_normal(shape).astype(np.float32)
+        recon, blob = comp.roundtrip(data, 4)
+        comp.verify(data, recon, blob.config)
+
+    def test_bad_digits_rejected(self, comp, smooth_field3d):
+        with pytest.raises(InvalidConfiguration):
+            comp.compress(smooth_field3d, 0)
+        with pytest.raises(InvalidConfiguration):
+            comp.compress(smooth_field3d, 8)
+
+    def test_config_snapped_to_int(self, comp, smooth_field3d):
+        blob = comp.compress(smooth_field3d, 2.6)
+        assert blob.config == 3.0
+
+
+class TestWithFXRZ:
+    def test_fixed_ratio_pipeline_works(self, rng, fast_config, fast_model_factory):
+        """FXRZ handles the third config family end-to-end."""
+        import repro
+
+        lin = np.linspace(0, 4 * np.pi, 20)
+        x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+        fields = [
+            (100 * np.sin(x + 0.3 * i) * np.cos(y)
+             + rng.standard_normal((20,) * 3)).astype(np.float32)
+            for i in range(3)
+        ]
+        pipeline = repro.FXRZ(
+            get_compressor("digit"),
+            config=fast_config,
+            model_factory=fast_model_factory,
+        )
+        pipeline.fit(fields[:2])
+        result = pipeline.compress_to_ratio(fields[2], 2.0)
+        assert result.measured_ratio > 1.0
+        assert result.estimate.config == round(result.estimate.config)

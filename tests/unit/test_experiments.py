@@ -1,0 +1,78 @@
+"""Unit tests for the experiment corpus, tables and config modules."""
+
+import numpy as np
+import pytest
+
+from repro.config import FXRZConfig
+from repro.errors import DatasetError
+from repro.experiments.corpus import cross_scope_corpus, training_arrays
+from repro.experiments.corpus import held_out_snapshots
+from repro.experiments.tables import render_table
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = FXRZConfig()
+        assert config.sampling_stride == 4
+        assert config.block_size == 4
+        assert config.lam == 0.15
+        assert config.stationary_points == 25
+        assert config.use_adjustment is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FXRZConfig(sampling_stride=0)
+        with pytest.raises(ValueError):
+            FXRZConfig(block_size=1)
+        with pytest.raises(ValueError):
+            FXRZConfig(lam=1.5)
+        with pytest.raises(ValueError):
+            FXRZConfig(stationary_points=1)
+        with pytest.raises(ValueError):
+            FXRZConfig(augmented_samples=0)
+
+    def test_hashable_for_cache_keys(self):
+        assert hash(FXRZConfig()) == hash(FXRZConfig())
+
+
+class TestCorpus:
+    def test_training_arrays_per_field(self):
+        arrays = training_arrays("hurricane", "TC")
+        assert len(arrays) == 6
+        assert all(isinstance(a, np.ndarray) for a in arrays)
+
+    def test_training_arrays_all_fields(self):
+        arrays = training_arrays("hurricane")
+        assert len(arrays) == 12  # TC + QCLOUD, 6 steps each
+
+    def test_held_out_snapshots(self):
+        snaps = held_out_snapshots("rtm")
+        assert len(snaps) == 2
+        assert all(s.application == "rtm" for s in snaps)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(DatasetError):
+            training_arrays("nyx", "entropy")
+        with pytest.raises(DatasetError):
+            held_out_snapshots("nyx", "entropy")
+
+    def test_cross_scope_corpus(self):
+        train, test = cross_scope_corpus()
+        assert len(train) >= 8  # snapshots from all four applications
+        assert all(s.application == "rtm" for s in test)
+
+
+class TestTables:
+    def test_alignment(self):
+        table = render_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1, "all rows padded to equal width"
+
+    def test_empty_rows(self):
+        table = render_table(["a"], [])
+        assert "a" in table

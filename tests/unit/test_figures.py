@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII figure helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfiguration
+from repro.experiments.figures import ascii_plot, sparkline
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        line = sparkline(np.arange(10.0), width=30)
+        assert len(line) == 30
+
+    def test_monotone_series_monotone_chars(self):
+        line = sparkline(np.arange(48.0), width=48)
+        order = {ch: i for i, ch in enumerate(" .:-=+*#%@")}
+        levels = [order[c] for c in line]
+        assert levels == sorted(levels)
+
+    def test_constant_series(self):
+        line = sparkline(np.full(10, 3.0), width=10)
+        assert len(set(line)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            sparkline(np.zeros(0))
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            sparkline(np.arange(5.0), width=0)
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        x = np.linspace(0, 1, 20)
+        plot = ascii_plot(x, {"target": x, "measured": x**2})
+        assert "t=target" in plot and "m=measured" in plot
+        assert "t" in plot.splitlines()[0] + plot.splitlines()[5]
+
+    def test_grid_dimensions(self):
+        x = np.linspace(0, 1, 10)
+        plot = ascii_plot(x, {"a": x}, height=8, width=40)
+        lines = plot.splitlines()
+        assert len(lines) == 8 + 2  # grid + axis + legend
+        assert all(len(line) == 41 for line in lines[:8])  # "|" + width
+
+    def test_logy(self):
+        x = np.linspace(1, 10, 10)
+        plot = ascii_plot(x, {"a": 10.0**x}, logy=True)
+        assert "log10(y)" in plot
+
+    def test_logy_rejects_nonpositive(self):
+        x = np.arange(3.0)
+        with pytest.raises(InvalidConfiguration):
+            ascii_plot(x, {"a": np.array([1.0, 0.0, 2.0])}, logy=True)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            ascii_plot(np.arange(3.0), {"a": np.arange(4.0)})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            ascii_plot(np.arange(3.0), {})

@@ -1,0 +1,94 @@
+"""Unit tests for the random forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfiguration, NotFittedError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _friedman(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, (n, 5))
+    y = (
+        10 * np.sin(np.pi * x[:, 0] * x[:, 1])
+        + 20 * (x[:, 2] - 0.5) ** 2
+        + 10 * x[:, 3]
+        + 5 * x[:, 4]
+    )
+    return x, y + 0.5 * rng.standard_normal(n)
+
+
+class TestFitting:
+    def test_beats_noise_floor(self):
+        x, y = _friedman()
+        forest = RandomForestRegressor(n_estimators=25, random_state=0).fit(
+            x[:300], y[:300]
+        )
+        assert r2_score(y[300:], forest.predict(x[300:])) > 0.7
+
+    def test_reduces_single_tree_variance(self):
+        x, y = _friedman()
+        tree = DecisionTreeRegressor(random_state=0).fit(x[:300], y[:300])
+        forest = RandomForestRegressor(n_estimators=30, random_state=0).fit(
+            x[:300], y[:300]
+        )
+        tree_r2 = r2_score(y[300:], tree.predict(x[300:]))
+        forest_r2 = r2_score(y[300:], forest.predict(x[300:]))
+        assert forest_r2 >= tree_r2 - 0.02
+
+    def test_deterministic_with_seed(self):
+        x, y = _friedman(150)
+        f1 = RandomForestRegressor(n_estimators=8, random_state=3).fit(x, y)
+        f2 = RandomForestRegressor(n_estimators=8, random_state=3).fit(x, y)
+        probe = x[:10]
+        assert np.array_equal(f1.predict(probe), f2.predict(probe))
+
+    def test_estimator_count(self):
+        x, y = _friedman(60)
+        forest = RandomForestRegressor(n_estimators=5, random_state=0).fit(x, y)
+        assert len(forest.estimators_) == 5
+
+    def test_no_bootstrap_mode(self):
+        x, y = _friedman(80)
+        forest = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, max_features=None, random_state=0
+        ).fit(x, y)
+        # Without bootstrap or feature subsampling all trees are equal.
+        p = [t.predict(x[:5]) for t in forest.estimators_]
+        assert np.allclose(p[0], p[1]) and np.allclose(p[1], p[2])
+
+
+class TestMaxFeatures:
+    def test_sqrt_and_third_resolve(self):
+        forest = RandomForestRegressor(max_features="sqrt")
+        assert forest._resolve_max_features(9) == 3
+        forest = RandomForestRegressor(max_features="third")
+        assert forest._resolve_max_features(9) == 3
+        assert forest._resolve_max_features(2) == 1
+
+    def test_int_clamped(self):
+        forest = RandomForestRegressor(max_features=100)
+        assert forest._resolve_max_features(6) == 6
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            RandomForestRegressor(max_features=0)._resolve_max_features(5)
+        with pytest.raises(InvalidConfiguration):
+            RandomForestRegressor(max_features="half")._resolve_max_features(5)
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 3)))
+
+    def test_zero_estimators_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            RandomForestRegressor().fit(np.zeros((5, 2)), np.zeros(6))

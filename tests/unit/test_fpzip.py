@@ -1,0 +1,96 @@
+"""Unit tests for the FPZIP-like precision compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.fpzip import (
+    FPZIPCompressor,
+    _float_to_ordered,
+    _ordered_to_float,
+)
+from repro.errors import InvalidConfiguration
+
+
+class TestOrderedMapping:
+    def test_roundtrip_bits(self, rng):
+        values = rng.standard_normal(1000).astype(np.float32)
+        ordered = _float_to_ordered(values.view(np.uint32))
+        back = _ordered_to_float(ordered)
+        assert np.array_equal(back.view(np.uint32), values.view(np.uint32))
+
+    def test_order_preserving(self, rng):
+        values = np.sort(rng.standard_normal(500).astype(np.float32))
+        ordered = _float_to_ordered(values.view(np.uint32))
+        assert (np.diff(ordered) >= 0).all()
+
+    def test_signed_values(self):
+        values = np.array([-2.0, -1.0, -0.0, 0.0, 1.0, 2.0], dtype=np.float32)
+        ordered = _float_to_ordered(values.view(np.uint32))
+        assert (np.diff(ordered) >= 0).all()
+
+
+class TestRoundtrip:
+    def test_lossless_at_full_precision(self, smooth_field3d):
+        comp = FPZIPCompressor()
+        recon, _ = comp.roundtrip(smooth_field3d, 32)
+        assert np.array_equal(recon, smooth_field3d)
+
+    @pytest.mark.parametrize("precision", [10, 14, 20, 28])
+    def test_precision_bound_respected(self, smooth_field3d, precision):
+        comp = FPZIPCompressor()
+        recon, blob = comp.roundtrip(smooth_field3d, precision)
+        comp.verify(smooth_field3d, recon, blob.config)
+
+    def test_ratio_decreases_with_precision(self, smooth_field3d):
+        comp = FPZIPCompressor()
+        ratios = [
+            comp.compression_ratio(smooth_field3d, p) for p in (12, 18, 24, 32)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+    @pytest.mark.parametrize("shape", [(9,), (5, 7), (6, 5, 4), (3, 4, 5, 2)])
+    def test_odd_shapes(self, rng, shape):
+        comp = FPZIPCompressor()
+        data = rng.standard_normal(shape).astype(np.float32)
+        recon, blob = comp.roundtrip(data, 16)
+        comp.verify(data, recon, blob.config)
+
+    def test_error_is_relative_to_magnitude(self, rng):
+        """Truncation error scales with each value's own exponent."""
+        comp = FPZIPCompressor()
+        small = np.full((8, 8), 1e-3, dtype=np.float32) * (
+            1 + 0.1 * rng.standard_normal((8, 8)).astype(np.float32)
+        )
+        large = small * 1e6
+        recon_s, _ = comp.roundtrip(small, 14)
+        recon_l, _ = comp.roundtrip(large, 14)
+        err_s = np.max(np.abs(small - recon_s))
+        err_l = np.max(np.abs(large - recon_l))
+        assert err_l > err_s * 1e4  # absolute error follows magnitude
+
+    def test_signed_data(self, rng):
+        comp = FPZIPCompressor()
+        data = rng.standard_normal((10, 10, 10)).astype(np.float32)
+        recon, blob = comp.roundtrip(data, 18)
+        comp.verify(data, recon, blob.config)
+        assert np.sign(recon[np.abs(data) > 0.1]).tolist() == np.sign(
+            data[np.abs(data) > 0.1]
+        ).tolist()
+
+    def test_precision_snapped_to_int(self, smooth_field3d):
+        comp = FPZIPCompressor()
+        blob = comp.compress(smooth_field3d, 15.6)
+        assert blob.config == 16.0
+
+    def test_out_of_domain_precision_rejected(self, smooth_field3d):
+        comp = FPZIPCompressor()
+        with pytest.raises(InvalidConfiguration):
+            comp.compress(smooth_field3d, 5)
+        with pytest.raises(InvalidConfiguration):
+            comp.compress(smooth_field3d, 40)
+
+    def test_zeros_compress_extremely_well(self):
+        comp = FPZIPCompressor()
+        data = np.zeros((16, 16, 16), dtype=np.float32)
+        blob = comp.compress(data, 16)
+        assert blob.compression_ratio > 100

@@ -1,0 +1,99 @@
+"""Unit tests for the FRaZ baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fraz import FRaZ
+from repro.compressors import get_compressor
+from repro.errors import InvalidConfiguration
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(3)
+    lin = np.linspace(0, 4 * np.pi, 24)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    return (np.sin(x) * np.cos(y) + 0.05 * rng.standard_normal((24,) * 3)).astype(
+        np.float32
+    )
+
+
+class TestSearch:
+    def test_budget_respected(self, field):
+        comp = get_compressor("sz")
+        for budget in (6, 15):
+            result = FRaZ(comp, max_iterations=budget).search(field, 10.0)
+            assert result.iterations <= budget
+
+    def test_more_iterations_not_worse(self, field):
+        comp = get_compressor("sz")
+        cache = {}
+        errors = {}
+        for budget in (6, 30):
+            result = FRaZ(comp, max_iterations=budget).search(
+                field, 12.0, cache=cache
+            )
+            errors[budget] = result.estimation_error
+        assert errors[30] <= errors[6] + 1e-9
+
+    def test_result_is_best_evaluation(self, field):
+        comp = get_compressor("sz")
+        result = FRaZ(comp, max_iterations=9).search(field, 8.0)
+        best = min(abs(r - 8.0) for _, r in result.evaluations)
+        assert abs(result.measured_ratio - 8.0) == pytest.approx(best)
+
+    def test_cache_reuses_evaluations(self, field):
+        comp = get_compressor("sz")
+        cache = {}
+        FRaZ(comp, max_iterations=6).search(field, 10.0, cache=cache)
+        size_after_first = len(cache)
+        result = FRaZ(comp, max_iterations=6).search(field, 10.0, cache=cache)
+        assert len(cache) == size_after_first
+        # Cached runs still report per-evaluation compressor time.
+        assert result.search_seconds > 0
+
+    def test_eval_times_align(self, field):
+        comp = get_compressor("sz")
+        result = FRaZ(comp, max_iterations=6).search(field, 10.0)
+        assert len(result.eval_seconds) == len(result.evaluations)
+        assert result.search_seconds == pytest.approx(sum(result.eval_seconds))
+
+    def test_precision_compressor_grid(self, field):
+        comp = get_compressor("fpzip")
+        result = FRaZ(comp, max_iterations=10).search(field, 2.0)
+        assert result.config == round(result.config)
+        assert result.iterations <= 10
+
+    def test_log_scale_variant_converges_faster(self, field):
+        comp = get_compressor("sz")
+        target = 5.0
+        linear = FRaZ(comp, max_iterations=9, search_scale="linear").search(
+            field, target
+        )
+        logspace = FRaZ(comp, max_iterations=9, search_scale="log").search(
+            field, target
+        )
+        assert logspace.estimation_error <= linear.estimation_error + 0.05
+
+    def test_explicit_domain(self, field):
+        comp = get_compressor("sz")
+        result = FRaZ(comp, max_iterations=6).search(
+            field, 10.0, domain=(1e-4, 1e-1)
+        )
+        assert all(1e-4 <= c <= 1e-1 for c, _ in result.evaluations)
+
+
+class TestValidation:
+    def test_bad_target_rejected(self, field):
+        comp = get_compressor("sz")
+        with pytest.raises(InvalidConfiguration):
+            FRaZ(comp).search(field, -1.0)
+
+    def test_bad_params_rejected(self):
+        comp = get_compressor("sz")
+        with pytest.raises(InvalidConfiguration):
+            FRaZ(comp, max_iterations=1)
+        with pytest.raises(InvalidConfiguration):
+            FRaZ(comp, n_bins=0)
+        with pytest.raises(InvalidConfiguration):
+            FRaZ(comp, search_scale="sqrt")

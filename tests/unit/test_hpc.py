@@ -1,0 +1,84 @@
+"""Unit tests for the parallel-dumping model."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.errors import InvalidConfiguration
+from repro.hpc.iosim import DumpBreakdown, DumpScenario, simulate_dump
+from repro.hpc.throughput import measure_throughput
+
+
+def _scenario(**overrides):
+    base = dict(
+        n_ranks=1024,
+        bytes_per_rank=512e6,
+        compression_ratio=20.0,
+        compress_throughput=200e6,
+        analysis_seconds=0.5,
+        shared_bandwidth=2e9,
+        per_rank_bandwidth=1e9,
+    )
+    base.update(overrides)
+    return DumpScenario(**base)
+
+
+class TestScenario:
+    def test_breakdown_totals(self):
+        breakdown = simulate_dump(_scenario())
+        assert breakdown.total == pytest.approx(
+            breakdown.analysis + breakdown.compression + breakdown.write
+        )
+
+    def test_write_time_shared_bandwidth(self):
+        breakdown = simulate_dump(_scenario())
+        compressed = 512e6 / 20.0
+        expected = compressed / (2e9 / 1024)
+        assert breakdown.write == pytest.approx(expected)
+
+    def test_small_scale_uses_rank_link(self):
+        breakdown = simulate_dump(_scenario(n_ranks=1))
+        compressed = 512e6 / 20.0
+        assert breakdown.write == pytest.approx(compressed / 1e9)
+
+    def test_fxrz_beats_fraz_band(self):
+        """The paper's gain band: speedup > 1, largest at small scale."""
+        compress_time = 512e6 / 200e6
+        speedups = []
+        for n_ranks in (64, 256, 1024, 4096):
+            fxrz = simulate_dump(
+                _scenario(n_ranks=n_ranks, analysis_seconds=0.1 * compress_time)
+            )
+            fraz = simulate_dump(
+                _scenario(n_ranks=n_ranks, analysis_seconds=15 * compress_time)
+            )
+            speedups.append(fraz.total / fxrz.total)
+        assert all(s > 1.0 for s in speedups)
+        assert speedups[0] > speedups[-1], "I/O bound at scale shrinks the gain"
+
+    def test_higher_ratio_writes_faster(self):
+        slow = simulate_dump(_scenario(compression_ratio=5.0))
+        fast = simulate_dump(_scenario(compression_ratio=50.0))
+        assert fast.write < slow.write
+
+    def test_bad_scenarios_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            _scenario(n_ranks=0)
+        with pytest.raises(InvalidConfiguration):
+            _scenario(compression_ratio=-1.0)
+        with pytest.raises(InvalidConfiguration):
+            _scenario(analysis_seconds=-0.1)
+
+
+class TestThroughput:
+    def test_positive_and_plausible(self, smooth_field3d):
+        comp = get_compressor("sz")
+        rate = measure_throughput(comp, smooth_field3d, 0.01, repeats=1)
+        assert rate > 0
+        # A 55 KB field should compress in well under a minute.
+        assert rate > smooth_field3d.nbytes / 60
+
+    def test_bad_repeats_rejected(self, smooth_field3d):
+        comp = get_compressor("sz")
+        with pytest.raises(InvalidConfiguration):
+            measure_throughput(comp, smooth_field3d, 0.01, repeats=0)

@@ -1,0 +1,71 @@
+"""Unit tests for the LZ77-style dictionary codec."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.lz import LZCodec
+from repro.errors import CorruptStreamError
+
+
+@pytest.fixture()
+def codec():
+    return LZCodec()
+
+
+class TestRoundtrip:
+    def test_repetitive_data_compresses(self, codec):
+        data = b"scientific-data-" * 500
+        blob = codec.compress(data)
+        assert codec.decompress(blob) == data
+        assert len(blob) < len(data) // 5
+
+    def test_random_data_stored(self, codec, rng):
+        data = bytes(rng.integers(0, 256, 4096).astype(np.uint8))
+        blob = codec.compress(data)
+        assert codec.decompress(blob) == data
+        assert len(blob) <= len(data) + 6
+
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_tiny_inputs(self, codec):
+        for n in range(1, 8):
+            data = bytes(range(n))
+            assert codec.decompress(codec.compress(data)) == data
+
+    def test_overlapping_match(self, codec):
+        # Classic LZ77 case: run longer than the match distance.
+        data = b"ab" + b"a" * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_mixed_content(self, codec, rng):
+        parts = []
+        for _ in range(20):
+            parts.append(b"header-block-" * 10)
+            parts.append(bytes(rng.integers(0, 256, 100).astype(np.uint8)))
+        data = b"".join(parts)
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_oversized_input_stored(self):
+        codec = LZCodec(max_input=100)
+        data = b"x" * 200
+        blob = codec.compress(data)
+        assert blob[0] == 0  # stored mode
+        assert codec.decompress(blob) == data
+
+
+class TestCorruption:
+    def test_empty_blob_raises(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(b"")
+
+    def test_unknown_mode_raises(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(b"\x07abc")
+
+    def test_bad_distance_raises(self, codec):
+        good = codec.compress(b"abcdabcdabcdabcd" * 10)
+        assert good[0] == 1
+        with pytest.raises(CorruptStreamError):
+            # Truncating the token stream corrupts lengths/distances.
+            codec.decompress(good[:-3])

@@ -1,0 +1,93 @@
+"""Unit tests for ML metrics (Pearson, Formula 5, regression scores)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfiguration
+from repro.ml.metrics import (
+    estimation_error,
+    mean_absolute_error,
+    mean_estimation_error,
+    pearson_correlation,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        a = np.arange(50.0)
+        assert pearson_correlation(a, 3 * a + 2) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        a = np.arange(50.0)
+        assert pearson_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self, rng):
+        a = rng.standard_normal(5000)
+        b = rng.standard_normal(5000)
+        assert abs(pearson_correlation(a, b)) < 0.1
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal(200)
+        b = a + 0.5 * rng.standard_normal(200)
+        assert pearson_correlation(a, b) == pytest.approx(
+            np.corrcoef(a, b)[0, 1]
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            pearson_correlation(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            pearson_correlation(np.zeros(0), np.zeros(0))
+
+
+class TestEstimationError:
+    def test_formula_five(self):
+        assert estimation_error(100.0, 92.0) == pytest.approx(0.08)
+        assert estimation_error(100.0, 108.0) == pytest.approx(0.08)
+
+    def test_exact_match_is_zero(self):
+        assert estimation_error(40.0, 40.0) == 0.0
+
+    def test_nonpositive_target_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            estimation_error(0.0, 5.0)
+
+    def test_mean_over_pairs(self):
+        t = np.array([10.0, 20.0])
+        m = np.array([9.0, 22.0])
+        assert mean_estimation_error(t, m) == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_mean_rejects_nonpositive_targets(self):
+        with pytest.raises(InvalidConfiguration):
+            mean_estimation_error(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+
+class TestRegressionScores:
+    def test_mae(self):
+        assert mean_absolute_error(
+            np.array([1.0, 2.0]), np.array([2.0, 0.0])
+        ) == pytest.approx(1.5)
+
+    def test_rmse(self):
+        assert root_mean_squared_error(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(np.sqrt(12.5))
+
+    def test_r2_perfect(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.arange(10.0)
+        assert r2_score(y, np.full(10, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        assert r2_score(np.ones(5), np.ones(5)) == 1.0
+        assert r2_score(np.ones(5), np.zeros(5)) == 0.0

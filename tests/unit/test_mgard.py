@@ -1,0 +1,75 @@
+"""Unit tests for the MGARD-like multigrid compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.mgard import MGARDCompressor, _level_bins
+from repro.compressors.sz import SZCompressor
+
+
+class TestLevelBins:
+    def test_single_level(self):
+        assert _level_bins(0.1, 1) == [0.1]
+
+    def test_bins_never_exceed_bound(self):
+        bins = _level_bins(0.5, 8)
+        assert all(b <= 0.5 + 1e-15 for b in bins)
+
+    def test_bins_shrink_with_depth(self):
+        bins = _level_bins(1.0, 6)
+        assert bins == sorted(bins, reverse=True)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("eb", [1e-3, 1e-2, 1e-1])
+    def test_error_bound_respected(self, smooth_field3d, eb):
+        comp = MGARDCompressor()
+        recon, blob = comp.roundtrip(smooth_field3d, eb)
+        comp.verify(smooth_field3d, recon, blob.config)
+
+    @pytest.mark.parametrize("shape", [(11,), (7, 13), (9, 6, 5), (3, 4, 5, 6)])
+    def test_odd_shapes(self, rng, shape):
+        comp = MGARDCompressor()
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        recon, blob = comp.roundtrip(data, 0.05)
+        comp.verify(data, recon, blob.config)
+
+    def test_rough_data_with_outliers(self, rough_field3d):
+        comp = MGARDCompressor()
+        recon, blob = comp.roundtrip(rough_field3d, 1e-4)
+        comp.verify(rough_field3d, recon, blob.config)
+
+    def test_ratio_grows_with_bound(self, smooth_field3d):
+        comp = MGARDCompressor()
+        ratios = [
+            comp.compression_ratio(smooth_field3d, eb)
+            for eb in (1e-4, 1e-3, 1e-2, 1e-1)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_distinct_curve_from_sz(self, smooth_field3d):
+        """MGARD's level-scaled bins give a different CR-eb tradeoff."""
+        mgard = MGARDCompressor()
+        sz = SZCompressor()
+        bounds = np.logspace(-4, -1, 6)
+        mgard_ratios = np.array(
+            [mgard.compression_ratio(smooth_field3d, b) for b in bounds]
+        )
+        sz_ratios = np.array(
+            [sz.compression_ratio(smooth_field3d, b) for b in bounds]
+        )
+        rel = np.abs(mgard_ratios - sz_ratios) / sz_ratios
+        assert rel.max() > 0.10, "curves should not coincide"
+
+    def test_constant_field(self):
+        comp = MGARDCompressor()
+        data = np.full((12, 12), -3.5)
+        recon, blob = comp.roundtrip(data, 0.01)
+        assert np.max(np.abs(recon - data)) <= 0.01
+
+    def test_actual_error_tighter_than_bound(self, smooth_field3d):
+        """Level-scaled bins over-deliver: achieved error < bound."""
+        comp = MGARDCompressor()
+        recon, _ = comp.roundtrip(smooth_field3d, 0.1)
+        err = np.max(np.abs(smooth_field3d.astype(np.float64) - recon))
+        assert err < 0.1

@@ -1,0 +1,87 @@
+"""Unit tests for k-fold CV, train/test split and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfiguration
+from repro.ml.model_selection import GridSearchCV, KFold, train_test_split
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestKFold:
+    def test_partitions_exactly_once(self):
+        seen = np.zeros(103, dtype=int)
+        for train, test in KFold(5).split(103):
+            seen[test] += 1
+            assert np.intersect1d(train, test).size == 0
+        assert (seen == 1).all()
+
+    def test_unshuffled_is_contiguous(self):
+        folds = list(KFold(2, shuffle=False).split(10))
+        assert folds[0][1].tolist() == [0, 1, 2, 3, 4]
+
+    def test_deterministic_shuffle(self):
+        a = [t.tolist() for _, t in KFold(3, random_state=1).split(30)]
+        b = [t.tolist() for _, t in KFold(3, random_state=1).split(30)]
+        assert a == b
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            list(KFold(5).split(3))
+
+    def test_bad_n_splits_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            KFold(1)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = rng.standard_normal(100)
+        xtr, xte, ytr, yte = train_test_split(x, y, 0.25, 0)
+        assert xte.shape[0] == 25 and xtr.shape[0] == 75
+        assert ytr.shape[0] == 75 and yte.shape[0] == 25
+
+    def test_rows_stay_paired(self, rng):
+        x = np.arange(50, dtype=float)[:, None]
+        y = np.arange(50, dtype=float) * 2
+        xtr, xte, ytr, yte = train_test_split(x, y, 0.2, 3)
+        assert np.allclose(xtr[:, 0] * 2, ytr)
+        assert np.allclose(xte[:, 0] * 2, yte)
+
+    def test_bad_fraction_rejected(self, rng):
+        x = rng.standard_normal((10, 2))
+        y = rng.standard_normal(10)
+        with pytest.raises(InvalidConfiguration):
+            train_test_split(x, y, 0.0)
+        with pytest.raises(InvalidConfiguration):
+            train_test_split(x, y, 1.0)
+
+    def test_mismatched_rows_rejected(self, rng):
+        with pytest.raises(InvalidConfiguration):
+            train_test_split(np.zeros((5, 1)), np.zeros(4))
+
+
+class TestGridSearch:
+    def test_finds_better_depth(self, rng):
+        x = rng.uniform(0, 1, (150, 2))
+        y = np.sin(6 * x[:, 0])
+        search = GridSearchCV(
+            DecisionTreeRegressor, {"max_depth": [1, 8]}, n_splits=3
+        )
+        result = search.search(x, y)
+        assert result.best_params == {"max_depth": 8}
+        assert len(result.all_scores) == 2
+
+    def test_scores_are_cv_means(self, rng):
+        x = rng.uniform(0, 1, (60, 1))
+        y = x[:, 0]
+        search = GridSearchCV(
+            DecisionTreeRegressor, {"max_depth": [3]}, n_splits=3
+        )
+        result = search.search(x, y)
+        assert result.best_score >= 0.0
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            GridSearchCV(DecisionTreeRegressor, {})

@@ -1,0 +1,128 @@
+"""Unit tests for pipeline save/load."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compressors import get_compressor
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.errors import InvalidConfiguration, NotFittedError
+from repro.ml.svr import SVR
+
+from tests.conftest import small_forest_factory
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline():
+    rng = np.random.default_rng(2)
+    lin = np.linspace(0, 4 * np.pi, 20)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    train = [
+        (np.sin(x + 0.3 * i) * np.cos(y) + 0.03 * rng.standard_normal((20,) * 3))
+        .astype(np.float32)
+        for i in range(2)
+    ]
+    config = repro.FXRZConfig(stationary_points=8, augmented_samples=60)
+    pipeline = repro.FXRZ(
+        get_compressor("sz"), config=config, model_factory=small_forest_factory
+    )
+    pipeline.fit(train)
+    return pipeline, train
+
+
+class TestRoundtrip:
+    def test_predictions_identical_after_reload(self, fitted_pipeline, tmp_path):
+        pipeline, train = fitted_pipeline
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+
+        probe = train[0]
+        for tcr in (3.0, 6.0, 10.0):
+            original = pipeline.estimate_config(probe, tcr).config
+            reloaded = restored.estimate_config(probe, tcr).config
+            assert reloaded == pytest.approx(original)
+
+    def test_metadata_restored(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        assert restored.compressor.name == "sz"
+        assert restored.config == pipeline.config
+        assert len(restored.curves) == len(pipeline.curves)
+
+    def test_sz_options_restored(self, tmp_path):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((16, 16, 16)).cumsum(axis=0).astype(np.float32)
+        config = repro.FXRZConfig(stationary_points=6, augmented_samples=40)
+        from repro.compressors.sz import SZCompressor
+
+        pipeline = repro.FXRZ(
+            SZCompressor(interpolation="linear", entropy="range"),
+            config=config,
+            model_factory=small_forest_factory,
+        )
+        pipeline.fit([data])
+        path = tmp_path / "szopts.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        assert restored.compressor.interpolation == "linear"
+        assert restored.compressor.entropy == "range"
+
+    def test_rate_mode_compressor_restored(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((16, 16, 16)).cumsum(axis=0).astype(np.float32)
+        config = repro.FXRZConfig(stationary_points=6, augmented_samples=40)
+        pipeline = repro.FXRZ(
+            get_compressor("zfp", mode="rate"),
+            config=config,
+            model_factory=small_forest_factory,
+        )
+        pipeline.fit([data])
+        path = tmp_path / "rate.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        assert restored.compressor.mode == "rate"
+
+
+class TestValidation:
+    def test_unfitted_pipeline_rejected(self, tmp_path):
+        pipeline = repro.FXRZ(get_compressor("sz"))
+        with pytest.raises(NotFittedError):
+            save_pipeline(pipeline, tmp_path / "x.npz")
+
+    def test_custom_model_rejected(self, fitted_pipeline, tmp_path):
+        _, train = fitted_pipeline
+        config = repro.FXRZConfig(stationary_points=6, augmented_samples=40)
+        pipeline = repro.FXRZ(
+            get_compressor("sz"),
+            config=config,
+            model_factory=lambda seed: SVR(),
+        )
+        pipeline.fit(train[:1])
+        with pytest.raises(InvalidConfiguration):
+            save_pipeline(pipeline, tmp_path / "x.npz")
+
+    def test_garbage_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(InvalidConfiguration):
+            load_pipeline(path)
+
+    def test_wrong_format_version_rejected(self, fitted_pipeline, tmp_path):
+        import json
+
+        pipeline, _ = fitted_pipeline
+        path = tmp_path / "versioned.npz"
+        save_pipeline(pipeline, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta["format_version"] = 999
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(InvalidConfiguration):
+            load_pipeline(path)

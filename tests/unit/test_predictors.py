@@ -1,0 +1,98 @@
+"""Unit tests for the Lorenzo and interpolation predictors."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.predictors import (
+    interp_prediction_cubic,
+    interp_prediction_linear,
+    lorenzo_prediction,
+    lorenzo_reconstruct,
+    lorenzo_residuals,
+)
+
+
+class TestLorenzo:
+    @pytest.mark.parametrize("shape", [(50,), (12, 9), (6, 7, 8), (3, 4, 5, 6)])
+    def test_residual_reconstruct_inverse(self, rng, shape):
+        data = rng.integers(-1000, 1000, shape).astype(np.int64)
+        recon = lorenzo_reconstruct(lorenzo_residuals(data))
+        assert np.array_equal(recon, data)
+
+    def test_2d_matches_paper_equation(self, rng):
+        # Eq. (1): pred = d[i-1,j] + d[i,j-1] - d[i-1,j-1].
+        data = rng.standard_normal((8, 8))
+        pred = lorenzo_prediction(data)
+        i, j = 4, 5
+        expected = data[i - 1, j] + data[i, j - 1] - data[i - 1, j - 1]
+        assert pred[i, j] == pytest.approx(expected)
+
+    def test_3d_matches_paper_equation(self, rng):
+        # Eq. (2): inclusion-exclusion over the preceding cube corner.
+        d = rng.standard_normal((6, 6, 6))
+        pred = lorenzo_prediction(d)
+        i, j, k = 3, 4, 2
+        expected = (
+            d[i - 1, j, k]
+            + d[i, j - 1, k]
+            + d[i, j, k - 1]
+            - d[i - 1, j - 1, k]
+            - d[i - 1, j, k - 1]
+            - d[i, j - 1, k - 1]
+            + d[i - 1, j - 1, k - 1]
+        )
+        assert pred[i, j, k] == pytest.approx(expected)
+
+    def test_constant_field_residual_is_zero_inside(self):
+        data = np.full((5, 5), 3.0)
+        residuals = lorenzo_residuals(data)
+        assert np.allclose(residuals[1:, 1:], 0.0)
+
+    def test_linear_ramp_predicted_exactly_inside(self):
+        x, y = np.meshgrid(np.arange(10.0), np.arange(10.0), indexing="ij")
+        data = 2 * x + 3 * y
+        residuals = lorenzo_residuals(data)
+        assert np.allclose(residuals[1:, 1:], 0.0)
+
+
+class TestInterpolation:
+    def test_linear_midpoint_exact_on_linear_data(self):
+        recon = np.arange(0.0, 33.0)
+        new_idx = np.arange(2, 31, 4)
+        pred = interp_prediction_linear(recon, 0, new_idx, 2)
+        assert np.allclose(pred, recon[new_idx])
+
+    def test_linear_boundary_falls_back_to_left(self):
+        recon = np.arange(0.0, 7.0)
+        new_idx = np.array([6])  # right neighbor at 8 out of range
+        pred = interp_prediction_linear(recon, 0, new_idx, 2)
+        assert pred[0] == recon[4]
+
+    def test_cubic_exact_on_cubic_polynomial(self):
+        # Eq. (3) reproduces cubics exactly at midpoints.
+        t = np.arange(0.0, 64.0)
+        recon = 0.5 * t**3 - 2 * t**2 + t - 7
+        # Keep i +- 3h in range so no point falls back to linear.
+        new_idx = np.arange(16, 48, 8)
+        pred = interp_prediction_cubic(recon, 0, new_idx, 4)
+        assert np.allclose(pred, recon[new_idx], rtol=1e-10)
+
+    def test_cubic_falls_back_to_linear_near_edges(self):
+        recon = np.arange(0.0, 12.0)
+        new_idx = np.array([2])  # i-3h = -4 out of range
+        cubic = interp_prediction_cubic(recon, 0, new_idx, 2)
+        linear = interp_prediction_linear(recon, 0, new_idx, 2)
+        assert np.allclose(cubic, linear)
+
+    def test_multi_axis_prediction(self, rng):
+        recon = rng.standard_normal((16, 17))
+        new_idx = np.array([4, 12])
+        pred = interp_prediction_linear(recon, 1, new_idx, 4)
+        assert pred[3, 0] == pytest.approx(0.5 * (recon[3, 0] + recon[3, 8]))
+        assert pred[5, 1] == pytest.approx(0.5 * (recon[5, 8] + recon[5, 16]))
+
+    def test_prediction_shape(self, rng):
+        recon = rng.standard_normal((8, 20, 8))
+        new_idx = np.array([2, 6, 10, 14, 18])
+        pred = interp_prediction_linear(recon, 1, new_idx, 2)
+        assert pred.shape == (8, 5, 8)

@@ -1,0 +1,71 @@
+"""Unit tests for PSNR-targeted error-bound selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distortion import psnr
+from repro.compressors import get_compressor
+from repro.core.psnr_control import (
+    analytic_bound_for_psnr,
+    calibrated_bound_for_psnr,
+)
+from repro.errors import InvalidConfiguration
+
+
+class TestAnalytic:
+    def test_formula_inversion(self, smooth_field3d):
+        bound = analytic_bound_for_psnr(smooth_field3d, 60.0)
+        value_range = float(np.ptp(smooth_field3d))
+        # PSNR = -20 log10(eb / (range*sqrt(3))) must give back 60.
+        implied = -20 * np.log10(bound / (value_range * np.sqrt(3)))
+        assert implied == pytest.approx(60.0)
+
+    def test_higher_psnr_needs_tighter_bound(self, smooth_field3d):
+        loose = analytic_bound_for_psnr(smooth_field3d, 40.0)
+        tight = analytic_bound_for_psnr(smooth_field3d, 80.0)
+        assert tight < loose
+
+    def test_analytic_close_for_sz(self, smooth_field3d):
+        """The uniform-error model fits the SZ quantizer within ~3 dB."""
+        comp = get_compressor("sz")
+        for target in (45.0, 60.0):
+            bound = analytic_bound_for_psnr(smooth_field3d, target)
+            recon, _ = comp.roundtrip(smooth_field3d, bound)
+            assert abs(psnr(smooth_field3d, recon) - target) < 3.0
+
+    def test_bad_inputs_rejected(self, smooth_field3d):
+        with pytest.raises(InvalidConfiguration):
+            analytic_bound_for_psnr(smooth_field3d, 0.0)
+        with pytest.raises(InvalidConfiguration):
+            analytic_bound_for_psnr(np.ones((4, 4)), 40.0)
+
+
+class TestCalibrated:
+    @pytest.mark.parametrize("name", ["sz", "zfp", "mgard"])
+    def test_hits_target_within_3db(self, smooth_field3d, name):
+        comp = get_compressor(name)
+        target = 50.0
+        bound = calibrated_bound_for_psnr(comp, smooth_field3d, target, probes=2)
+        recon, _ = comp.roundtrip(smooth_field3d, bound)
+        assert abs(psnr(smooth_field3d, recon) - target) < 3.0
+
+    def test_zero_probes_is_analytic(self, smooth_field3d):
+        comp = get_compressor("sz")
+        calibrated = calibrated_bound_for_psnr(
+            comp, smooth_field3d, 55.0, probes=0
+        )
+        lo, hi = comp.config_domain(smooth_field3d)
+        analytic = float(
+            np.clip(analytic_bound_for_psnr(smooth_field3d, 55.0), lo, hi)
+        )
+        assert calibrated == pytest.approx(analytic)
+
+    def test_precision_compressor_rejected(self, smooth_field3d):
+        comp = get_compressor("fpzip")
+        with pytest.raises(InvalidConfiguration):
+            calibrated_bound_for_psnr(comp, smooth_field3d, 50.0)
+
+    def test_negative_probes_rejected(self, smooth_field3d):
+        comp = get_compressor("sz")
+        with pytest.raises(InvalidConfiguration):
+            calibrated_bound_for_psnr(comp, smooth_field3d, 50.0, probes=-1)

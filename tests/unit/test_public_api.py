@@ -1,0 +1,58 @@
+"""Tests of the top-level package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CompressionError,
+    CorruptStreamError,
+    DatasetError,
+    EncodingError,
+    ErrorBoundViolation,
+    InvalidConfiguration,
+    NotFittedError,
+    ReproError,
+    SearchError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            EncodingError,
+            CorruptStreamError,
+            CompressionError,
+            ErrorBoundViolation,
+            InvalidConfiguration,
+            NotFittedError,
+            DatasetError,
+            SearchError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_corrupt_stream_is_encoding_error(self):
+        assert issubclass(CorruptStreamError, EncodingError)
+
+    def test_bound_violation_is_compression_error(self):
+        assert issubclass(ErrorBoundViolation, CompressionError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise SearchError("x")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_facade_classes_exported(self):
+        assert repro.FXRZ is not None
+        assert repro.FRaZ is not None
+        assert repro.FXRZConfig is not None

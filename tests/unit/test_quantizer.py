@@ -1,0 +1,61 @@
+"""Unit tests for the linear-scaling quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.quantizer import LinearQuantizer
+from repro.errors import InvalidConfiguration
+
+
+class TestQuantize:
+    def test_error_within_bound(self, rng):
+        quantizer = LinearQuantizer(0.01)
+        residuals = rng.uniform(-5, 5, 10_000)
+        result = quantizer.quantize(residuals)
+        err = np.abs(residuals - result.dequantized)
+        assert err[~result.outlier_mask].max() <= 0.01 + 1e-12
+        assert not result.outlier_mask.any()
+
+    def test_zero_residuals_give_zero_codes(self):
+        result = LinearQuantizer(0.1).quantize(np.zeros(100))
+        assert (result.codes == 0).all()
+
+    def test_outlier_detection(self):
+        quantizer = LinearQuantizer(1e-9, max_code=100)
+        result = quantizer.quantize(np.array([0.0, 1.0]))
+        assert result.outlier_mask.tolist() == [False, True]
+        assert result.codes[1] == quantizer.sentinel
+        assert result.dequantized[1] == 0.0
+
+    def test_dequantize_matches_quantize(self, rng):
+        quantizer = LinearQuantizer(0.05)
+        residuals = rng.uniform(-2, 2, 1000)
+        q = quantizer.quantize(residuals)
+        deq, mask = quantizer.dequantize(q.codes)
+        assert np.array_equal(mask, q.outlier_mask)
+        assert np.allclose(deq, q.dequantized)
+
+    def test_bin_width_is_twice_bound(self):
+        assert LinearQuantizer(0.25).bin_width == 0.5
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(InvalidConfiguration):
+            LinearQuantizer(0.0)
+        with pytest.raises(InvalidConfiguration):
+            LinearQuantizer(-1.0)
+        with pytest.raises(InvalidConfiguration):
+            LinearQuantizer(float("nan"))
+
+    def test_rejects_bad_max_code(self):
+        with pytest.raises(InvalidConfiguration):
+            LinearQuantizer(0.1, max_code=0)
+
+    def test_huge_values_do_not_overflow(self):
+        quantizer = LinearQuantizer(1e-300, max_code=1 << 20)
+        result = quantizer.quantize(np.array([1e300, -1e300]))
+        assert result.outlier_mask.all()
+
+    def test_codes_are_nearest_bin(self):
+        quantizer = LinearQuantizer(0.5)  # bin width 1.0
+        result = quantizer.quantize(np.array([0.49, 0.51, -0.51, 1.49]))
+        assert result.codes.tolist() == [0, 1, -1, 1]

@@ -1,0 +1,98 @@
+"""Unit tests for the static range coder."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.sz import SZCompressor
+from repro.encoding import HuffmanCodec, RangeCoder
+from repro.encoding.range_coder import _quantized_counts
+from repro.errors import CorruptStreamError, EncodingError
+
+
+@pytest.fixture()
+def coder():
+    return RangeCoder()
+
+
+class TestQuantizedCounts:
+    def test_sums_to_total(self, rng):
+        counts = rng.integers(1, 10_000, 50)
+        scaled = _quantized_counts(counts)
+        assert scaled.sum() == 1 << 16
+        assert scaled.min() >= 1
+
+    def test_rare_symbols_keep_a_slot(self):
+        counts = np.array([1_000_000, 1, 1, 1])
+        scaled = _quantized_counts(counts)
+        assert scaled.min() >= 1
+        assert scaled[0] > scaled[1]
+
+    def test_two_symbols(self):
+        scaled = _quantized_counts(np.array([3, 1]))
+        assert scaled.sum() == 1 << 16
+
+
+class TestRoundtrip:
+    def test_skewed(self, coder, rng):
+        symbols = rng.geometric(0.7, 30_000).astype(np.int64) - 2
+        assert np.array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_uniform(self, coder, rng):
+        symbols = rng.integers(-500, 500, 10_000)
+        assert np.array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_empty(self, coder):
+        assert coder.decode(coder.encode(np.zeros(0, np.int64))).size == 0
+
+    def test_single_symbol(self, coder):
+        symbols = np.full(5000, -7, dtype=np.int64)
+        blob = coder.encode(symbols)
+        assert len(blob) < 20
+        assert np.array_equal(coder.decode(blob), symbols)
+
+    def test_two_distinct(self, coder):
+        symbols = np.array([3, 3, 3, 9, 3, 9], dtype=np.int64)
+        assert np.array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_large_magnitudes(self, coder):
+        symbols = np.array([2**40, -(2**40), 0], dtype=np.int64)
+        assert np.array_equal(coder.decode(coder.encode(symbols)), symbols)
+
+    def test_beats_huffman_on_very_skewed_data(self, coder, rng):
+        """Sub-bit symbol costs: the reason this backend exists."""
+        symbols = np.where(
+            rng.random(40_000) < 0.97, 0, rng.integers(1, 8, 40_000)
+        ).astype(np.int64)
+        range_size = len(coder.encode(symbols))
+        huffman_size = len(HuffmanCodec().encode(symbols))
+        assert range_size < huffman_size * 0.7
+
+    def test_oversized_alphabet_rejected(self, coder):
+        with pytest.raises(EncodingError):
+            coder.encode(np.arange(70_000, dtype=np.int64))
+
+    def test_truncated_stream_raises_or_mismatches(self, coder, rng):
+        symbols = rng.integers(0, 50, 2000)
+        blob = coder.encode(symbols)
+        with pytest.raises(CorruptStreamError):
+            coder.decode(blob[: len(blob) // 3])
+
+
+class TestSZBackend:
+    def test_roundtrip_with_range_entropy(self, smooth_field3d):
+        comp = SZCompressor(entropy="range")
+        recon, blob = comp.roundtrip(smooth_field3d, 1e-3)
+        comp.verify(smooth_field3d, recon, blob.config)
+
+    def test_range_backend_improves_ratio(self, smooth_field3d):
+        huffman_cr = SZCompressor(entropy="huffman").compression_ratio(
+            smooth_field3d, 1e-3
+        )
+        range_cr = SZCompressor(entropy="range").compression_ratio(
+            smooth_field3d, 1e-3
+        )
+        assert range_cr > huffman_cr * 0.98
+
+    def test_bad_entropy_rejected(self):
+        with pytest.raises(ValueError):
+            SZCompressor(entropy="zstd")

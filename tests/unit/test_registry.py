@@ -1,0 +1,87 @@
+"""Unit tests for the dataset registry (Table V analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    APPLICATIONS,
+    HURRICANE_TEST_STEP,
+    dataset_catalog,
+    load_series,
+    paper_test_series,
+    paper_training_series,
+)
+from repro.errors import DatasetError
+
+
+class TestCatalog:
+    def test_all_table5_entries_present(self):
+        catalog = dataset_catalog()
+        expected = {
+            "nyx-1", "nyx-2", "qmcpack-1", "qmcpack-2", "qmcpack-3",
+            "rtm-small", "rtm-big", "hurricane",
+        }
+        assert set(catalog) == expected
+
+    def test_catalog_entries_have_metadata(self):
+        for entry in dataset_catalog().values():
+            assert {"application", "fields", "timesteps", "shape", "domain"} <= set(
+                entry
+            )
+
+
+class TestLoadSeries:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_series("nyx-9", "baryon_density")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(DatasetError):
+            load_series("nyx-1", "pressure")
+
+    def test_snapshot_counts_match_catalog(self):
+        catalog = dataset_catalog()
+        for name in ("nyx-1", "rtm-small", "hurricane"):
+            field = catalog[name]["fields"][0]
+            series = load_series(name, field)
+            assert len(series) == catalog[name]["timesteps"]
+
+    def test_caching_returns_same_object(self):
+        a = load_series("nyx-1", "baryon_density")
+        b = load_series("nyx-1", "baryon_density")
+        assert a is b
+
+    def test_configs_differ_between_nyx_runs(self):
+        a = load_series("nyx-1", "baryon_density").snapshots[0].data
+        b = load_series("nyx-2", "baryon_density").snapshots[0].data
+        assert not np.array_equal(a, b)
+
+    def test_rtm_scales_differ_in_shape(self):
+        small = load_series("rtm-small", "pressure").snapshots[0].data
+        big = load_series("rtm-big", "pressure").snapshots[0].data
+        assert big.size > small.size
+
+
+class TestCapabilitySplits:
+    @pytest.mark.parametrize("app", APPLICATIONS)
+    def test_train_and_test_disjoint(self, app):
+        train = paper_training_series(app)
+        test = paper_test_series(app)
+        train_names = {s.name for series in train for s in series}
+        test_names = {s.name for series in test for s in series}
+        assert train_names
+        assert test_names
+        assert not train_names & test_names
+
+    def test_hurricane_level1_split(self):
+        train = paper_training_series("hurricane")[0]
+        test = paper_test_series("hurricane")[0]
+        assert len(train) == 6
+        assert len(test) == 1
+        assert test.snapshots[0].label.endswith(f"t{HURRICANE_TEST_STEP}")
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(DatasetError):
+            paper_training_series("lattice-qcd")
+        with pytest.raises(DatasetError):
+            paper_test_series("lattice-qcd")

@@ -1,0 +1,88 @@
+"""Unit tests for run-length coding."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.rle import (
+    rle_decode,
+    rle_encode,
+    zero_rle_decode,
+    zero_rle_encode,
+)
+
+
+class TestGenericRLE:
+    def test_basic_runs(self):
+        values, runs = rle_encode(np.array([1, 1, 1, 2, 3, 3]))
+        assert values.tolist() == [1, 2, 3]
+        assert runs.tolist() == [3, 1, 2]
+
+    def test_roundtrip(self, rng):
+        symbols = rng.integers(0, 3, 5000)
+        values, runs = rle_encode(symbols)
+        assert np.array_equal(rle_decode(values, runs), symbols)
+
+    def test_empty(self):
+        values, runs = rle_encode(np.zeros(0, np.int64))
+        assert values.size == 0 and runs.size == 0
+        assert rle_decode(values, runs).size == 0
+
+    def test_single_element(self):
+        values, runs = rle_encode(np.array([9]))
+        assert values.tolist() == [9] and runs.tolist() == [1]
+
+    def test_all_distinct(self):
+        data = np.arange(10)
+        values, runs = rle_encode(data)
+        assert np.array_equal(values, data)
+        assert (runs == 1).all()
+
+    def test_decode_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            rle_decode(np.array([1, 2]), np.array([1]))
+
+    def test_decode_rejects_nonpositive_runs(self):
+        with pytest.raises(ValueError):
+            rle_decode(np.array([1]), np.array([0]))
+
+
+class TestZeroRLE:
+    def test_basic(self):
+        tokens, literals = zero_rle_encode(np.array([0, 0, 5, 0, 3]))
+        assert tokens.tolist() == [2, 1, 0]
+        assert literals.tolist() == [5, 3]
+
+    def test_roundtrip_sparse(self, rng):
+        symbols = np.zeros(10_000, dtype=np.int64)
+        idx = rng.choice(10_000, 300, replace=False)
+        symbols[idx] = rng.integers(1, 50, 300)
+        tokens, literals = zero_rle_encode(symbols)
+        assert np.array_equal(zero_rle_decode(tokens, literals), symbols)
+
+    def test_all_zero(self):
+        tokens, literals = zero_rle_encode(np.zeros(7, np.int64))
+        assert tokens.tolist() == [7]
+        assert literals.size == 0
+        assert np.array_equal(zero_rle_decode(tokens, literals), np.zeros(7))
+
+    def test_no_zeros(self):
+        data = np.array([1, 2, 3])
+        tokens, literals = zero_rle_encode(data)
+        assert np.array_equal(zero_rle_decode(tokens, literals), data)
+
+    def test_custom_zero_value(self):
+        data = np.array([9, 9, 1, 9])
+        tokens, literals = zero_rle_encode(data, zero=9)
+        assert np.array_equal(zero_rle_decode(tokens, literals, zero=9), data)
+
+    def test_empty(self):
+        tokens, literals = zero_rle_encode(np.zeros(0, np.int64))
+        assert zero_rle_decode(tokens, literals).size == 0
+
+    def test_decode_rejects_bad_token_count(self):
+        with pytest.raises(ValueError):
+            zero_rle_decode(np.array([1, 2]), np.array([5, 6]))
+
+    def test_decode_rejects_negative_runs(self):
+        with pytest.raises(ValueError):
+            zero_rle_decode(np.array([-1, 0]), np.array([5]))

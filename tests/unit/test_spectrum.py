@@ -1,0 +1,66 @@
+"""Unit tests for the power-spectrum analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import isotropic_power_spectrum, spectrum_distortion
+from repro.compressors import get_compressor
+from repro.datasets.grf import power_spectrum_noise
+from repro.errors import InvalidConfiguration
+
+
+class TestPowerSpectrum:
+    def test_single_mode_peaks_in_right_bin(self):
+        n = 64
+        x = np.arange(n)
+        field = np.sin(2 * np.pi * 8 * x / n)  # wavenumber k = 8
+        centers, power = isotropic_power_spectrum(field, n_bins=16)
+        peak_bin = int(np.argmax(power))
+        assert abs(centers[peak_bin] - 8) < centers[1] - centers[0] + 1e-9
+
+    def test_power_law_slope_recovered(self):
+        field = power_spectrum_noise((64, 64), alpha=3.0, seed=5)
+        centers, power = isotropic_power_spectrum(field, n_bins=16)
+        usable = power > 0
+        slope = np.polyfit(np.log(centers[usable]), np.log(power[usable]), 1)[0]
+        assert -4.0 < slope < -2.0  # near the injected -3
+
+    def test_mean_removed(self):
+        field = np.full((32, 32), 7.0)
+        _, power = isotropic_power_spectrum(field, n_bins=8)
+        assert np.allclose(power, 0.0)
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            isotropic_power_spectrum(np.zeros((8, 8)), n_bins=1)
+
+
+class TestSpectrumDistortion:
+    def test_identical_fields_zero(self):
+        field = power_spectrum_noise((32, 32, 32), 3.0, seed=1)
+        assert spectrum_distortion(field, field.copy()) == pytest.approx(0.0)
+
+    def test_grows_with_error_bound(self):
+        field = power_spectrum_noise((32, 32, 32), 3.0, seed=2)
+        comp = get_compressor("sz")
+        spread = float(np.ptp(field))
+        small_eb, _ = comp.roundtrip(field, 1e-4 * spread)
+        large_eb, _ = comp.roundtrip(field, 5e-2 * spread)
+        d_small = spectrum_distortion(field, small_eb)
+        d_large = spectrum_distortion(field, large_eb)
+        assert d_small < d_large
+
+    def test_small_bound_preserves_spectrum(self):
+        field = power_spectrum_noise((32, 32, 32), 3.0, seed=3)
+        comp = get_compressor("sz")
+        recon, _ = comp.roundtrip(field, 1e-5 * float(np.ptp(field)))
+        assert spectrum_distortion(field, recon) < 0.05
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            spectrum_distortion(np.zeros((8, 8)), np.zeros((8, 9)))
+
+    def test_bad_cut_rejected(self):
+        field = np.random.default_rng(0).standard_normal((16, 16))
+        with pytest.raises(InvalidConfiguration):
+            spectrum_distortion(field, field, k_cut_fraction=0.0)

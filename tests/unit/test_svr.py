@@ -1,0 +1,79 @@
+"""Unit tests for the kernel SVR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfiguration, NotFittedError
+from repro.ml.metrics import r2_score
+from repro.ml.svr import SVR, _rbf_kernel
+
+
+class TestKernel:
+    def test_diagonal_is_two(self, rng):
+        # exp(0) + 1 (bias augmentation) = 2 on the diagonal.
+        x = rng.standard_normal((10, 3))
+        k = _rbf_kernel(x, x, 0.5)
+        assert np.allclose(np.diag(k), 2.0)
+
+    def test_symmetry(self, rng):
+        x = rng.standard_normal((15, 2))
+        k = _rbf_kernel(x, x, 1.0)
+        assert np.allclose(k, k.T)
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0], [10.0]])
+        k = _rbf_kernel(a, a, 1.0)
+        assert k[0, 1] < k[0, 0]
+
+
+class TestFitting:
+    def test_fits_smooth_function(self, rng):
+        x = rng.uniform(-2, 2, (250, 1))
+        y = np.sin(2 * x[:, 0])
+        model = SVR(c=10.0, epsilon=0.01, gamma=2.0).fit(x, y)
+        assert r2_score(y, model.predict(x)) > 0.95
+
+    def test_epsilon_tube_sparsifies(self, rng):
+        x = rng.uniform(-1, 1, (120, 1))
+        y = 0.5 * x[:, 0]
+        tight = SVR(c=10.0, epsilon=0.001).fit(x, y)
+        loose = SVR(c=10.0, epsilon=0.5).fit(x, y)
+        assert loose.support_vector_count <= tight.support_vector_count
+
+    def test_gamma_scale_heuristic(self, rng):
+        x = rng.uniform(0, 100, (50, 4))
+        model = SVR(gamma="scale")
+        gamma = model._resolve_gamma(x)
+        assert gamma == pytest.approx(1.0 / (4 * x.var()))
+
+    def test_constant_target(self, rng):
+        x = rng.standard_normal((40, 2))
+        y = np.full(40, 3.0)
+        model = SVR(c=10.0, epsilon=0.01).fit(x, y)
+        assert np.allclose(model.predict(x), 3.0, atol=0.1)
+
+    def test_prediction_shape(self, rng):
+        x = rng.standard_normal((30, 3))
+        y = x[:, 0]
+        model = SVR().fit(x, y)
+        assert model.predict(x[:7]).shape == (7,)
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            SVR().predict(np.zeros((1, 2)))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            SVR(c=0.0)
+        with pytest.raises(InvalidConfiguration):
+            SVR(epsilon=-0.1)
+        with pytest.raises(InvalidConfiguration):
+            SVR(gamma="auto")._resolve_gamma(np.zeros((3, 2)))
+        with pytest.raises(InvalidConfiguration):
+            SVR(gamma=-1.0)._resolve_gamma(np.zeros((3, 2)))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            SVR().fit(np.zeros((5, 2)), np.zeros(4))

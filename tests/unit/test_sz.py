@@ -1,0 +1,104 @@
+"""Unit tests for the SZ-like interpolation compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.sz import SZCompressor, _initial_stride, _plan_steps
+from repro.errors import CorruptStreamError
+
+
+@pytest.fixture(params=["cubic", "linear"])
+def compressor(request):
+    return SZCompressor(interpolation=request.param)
+
+
+class TestPlanning:
+    def test_initial_stride_is_power_of_two(self):
+        assert _initial_stride((48, 48, 48)) == 64
+        assert _initial_stride((5,)) == 8
+        assert _initial_stride((1, 1)) == 2
+
+    def test_steps_cover_every_point_once(self):
+        shape = (13, 10)
+        s0 = _initial_stride(shape)
+        covered = np.zeros(shape, dtype=int)
+        covered[tuple(slice(0, None, s0) for _ in shape)] += 1
+        for step in _plan_steps(shape, s0):
+            write_key = list(step.key)
+            write_key[step.axis] = slice(step.half, None, step.cur)
+            covered[tuple(write_key)] += 1
+        assert (covered == 1).all(), "each point must be coded exactly once"
+
+    @pytest.mark.parametrize("shape", [(7,), (9, 5), (6, 11, 4), (3, 3, 3, 3)])
+    def test_coverage_generalizes(self, shape):
+        s0 = _initial_stride(shape)
+        covered = np.zeros(shape, dtype=int)
+        covered[tuple(slice(0, None, s0) for _ in shape)] += 1
+        for step in _plan_steps(shape, s0):
+            write_key = list(step.key)
+            write_key[step.axis] = slice(step.half, None, step.cur)
+            covered[tuple(write_key)] += 1
+        assert (covered == 1).all()
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("eb", [1e-3, 1e-2, 1e-1])
+    def test_error_bound_respected(self, compressor, smooth_field3d, eb):
+        recon, blob = compressor.roundtrip(smooth_field3d, eb)
+        compressor.verify(smooth_field3d, recon, blob.config)
+        assert recon.shape == smooth_field3d.shape
+        assert recon.dtype == smooth_field3d.dtype
+
+    def test_rough_data_with_outliers(self, compressor, rough_field3d):
+        recon, blob = compressor.roundtrip(rough_field3d, 1e-4)
+        compressor.verify(rough_field3d, recon, blob.config)
+
+    @pytest.mark.parametrize(
+        "shape", [(1,), (2,), (17,), (5, 3), (33, 9), (13, 21, 7), (4, 5, 6, 7)]
+    )
+    def test_odd_shapes(self, compressor, rng, shape):
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        recon, blob = compressor.roundtrip(data, 0.05)
+        compressor.verify(data, recon, blob.config)
+
+    def test_constant_field(self, compressor):
+        data = np.full((10, 10), 7.5)
+        recon, blob = compressor.roundtrip(data, 0.01)
+        assert np.max(np.abs(recon - data)) <= 0.01
+        assert blob.compression_ratio > 20
+
+    def test_ratio_grows_with_bound(self, compressor, smooth_field3d):
+        ratios = [
+            compressor.compression_ratio(smooth_field3d, eb)
+            for eb in (1e-4, 1e-3, 1e-2, 1e-1)
+        ]
+        assert ratios == sorted(ratios), "CR must not shrink as eb grows"
+
+    def test_cubic_beats_linear_on_smooth_data(self, smooth_field3d):
+        cubic = SZCompressor("cubic").compression_ratio(smooth_field3d, 1e-3)
+        linear = SZCompressor("linear").compression_ratio(smooth_field3d, 1e-3)
+        assert cubic >= linear * 0.95  # cubic is at least competitive
+
+    def test_float64_input(self, compressor, rng):
+        data = rng.standard_normal((12, 12, 12)).cumsum(axis=0)
+        recon, blob = compressor.roundtrip(data, 1e-3)
+        assert recon.dtype == np.float64
+        compressor.verify(data, recon, blob.config)
+
+
+class TestStream:
+    def test_corrupt_header_raises(self, compressor, smooth_field3d):
+        blob = compressor.compress(smooth_field3d, 0.01)
+        broken = type(blob)(
+            data=blob.data[:8],
+            original_shape=blob.original_shape,
+            original_dtype=blob.original_dtype,
+            compressor=blob.compressor,
+            config=blob.config,
+        )
+        with pytest.raises(CorruptStreamError):
+            compressor.decompress(broken)
+
+    def test_bad_interpolation_name_rejected(self):
+        with pytest.raises(ValueError):
+            SZCompressor("quintic")

@@ -1,0 +1,84 @@
+"""Unit tests for the classic Lorenzo (sz2) compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.compressors.sz import SZCompressor
+from repro.compressors.sz_lorenzo import SZLorenzoCompressor, _wavefronts
+
+
+class TestWavefronts:
+    @pytest.mark.parametrize("shape", [(7,), (4, 5), (3, 4, 5)])
+    def test_order_is_a_permutation(self, shape):
+        order, starts = _wavefronts(shape)
+        assert sorted(order.tolist()) == list(range(int(np.prod(shape))))
+        assert starts[0] == 0 and starts[-1] == order.size
+
+    def test_wavefronts_respect_dependencies(self):
+        """Every point's Lorenzo neighbors lie on earlier wavefronts."""
+        shape = (4, 5)
+        order, starts = _wavefronts(shape)
+        wavefront_of = np.empty(shape, dtype=int)
+        for s in range(starts.size - 1):
+            for flat in order[starts[s] : starts[s + 1]]:
+                wavefront_of[np.unravel_index(flat, shape)] = s
+        for i in range(1, 4):
+            for j in range(1, 5):
+                assert wavefront_of[i - 1, j] < wavefront_of[i, j]
+                assert wavefront_of[i, j - 1] < wavefront_of[i, j]
+                assert wavefront_of[i - 1, j - 1] < wavefront_of[i, j]
+
+
+class TestRoundtrip:
+    def test_registered(self):
+        assert isinstance(get_compressor("sz2"), SZLorenzoCompressor)
+
+    @pytest.mark.parametrize("eb", [1e-3, 1e-2, 1e-1])
+    def test_error_bound_respected(self, smooth_field3d, eb):
+        comp = get_compressor("sz2")
+        recon, blob = comp.roundtrip(smooth_field3d, eb)
+        comp.verify(smooth_field3d, recon, blob.config)
+
+    @pytest.mark.parametrize(
+        "shape", [(1,), (17,), (5, 3), (13, 21, 7), (4, 5, 6, 7)]
+    )
+    def test_odd_shapes(self, rng, shape):
+        comp = get_compressor("sz2")
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        recon, blob = comp.roundtrip(data, 0.05)
+        comp.verify(data, recon, blob.config)
+
+    def test_rough_data_with_outliers(self, rough_field3d):
+        comp = get_compressor("sz2")
+        recon, blob = comp.roundtrip(rough_field3d, 1e-4)
+        comp.verify(rough_field3d, recon, blob.config)
+
+    def test_linear_ramp_compresses_perfectly(self):
+        """Lorenzo predicts affine data exactly: all codes vanish."""
+        x, y = np.meshgrid(np.arange(32.0), np.arange(32.0), indexing="ij")
+        data = 2 * x + 3 * y + 1
+        comp = get_compressor("sz2")
+        blob = comp.compress(data, 0.01)
+        assert blob.compression_ratio > 40
+
+    def test_ratio_grows_with_bound(self, smooth_field3d):
+        comp = get_compressor("sz2")
+        ratios = [
+            comp.compression_ratio(smooth_field3d, eb)
+            for eb in (1e-4, 1e-3, 1e-2, 1e-1)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_interpolation_beats_lorenzo_on_smooth_data(self, smooth_field3d):
+        """The SZ3-vs-SZ2 story: interpolation wins on smooth fields."""
+        sz3 = SZCompressor().compression_ratio(smooth_field3d, 1e-2)
+        sz2 = get_compressor("sz2").compression_ratio(smooth_field3d, 1e-2)
+        assert sz3 > sz2
+
+    def test_deterministic(self, smooth_field3d):
+        comp = get_compressor("sz2")
+        assert (
+            comp.compress(smooth_field3d, 0.01).data
+            == comp.compress(smooth_field3d, 0.01).data
+        )

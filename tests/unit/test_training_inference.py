@@ -1,0 +1,139 @@
+"""Unit tests for the FXRZ training and inference engines."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.config import FXRZConfig
+from repro.core.inference import InferenceEngine
+from repro.core.training import TrainingEngine
+from repro.errors import InvalidConfiguration, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def train_fields():
+    rng = np.random.default_rng(5)
+    lin = np.linspace(0, 4 * np.pi, 24)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    out = []
+    for i in range(3):
+        noise = rng.standard_normal((24, 24, 24))
+        out.append(
+            (np.sin(x + 0.3 * i) * np.cos(y) + (0.02 + 0.02 * i) * noise).astype(
+                np.float32
+            )
+        )
+    return out
+
+
+class TestTrainingEngine:
+    def test_accumulates_records_and_timing(self, train_fields, fast_config):
+        engine = TrainingEngine(get_compressor("sz"), config=fast_config)
+        for data in train_fields:
+            engine.add_dataset(data)
+        assert engine.report.n_datasets == 3
+        assert engine.report.stationary_seconds > 0
+
+    def test_training_matrix_shape(self, train_fields, fast_config):
+        engine = TrainingEngine(get_compressor("sz"), config=fast_config)
+        engine.add_dataset(train_fields[0])
+        x, y = engine.build_training_matrix()
+        assert x.shape == (fast_config.augmented_samples, 6)
+        assert y.shape == (fast_config.augmented_samples,)
+
+    def test_log_target_for_abs_compressor(self, train_fields, fast_config):
+        engine = TrainingEngine(get_compressor("sz"), config=fast_config)
+        engine.add_dataset(train_fields[0])
+        _, y = engine.build_training_matrix()
+        # log10 of error bounds in (1e-6*range, 0.1*range): negative values.
+        assert (y < 1).all()
+
+    def test_linear_target_for_precision_compressor(
+        self, train_fields, fast_config
+    ):
+        engine = TrainingEngine(get_compressor("fpzip"), config=fast_config)
+        engine.add_dataset(train_fields[0])
+        _, y = engine.build_training_matrix()
+        assert y.min() >= 10 and y.max() <= 32
+
+    def test_fit_produces_model(self, train_fields, fast_config, fast_model_factory):
+        engine = TrainingEngine(
+            get_compressor("sz"), config=fast_config, model_factory=fast_model_factory
+        )
+        engine.add_dataset(train_fields[0])
+        model = engine.fit()
+        assert model is engine.model
+        assert engine.report.fit_seconds > 0
+
+    def test_fit_without_data_rejected(self, fast_config):
+        engine = TrainingEngine(get_compressor("sz"), config=fast_config)
+        with pytest.raises(InvalidConfiguration):
+            engine.fit()
+
+    def test_model_before_fit_raises(self, fast_config):
+        engine = TrainingEngine(get_compressor("sz"), config=fast_config)
+        with pytest.raises(NotFittedError):
+            _ = engine.model
+
+    def test_adjustment_toggle_changes_matrix(self, fast_config):
+        data = np.zeros((16, 16, 16), dtype=np.float32)
+        data[:4, :4, :4] = np.random.default_rng(0).uniform(1, 2, (4, 4, 4))
+        with_ca = TrainingEngine(
+            get_compressor("sz"),
+            config=FXRZConfig(stationary_points=6, augmented_samples=20),
+        )
+        without_ca = TrainingEngine(
+            get_compressor("sz"),
+            config=FXRZConfig(
+                stationary_points=6, augmented_samples=20, use_adjustment=False
+            ),
+        )
+        with_ca.add_dataset(data)
+        without_ca.add_dataset(data)
+        x_ca, _ = with_ca.build_training_matrix()
+        x_raw, _ = without_ca.build_training_matrix()
+        # The ACR column (last) must differ when R < 1.
+        assert not np.allclose(x_ca[:, -1], x_raw[:, -1])
+
+
+class TestInferenceEngine:
+    def test_estimate_fields(self, train_fields, fast_config, fast_model_factory):
+        comp = get_compressor("sz")
+        engine = TrainingEngine(
+            comp, config=fast_config, model_factory=fast_model_factory
+        )
+        for data in train_fields:
+            engine.add_dataset(data)
+        model = engine.fit()
+        inference = InferenceEngine(model, comp, config=fast_config)
+        estimate = inference.estimate(train_fields[0], 10.0)
+        assert estimate.config > 0
+        assert estimate.target_ratio == 10.0
+        assert 0 <= estimate.nonconstant <= 1
+        assert estimate.features.shape == (5,)
+        assert estimate.analysis_seconds > 0
+
+    def test_precision_estimate_snapped(
+        self, train_fields, fast_config, fast_model_factory
+    ):
+        comp = get_compressor("fpzip")
+        engine = TrainingEngine(
+            comp, config=fast_config, model_factory=fast_model_factory
+        )
+        engine.add_dataset(train_fields[0])
+        model = engine.fit()
+        inference = InferenceEngine(model, comp, config=fast_config)
+        estimate = inference.estimate(train_fields[0], 2.0)
+        assert estimate.config == round(estimate.config)
+
+    def test_nonpositive_target_rejected(
+        self, train_fields, fast_config, fast_model_factory
+    ):
+        comp = get_compressor("sz")
+        engine = TrainingEngine(
+            comp, config=fast_config, model_factory=fast_model_factory
+        )
+        engine.add_dataset(train_fields[0])
+        inference = InferenceEngine(engine.fit(), comp, config=fast_config)
+        with pytest.raises(InvalidConfiguration):
+            inference.estimate(train_fields[0], 0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for repro.encoding.varint."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.varint import (
+    decode_array_header,
+    decode_section,
+    decode_uvarint,
+    encode_array_header,
+    encode_section,
+    encode_uvarint,
+)
+from repro.errors import CorruptStreamError
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**62])
+    def test_roundtrip(self, value):
+        data = encode_uvarint(value)
+        decoded, offset = decode_uvarint(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_uvarint(b"\x80")
+
+    def test_overlong_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_uvarint(b"\x80" * 10 + b"\x01")
+
+    def test_sequential_decode(self):
+        data = encode_uvarint(7) + encode_uvarint(300)
+        first, offset = decode_uvarint(data)
+        second, offset = decode_uvarint(data, offset)
+        assert (first, second) == (7, 300)
+
+
+class TestArrayHeader:
+    @pytest.mark.parametrize(
+        "shape,dtype",
+        [((3,), np.float32), ((4, 5), np.int64), ((2, 3, 4, 5), np.uint8)],
+    )
+    def test_roundtrip(self, shape, dtype):
+        data = encode_array_header(shape, np.dtype(dtype))
+        out_shape, out_dtype, offset = decode_array_header(data)
+        assert out_shape == shape
+        assert out_dtype == np.dtype(dtype)
+        assert offset == len(data)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            encode_array_header((2,), np.dtype(np.complex128))
+
+    def test_bad_tag_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_array_header(encode_uvarint(250))
+
+
+class TestSections:
+    def test_roundtrip(self):
+        blob = encode_section(b"hello") + encode_section(b"")
+        first, offset = decode_section(blob)
+        second, offset = decode_section(blob, offset)
+        assert first == b"hello"
+        assert second == b""
+        assert offset == len(blob)
+
+    def test_truncated_section_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_section(encode_uvarint(10) + b"abc")

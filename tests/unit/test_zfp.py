@@ -1,0 +1,135 @@
+"""Unit tests for the ZFP-like block-transform compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.zfp import (
+    ZFPCompressor,
+    _coeff_groups,
+    _forward_lift,
+    _from_blocks,
+    _inverse_lift,
+    _to_blocks,
+    _unzigzag,
+    _zigzag,
+)
+from repro.errors import InvalidConfiguration
+
+
+class TestBlockLayout:
+    @pytest.mark.parametrize("shape", [(8,), (8, 12), (4, 8, 12), (4, 4, 8, 8)])
+    def test_to_from_blocks_roundtrip(self, rng, shape):
+        data = rng.standard_normal(shape)
+        blocks = _to_blocks(data)
+        assert blocks.shape == (data.size // 4 ** len(shape),) + (4,) * len(shape)
+        assert np.array_equal(_from_blocks(blocks, shape), data)
+
+
+class TestLifting:
+    @pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+    def test_integer_invertibility(self, rng, ndim):
+        blocks = rng.integers(-(2**30), 2**30, (50,) + (4,) * ndim)
+        assert np.array_equal(_inverse_lift(_forward_lift(blocks)), blocks)
+
+    def test_constant_block_concentrates_energy(self):
+        blocks = np.full((1, 4, 4, 4), 1000, dtype=np.int64)
+        coeffs = _forward_lift(blocks).reshape(-1)
+        assert coeffs[0] == 1000
+        assert np.count_nonzero(coeffs[1:]) == 0
+
+    def test_growth_bounded(self, rng):
+        blocks = rng.integers(-(2**30), 2**30, (200, 4, 4, 4))
+        coeffs = _forward_lift(blocks)
+        assert np.abs(coeffs).max() < 2**34
+
+
+class TestZigzag:
+    def test_roundtrip(self, rng):
+        values = rng.integers(-(2**40), 2**40, 1000)
+        assert np.array_equal(_unzigzag(_zigzag(values)), values)
+
+    def test_small_magnitudes_stay_small(self):
+        assert _zigzag(np.array([0, -1, 1, -2, 2])).tolist() == [0, 1, 2, 3, 4]
+
+
+class TestGroups:
+    def test_3d_group_sizes(self):
+        groups = _coeff_groups(3)
+        assert groups.size == 64
+        assert (groups == 0).sum() == 1  # DC
+        assert (groups == 1).sum() == 7
+        assert (groups == 2).sum() == 56
+
+
+class TestAccuracyMode:
+    @pytest.mark.parametrize("eb", [1e-4, 1e-3, 1e-2, 1e-1])
+    def test_error_bound_respected(self, smooth_field3d, eb):
+        comp = ZFPCompressor()
+        recon, blob = comp.roundtrip(smooth_field3d, eb)
+        comp.verify(smooth_field3d, recon, blob.config)
+
+    @pytest.mark.parametrize("shape", [(5,), (9, 7), (10, 6, 5), (3, 4, 5, 6)])
+    def test_nonmultiple_of_four_shapes(self, rng, shape):
+        comp = ZFPCompressor()
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        recon, blob = comp.roundtrip(data, 0.02)
+        comp.verify(data, recon, blob.config)
+
+    def test_zero_field(self):
+        comp = ZFPCompressor()
+        data = np.zeros((8, 8, 8))
+        recon, blob = comp.roundtrip(data, 0.01)
+        assert np.array_equal(recon, data)
+        assert blob.compression_ratio > 50
+
+    def test_stairstep_curve(self, smooth_field3d):
+        """CR as a function of eb moves in flat steps (Fig. 2's insight)."""
+        comp = ZFPCompressor()
+        bounds = np.logspace(-4, -1, 25)
+        ratios = [comp.compression_ratio(smooth_field3d, b) for b in bounds]
+        diffs = np.diff(ratios)
+        flat = np.sum(np.abs(diffs) < 1e-3 * np.max(ratios))
+        assert flat >= 5, "expected flat steps in the CR-vs-eb curve"
+
+    def test_ratio_monotone_in_bound(self, smooth_field3d):
+        comp = ZFPCompressor()
+        ratios = [
+            comp.compression_ratio(smooth_field3d, eb)
+            for eb in (1e-4, 1e-2, 1e-1)
+        ]
+        assert ratios[0] <= ratios[1] <= ratios[2] + 1e-9
+
+
+class TestRateMode:
+    def test_rate_controls_size(self, smooth_field3d):
+        comp = ZFPCompressor(mode="rate")
+        blob8 = comp.compress(smooth_field3d, 8)
+        blob16 = comp.compress(smooth_field3d, 16)
+        assert blob8.nbytes < blob16.nbytes
+        # Rate 8 on 32-bit data -> CR near 4 (plus header overhead).
+        assert 2.5 < blob8.compression_ratio < 8.0
+
+    def test_rate_mode_worse_ratio_at_same_distortion(self, smooth_field3d):
+        """The paper's Sec. II claim: fixed-rate pays ~2x CR."""
+        accuracy = ZFPCompressor()
+        rate = ZFPCompressor(mode="rate")
+        recon_a, blob_a = accuracy.roundtrip(smooth_field3d, 1e-2)
+        err_a = np.max(np.abs(smooth_field3d.astype(np.float64) - recon_a))
+        # Find the cheapest rate achieving the same max error.
+        for bits in range(1, 31):
+            recon_r, blob_r = rate.roundtrip(smooth_field3d, bits)
+            err_r = np.max(np.abs(smooth_field3d.astype(np.float64) - recon_r))
+            if err_r <= err_a:
+                break
+        assert blob_r.compression_ratio < blob_a.compression_ratio
+
+    def test_rate_out_of_range_rejected(self, smooth_field3d):
+        comp = ZFPCompressor(mode="rate")
+        with pytest.raises(InvalidConfiguration):
+            comp.compress(smooth_field3d, 0)
+        with pytest.raises(InvalidConfiguration):
+            comp.compress(smooth_field3d, 64)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ZFPCompressor(mode="turbo")
