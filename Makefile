@@ -1,0 +1,18 @@
+PY ?= python
+PYTEST = PYTHONPATH=src $(PY) -m pytest
+
+.PHONY: test robustness bench
+
+# Tier-1 suite (unit + property + integration), as CI runs it.
+test:
+	$(PYTEST) -x -q
+
+# Robustness gate: the robustness-marked tests alone for fast signal,
+# then the full tier-1 suite with RuntimeWarnings promoted to errors so
+# numeric sloppiness (overflow, invalid casts) cannot hide in a pass.
+robustness:
+	$(PYTEST) -x -q -W error::RuntimeWarning -m robustness
+	$(PYTEST) -x -q -W error::RuntimeWarning
+
+bench:
+	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q

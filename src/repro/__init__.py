@@ -32,9 +32,12 @@ from repro.errors import (
     DatasetError,
     EncodingError,
     ErrorBoundViolation,
+    FallbackExhaustedError,
     InvalidConfiguration,
     NotFittedError,
+    OutOfDistributionError,
     ReproError,
+    RetryExhausted,
     SearchError,
 )
 
@@ -53,9 +56,12 @@ __all__ = [
     "CorruptStreamError",
     "CompressionError",
     "ErrorBoundViolation",
+    "FallbackExhaustedError",
     "InvalidConfiguration",
     "NotFittedError",
+    "OutOfDistributionError",
     "DatasetError",
+    "RetryExhausted",
     "SearchError",
     "__version__",
 ]

@@ -8,7 +8,14 @@ whole fixed-ratio workflow on ``.npy`` files:
 * ``repro compress``  — fixed-ratio compress one array to a blob file.
 * ``repro decompress``— reconstruct an array from a blob file.
 * ``repro search``    — run the FRaZ baseline for comparison.
+* ``repro dump``      — simulate a (optionally fault-injected) parallel dump.
 * ``repro datasets``  — list the built-in synthetic dataset catalog.
+
+``estimate`` and ``compress`` run through the guarded inference engine:
+``--fallback`` picks the terminal rung of its degradation ladder
+(``none`` raises on out-of-distribution inputs, ``curve`` adds
+training-curve interpolation, ``fraz`` adds a bounded FRaZ search), and
+the output names the tier that produced the configuration.
 
 Blob files are a small self-describing container: a JSON header
 (compressor, config, shape, dtype) followed by the compressed payload.
@@ -31,6 +38,8 @@ from repro.core.persistence import load_pipeline, save_pipeline
 from repro.core.pipeline import FXRZ
 from repro.datasets.registry import dataset_catalog
 from repro.errors import ReproError
+from repro.hpc.iosim import DumpScenario, simulate_dump, simulate_faulty_dump
+from repro.robustness import FaultSpec, GuardedInferenceEngine, RetryPolicy
 
 _MAGIC = b"FXRZBLOB"
 
@@ -94,27 +103,46 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_estimate(args: argparse.Namespace) -> int:
+def _guarded_estimate(args: argparse.Namespace):
+    """Shared guarded-inference path of ``estimate`` and ``compress``."""
     pipeline = load_pipeline(args.model)
     data = _load_array(args.input)
-    estimate = pipeline.estimate_config(data, args.ratio)
+    engine = GuardedInferenceEngine(
+        pipeline,
+        fallback=args.fallback,
+        min_confidence=args.min_confidence,
+    )
+    return pipeline, data, engine.estimate(data, args.ratio)
+
+
+def _tier_note(estimate) -> str:
+    note = f"tier {estimate.tier}, confidence {estimate.confidence:.2f}"
+    if estimate.fallback_reason:
+        note += f"; {estimate.fallback_reason}"
+    return note
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    _, _, estimate = _guarded_estimate(args)
     print(
         f"estimated config: {estimate.config:.6g} "
         f"(ACR {estimate.adjusted_target:.2f}, R {estimate.nonconstant:.2f}, "
-        f"analysis {estimate.analysis_seconds * 1e3:.1f}ms)"
+        f"analysis {estimate.analysis_seconds * 1e3:.1f}ms; "
+        f"{_tier_note(estimate)})"
     )
     return 0
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    pipeline = load_pipeline(args.model)
-    data = _load_array(args.input)
-    result = pipeline.compress_to_ratio(data, args.ratio)
-    write_blob(result.blob, args.output)
+    pipeline, data, estimate = _guarded_estimate(args)
+    blob = pipeline.compressor.compress(data, estimate.config)
+    write_blob(blob, args.output)
+    measured = blob.compression_ratio
+    error = abs(args.ratio - measured) / args.ratio
     print(
-        f"target {args.ratio:.1f}x -> measured {result.measured_ratio:.1f}x "
-        f"(error {result.estimation_error:.1%}); wrote "
-        f"{result.blob.nbytes} bytes to {args.output}"
+        f"target {args.ratio:.1f}x -> measured {measured:.1f}x "
+        f"(error {error:.1%}; {_tier_note(estimate)}); wrote "
+        f"{blob.nbytes} bytes to {args.output}"
     )
     return 0
 
@@ -142,6 +170,51 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"{result.measured_ratio:.1f}x (error {result.estimation_error:.1%}) "
         f"in {result.iterations} compressor runs / {result.search_seconds:.2f}s"
     )
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    scenario = DumpScenario(
+        n_ranks=args.ranks,
+        bytes_per_rank=args.bytes_per_rank,
+        compression_ratio=args.ratio,
+        compress_throughput=args.throughput,
+        analysis_seconds=args.analysis_seconds,
+        shared_bandwidth=args.shared_bandwidth,
+    )
+    faults = FaultSpec(
+        seed=args.fault_seed,
+        rank_failure_prob=args.fail_prob,
+        straggler_prob=args.straggler_prob,
+        straggler_slowdown=args.straggler_slowdown,
+        write_error_prob=args.write_error_prob,
+    )
+    if not any((args.fail_prob, args.straggler_prob, args.write_error_prob)):
+        breakdown = simulate_dump(scenario)
+        print(
+            f"fault-free dump of {args.ranks} ranks: {breakdown.total:.1f}s "
+            f"(analysis {breakdown.analysis:.1f}s, compression "
+            f"{breakdown.compression:.1f}s, write {breakdown.write:.1f}s)"
+        )
+        return 0
+    retry = None if args.no_retry else RetryPolicy(
+        max_attempts=args.retries, base_delay=args.base_delay
+    )
+    report = simulate_faulty_dump(scenario, faults, retry=retry)
+    print(
+        f"dump of {args.ranks} ranks completed in "
+        f"{report.completion_seconds:.1f}s "
+        f"({report.overhead:.2f}x the fault-free {report.fault_free_seconds:.1f}s); "
+        f"{report.failed_ranks} rank(s) retried, "
+        f"{report.total_attempts} attempts total"
+    )
+    for outcome in report.ranks:
+        if outcome.attempts > 1 or outcome.straggler:
+            tags = ",".join(outcome.events) or "straggler"
+            print(
+                f"  rank {outcome.rank:5d}: {outcome.attempts} attempts, "
+                f"{outcome.seconds:.1f}s ({tags})"
+            )
     return 0
 
 
@@ -183,10 +256,26 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--no-adjustment", action="store_true")
     train.set_defaults(func=_cmd_train)
 
+    def add_guard_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--fallback",
+            choices=("none", "curve", "fraz"),
+            default="fraz",
+            help="terminal rung of the guarded-inference ladder "
+            "(none = raise on out-of-distribution input)",
+        )
+        cmd.add_argument(
+            "--min-confidence",
+            type=float,
+            default=0.5,
+            help="model-tier acceptance threshold in [0, 1]",
+        )
+
     estimate = sub.add_parser("estimate", help="predict config for a ratio")
     estimate.add_argument("input", help="data .npy file")
     estimate.add_argument("--model", required=True)
     estimate.add_argument("--ratio", type=float, required=True)
+    add_guard_flags(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
     compress = sub.add_parser("compress", help="fixed-ratio compress")
@@ -194,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--model", required=True)
     compress.add_argument("--ratio", type=float, required=True)
     compress.add_argument("--output", required=True, help="output blob file")
+    add_guard_flags(compress)
     compress.set_defaults(func=_cmd_compress)
 
     decompress = sub.add_parser("decompress", help="reconstruct from a blob")
@@ -207,6 +297,27 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--ratio", type=float, required=True)
     search.add_argument("--iterations", type=int, default=15)
     search.set_defaults(func=_cmd_search)
+
+    dump = sub.add_parser(
+        "dump", help="simulate a parallel dump, optionally fault-injected"
+    )
+    dump.add_argument("--ranks", type=int, default=1024)
+    dump.add_argument("--bytes-per-rank", type=float, default=512e6)
+    dump.add_argument("--ratio", type=float, default=20.0)
+    dump.add_argument("--throughput", type=float, default=200e6)
+    dump.add_argument("--analysis-seconds", type=float, default=0.5)
+    dump.add_argument("--shared-bandwidth", type=float, default=2e9)
+    dump.add_argument("--fault-seed", type=int, default=0)
+    dump.add_argument("--fail-prob", type=float, default=0.0)
+    dump.add_argument("--straggler-prob", type=float, default=0.0)
+    dump.add_argument("--straggler-slowdown", type=float, default=4.0)
+    dump.add_argument("--write-error-prob", type=float, default=0.0)
+    dump.add_argument("--retries", type=int, default=4)
+    dump.add_argument(
+        "--no-retry", action="store_true", help="any injected fault is terminal"
+    )
+    dump.add_argument("--base-delay", type=float, default=0.5)
+    dump.set_defaults(func=_cmd_dump)
 
     datasets = sub.add_parser("datasets", help="list the built-in catalog")
     datasets.set_defaults(func=_cmd_datasets)

@@ -187,8 +187,11 @@ class ZFPCompressor(Compressor):
         exps[nz] = e
 
         ints = np.zeros_like(flat, dtype=np.int64)
-        scale = np.exp2(_K - exps[nz].astype(np.float64))[:, None]
-        ints[nz] = np.rint(flat[nz] * scale).astype(np.int64)
+        # ldexp instead of multiplying by exp2(K - e): the intermediate
+        # 2**(K-e) overflows to inf for subnormal-scale blocks (e below
+        # ~-994) even though the product itself is bounded by 2**K.
+        shift = (_K - exps[nz]).astype(np.int32)[:, None]
+        ints[nz] = np.rint(np.ldexp(flat[nz], shift)).astype(np.int64)
 
         coeffs = _forward_lift(ints.reshape(blocks.shape)).reshape(nblocks, -1)
 
@@ -294,8 +297,14 @@ class ZFPCompressor(Compressor):
 
         values = np.zeros_like(flat)
         nz = exps != _ZERO_EXP
-        scale = np.exp2(exps[nz].astype(np.float64) - _K)[:, None]
-        values[nz] = flat[nz] * scale
+        # Mirror of the ldexp in compression: exp2(e - K) underflows to
+        # 0 for subnormal-scale blocks; ldexp reconstructs exactly.
+        # Overflow is only reachable with corrupted stream exponents,
+        # where wrong-but-well-formed output is the decode contract.
+        with np.errstate(over="ignore"):
+            values[nz] = np.ldexp(
+                flat[nz], (exps[nz] - _K).astype(np.int32)[:, None]
+            )
 
         padded_shape = tuple(n + ((-n) % 4) for n in blob.original_shape)
         padded = _from_blocks(

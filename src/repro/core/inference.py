@@ -34,6 +34,13 @@ class Estimate:
         nonconstant: the measured non-constant block fraction R.
         features: the five model-input features.
         analysis_seconds: end-to-end inference wall time.
+        tier: which engine produced ``config`` — ``"model"`` for the
+            plain regression path, ``"curve"`` / ``"fraz"`` when guarded
+            inference degraded to a fallback.
+        confidence: the guarded engine's confidence in the *model* tier
+            for this input (1.0 for the unguarded engine).
+        fallback_reason: why guarded inference left the model tier
+            (empty when the model answered).
     """
 
     config: float
@@ -42,6 +49,9 @@ class Estimate:
     nonconstant: float
     features: np.ndarray
     analysis_seconds: float
+    tier: str = "model"
+    confidence: float = 1.0
+    fallback_reason: str = ""
 
 
 class InferenceEngine:

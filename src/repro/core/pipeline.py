@@ -148,6 +148,20 @@ class FXRZ:
             raise NotFittedError("FXRZ.fit must be called first")
         return self._inference.estimate(data, target_ratio)
 
+    def guarded(self, fallback: str = "fraz", **kwargs):
+        """A hardened inference engine over this fitted pipeline.
+
+        Returns a
+        :class:`~repro.robustness.guarded.GuardedInferenceEngine` whose
+        ``estimate`` validates inputs, scores model confidence, and
+        degrades through curve interpolation down to a bounded FRaZ
+        search instead of returning a wild extrapolation. See
+        :mod:`repro.robustness` for the knobs.
+        """
+        from repro.robustness.guarded import GuardedInferenceEngine
+
+        return GuardedInferenceEngine(self, fallback=fallback, **kwargs)
+
     def compress_to_ratio(
         self,
         data: np.ndarray,

@@ -56,6 +56,11 @@ class LZCodec:
         if mode != _COMPRESSED:
             raise CorruptStreamError(f"unknown LZ block mode {mode}")
         expected, offset = decode_uvarint(blob, 1)
+        if expected > self.max_input:
+            # compress() never accepts inputs past max_input, so a
+            # larger declared size is corruption — and must not be
+            # allowed to drive the allocations below.
+            raise CorruptStreamError("implausible LZ declared size")
         out = bytearray()
         data = blob
         n = len(data)
@@ -71,6 +76,8 @@ class LZCodec:
             dist, offset = decode_uvarint(data, offset)
             if dist == 0 or dist > len(out):
                 raise CorruptStreamError("invalid LZ match distance")
+            if len(out) + match_len > expected:
+                raise CorruptStreamError("LZ match overruns declared size")
             start = len(out) - dist
             for i in range(match_len):
                 out.append(out[start + i])

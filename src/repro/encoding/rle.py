@@ -17,6 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import CorruptStreamError
+
+#: Decoded streams never legitimately expand past this many symbols; a
+#: corrupted run length must not be allowed to allocate unbounded
+#: memory before the caller's own length check fires.
+_MAX_DECODED = 1 << 28
+
 
 def rle_encode(symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Split a symbol stream into (values, run lengths).
@@ -35,13 +42,21 @@ def rle_encode(symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def rle_decode(values: np.ndarray, runs: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`rle_encode`."""
+    """Inverse of :func:`rle_encode`.
+
+    Raises:
+        CorruptStreamError: mismatched shapes, non-positive runs, or an
+            implausibly large decoded size — the failure modes of a
+            corrupted upstream stream.
+    """
     values = np.asarray(values)
     runs = np.asarray(runs, dtype=np.int64)
     if values.shape != runs.shape:
-        raise ValueError("values and runs must have the same shape")
+        raise CorruptStreamError("values and runs must have the same shape")
     if runs.size and runs.min() < 1:
-        raise ValueError("runs must be positive")
+        raise CorruptStreamError("runs must be positive")
+    if runs.size and int(runs.sum()) > _MAX_DECODED:
+        raise CorruptStreamError("implausible RLE decoded size")
     return np.repeat(values, runs)
 
 
@@ -71,14 +86,21 @@ def zero_rle_encode(
 def zero_rle_decode(
     tokens: np.ndarray, literals: np.ndarray, zero: int = 0
 ) -> np.ndarray:
-    """Inverse of :func:`zero_rle_encode`."""
+    """Inverse of :func:`zero_rle_encode`.
+
+    Raises:
+        CorruptStreamError: inconsistent token/literal counts, negative
+            runs, or an implausibly large decoded size.
+    """
     tokens = np.asarray(tokens, dtype=np.int64)
     literals = np.asarray(literals)
     if tokens.size != literals.size + 1:
-        raise ValueError("token stream must have exactly one trailing run")
+        raise CorruptStreamError("token stream must have exactly one trailing run")
     if tokens.size and tokens.min() < 0:
-        raise ValueError("zero-run lengths must be non-negative")
+        raise CorruptStreamError("zero-run lengths must be non-negative")
     total = int(tokens.sum()) + literals.size
+    if total > _MAX_DECODED:
+        raise CorruptStreamError("implausible zero-RLE decoded size")
     out = np.full(total, zero, dtype=np.int64)
     if literals.size:
         positions = np.cumsum(tokens[:-1] + 1) - 1

@@ -46,3 +46,29 @@ class DatasetError(ReproError):
 
 class SearchError(ReproError):
     """An iterative search (FRaZ baseline) failed to produce a result."""
+
+
+class OutOfDistributionError(ReproError):
+    """Runtime data falls outside the model's training envelope.
+
+    Raised by guarded inference when the confidence check fails and the
+    caller disabled every fallback tier (``fallback="none"``).
+    """
+
+
+class FallbackExhaustedError(ReproError):
+    """Every rung of the guarded-inference degradation ladder failed."""
+
+
+class RetryExhausted(ReproError):
+    """A retried operation ran out of attempts.
+
+    Attributes:
+        attempts: how many attempts were made before giving up.
+        last_cause: human-readable description of the final failure.
+    """
+
+    def __init__(self, message: str, attempts: int = 0, last_cause: str = "") -> None:
+        super().__init__(message)
+        self.attempts = int(attempts)
+        self.last_cause = str(last_cause)

@@ -1,6 +1,21 @@
 """Parallel data-dumping model (the paper's Bebop experiment)."""
 
-from repro.hpc.iosim import DumpBreakdown, DumpScenario, simulate_dump
+from repro.hpc.iosim import (
+    DumpBreakdown,
+    DumpScenario,
+    FaultyDumpReport,
+    RankOutcome,
+    simulate_dump,
+    simulate_faulty_dump,
+)
 from repro.hpc.throughput import measure_throughput
 
-__all__ = ["DumpScenario", "DumpBreakdown", "simulate_dump", "measure_throughput"]
+__all__ = [
+    "DumpScenario",
+    "DumpBreakdown",
+    "FaultyDumpReport",
+    "RankOutcome",
+    "simulate_dump",
+    "simulate_faulty_dump",
+    "measure_throughput",
+]

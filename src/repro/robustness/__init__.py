@@ -1,0 +1,32 @@
+"""Robustness layer: guarded inference and fault-tolerant dumping.
+
+FXRZ's value proposition is predicting an error bound *without* running
+the compressor — which means a bad prediction silently ships a wrong
+configuration to every rank of a parallel dump. This package makes that
+failure mode loud and recoverable:
+
+* :class:`GuardedInferenceEngine` validates inputs, scores the model's
+  confidence (per-tree forest variance + training-feature envelope) and
+  walks a degradation ladder — model prediction, training-curve
+  interpolation, bounded FRaZ search — recording which tier answered.
+* :class:`FaultSpec` / :class:`RetryPolicy` describe seeded,
+  deterministic faults (rank failure, stragglers, transient write
+  errors) and the retry/backoff discipline used by
+  :func:`repro.hpc.iosim.simulate_faulty_dump`.
+"""
+
+from repro.robustness.confidence import ConfidenceReport, FeatureEnvelope
+from repro.robustness.faults import FaultSpec, RetryPolicy, backoff_schedule
+from repro.robustness.guarded import GuardedInferenceEngine
+from repro.robustness.validation import FieldReport, validate_field
+
+__all__ = [
+    "ConfidenceReport",
+    "FeatureEnvelope",
+    "FaultSpec",
+    "RetryPolicy",
+    "backoff_schedule",
+    "GuardedInferenceEngine",
+    "FieldReport",
+    "validate_field",
+]

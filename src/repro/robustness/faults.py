@@ -1,0 +1,116 @@
+"""Fault and retry specifications for the parallel-dump simulator.
+
+Everything here is deterministic under a seed: each rank derives its own
+:func:`numpy.random.default_rng` stream from ``(seed, rank)``, so a
+4,096-rank scenario reproduces bit-for-bit regardless of evaluation
+order, and the backoff jitter is part of that same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidConfiguration
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded, injectable faults for one dump scenario.
+
+    Attributes:
+        seed: master seed; rank ``r`` uses stream ``(seed, r)``.
+        rank_failure_prob: per-attempt probability that a rank dies
+            mid-work (node crash); it restarts from its checkpoint.
+        straggler_prob: probability a rank is a straggler for the whole
+            dump (slow node, contended link).
+        straggler_slowdown: work-time multiplier for straggler ranks.
+        write_error_prob: per-attempt probability the final write fails
+            transiently (I/O error on the shared filesystem); computed
+            data survives, the write is redone.
+        checkpoint_fraction: fraction of the progress made before a
+            rank failure that the checkpoint preserves (0 = restart
+            from scratch, 1 = perfect checkpointing).
+    """
+
+    seed: int = 0
+    rank_failure_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_slowdown: float = 4.0
+    write_error_prob: float = 0.0
+    checkpoint_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("rank_failure_prob", "straggler_prob", "write_error_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise InvalidConfiguration(f"{name} must be in [0, 1)")
+        if self.rank_failure_prob + self.write_error_prob >= 1.0:
+            raise InvalidConfiguration(
+                "rank_failure_prob + write_error_prob must be < 1"
+            )
+        if self.straggler_slowdown < 1.0:
+            raise InvalidConfiguration("straggler_slowdown must be >= 1")
+        if not 0.0 <= self.checkpoint_fraction <= 1.0:
+            raise InvalidConfiguration("checkpoint_fraction must be in [0, 1]")
+
+    def rank_rng(self, rank: int) -> np.random.Generator:
+        """The deterministic random stream owned by ``rank``."""
+        return np.random.default_rng([self.seed & 0x7FFFFFFF, rank])
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a per-rank attempt budget.
+
+    Attributes:
+        max_attempts: total attempts a rank may spend (1 = no retries).
+        base_delay: seconds before the first retry.
+        backoff: multiplicative factor between consecutive delays.
+        max_delay: ceiling on a single delay.
+        jitter: fractional +/- jitter applied to each delay (drawn from
+            the rank's seeded stream, so schedules stay deterministic).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    backoff: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidConfiguration("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise InvalidConfiguration("delays must be >= 0")
+        if self.backoff < 1.0:
+            raise InvalidConfiguration("backoff must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise InvalidConfiguration("jitter must be in [0, 1)")
+
+
+#: A policy that disables retries entirely: the first fault is final.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+
+def backoff_schedule(
+    policy: RetryPolicy,
+    n_delays: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """The first ``n_delays`` retry delays (seconds) under ``policy``.
+
+    Deterministic for a given generator state: delay ``i`` is
+    ``min(base * backoff**i, max_delay)`` scaled by a jitter factor in
+    ``[1 - jitter, 1 + jitter]`` drawn sequentially from ``rng``.
+    """
+    if n_delays < 0:
+        raise InvalidConfiguration("n_delays must be >= 0")
+    exponents = np.arange(n_delays, dtype=np.float64)
+    delays = np.minimum(
+        policy.base_delay * policy.backoff**exponents, policy.max_delay
+    )
+    if policy.jitter > 0.0 and rng is not None and n_delays:
+        delays = delays * (1.0 + policy.jitter * rng.uniform(-1.0, 1.0, n_delays))
+    return delays

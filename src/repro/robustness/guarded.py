@@ -1,0 +1,282 @@
+"""Guarded inference: validate, score confidence, degrade gracefully.
+
+The ladder, from cheapest to most expensive:
+
+1. **model** — the regression forest, accepted only when the input
+   passes validation and the confidence score (per-tree spread x
+   training-feature envelope) clears ``min_confidence``.
+2. **curve** — interpolate the training curve of the nearest training
+   dataset (the same curves augmentation built, read backwards). Costs
+   nothing extra and cannot return a wild extrapolation, but only
+   answers targets inside the anchored ratio range.
+3. **fraz** — a bounded FRaZ search (Underwood et al., IPDPS'20): runs
+   the actual compressor a handful of times. Slow, but correct by
+   construction — the terminal rung of the ladder.
+
+Every answer records which tier produced it and why, so a 4,096-rank
+dump can log *how* each rank chose its configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.baselines.fraz import FRaZ
+from repro.core.adjustment import adjusted_ratio, nonconstant_fraction
+from repro.core.features import extract_features
+from repro.core.inference import Estimate
+from repro.errors import (
+    FallbackExhaustedError,
+    InvalidConfiguration,
+    NotFittedError,
+    OutOfDistributionError,
+    ReproError,
+)
+from repro.robustness.confidence import FeatureEnvelope, score_confidence
+from repro.robustness.validation import validate_field
+
+#: Ladder tiers each ``fallback`` setting may use, in order.
+_LADDERS = {
+    "none": ("model",),
+    "curve": ("model", "curve"),
+    "fraz": ("model", "curve", "fraz"),
+}
+
+#: How far (fractionally) outside a curve's anchored ratio range the
+#: curve tier will still answer by clamping.
+_CURVE_SLACK = 0.25
+
+
+def _usable(config: float) -> bool:
+    return math.isfinite(config) and config > 0.0
+
+
+class GuardedInferenceEngine:
+    """Drop-in, hardened replacement for the plain inference path.
+
+    Args:
+        pipeline: a fitted :class:`~repro.core.pipeline.FXRZ`.
+        fallback: terminal rung of the ladder — ``"none"`` (model only;
+            raises :class:`OutOfDistributionError` on low confidence),
+            ``"curve"``, or ``"fraz"`` (default, always answers).
+        min_confidence: model-tier acceptance threshold in [0, 1].
+        envelope_margin: fractional margin of the training envelope.
+        fraz_iterations: compressor-run budget of the FRaZ rung.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        fallback: str = "fraz",
+        min_confidence: float = 0.5,
+        envelope_margin: float = 0.05,
+        fraz_iterations: int = 6,
+    ) -> None:
+        if fallback not in _LADDERS:
+            raise InvalidConfiguration(
+                f"fallback must be one of {sorted(_LADDERS)}, got {fallback!r}"
+            )
+        if not 0.0 <= min_confidence <= 1.0:
+            raise InvalidConfiguration("min_confidence must be in [0, 1]")
+        if not pipeline.is_fitted:
+            raise NotFittedError("guarded inference needs a fitted pipeline")
+        self.pipeline = pipeline
+        self.fallback = fallback
+        self.min_confidence = min_confidence
+        self.fraz_iterations = fraz_iterations
+        self.compressor = pipeline.compressor
+        self.config = pipeline.config
+        self.model = pipeline.model
+        self._records = list(pipeline._training.records)
+        self.envelope = FeatureEnvelope(
+            self._envelope_rows(), margin=envelope_margin
+        )
+
+    def _envelope_rows(self) -> np.ndarray:
+        """Training envelope corners: each record at its ACR extremes.
+
+        The augmented training rows for one record share its feature
+        vector and sweep ACR over the curve's anchored ratio range, so
+        the two extreme rows per record span the exact axis-aligned box
+        the model was fitted in.
+        """
+        rows = []
+        for rec in self._records:
+            lo, hi = rec.curve.ratio_range
+            lo = max(lo, 1.0)
+            hi = max(hi, lo)
+            for ratio in (lo, hi):
+                acr = adjusted_ratio(float(ratio), rec.nonconstant)
+                rows.append(np.concatenate((rec.features, [acr])))
+        return np.vstack(rows)
+
+    # -- ladder rungs ----------------------------------------------------------
+
+    def _model_config(self, features: np.ndarray, acr: float) -> float:
+        """The plain engine's prediction (range-rescaled, normalized)."""
+        row = np.concatenate((features, [acr]))[None, :]
+        raw = float(self.model.predict(row)[0])
+        if self.compressor.config_scale == "log":
+            raw = 10.0**raw * max(float(features[0]), 1e-30)
+        return float(self.compressor.normalize_config(raw))
+
+    def _curve_config(self, features: np.ndarray, acr: float) -> float | None:
+        """Nearest training curve, inverted at ``acr``; None if outside."""
+        span = self.envelope.span[: features.size]
+        best = min(
+            self._records,
+            key=lambda rec: float(
+                np.sum(((rec.features - features) / span) ** 2)
+            ),
+        )
+        lo, hi = best.curve.ratio_range
+        lo, hi = min(lo, hi), max(lo, hi)
+        if not (lo / (1.0 + _CURVE_SLACK) <= acr <= hi * (1.0 + _CURVE_SLACK)):
+            return None
+        config = best.curve.config_for_ratio(float(np.clip(acr, lo, hi)))
+        query_range = float(features[0])
+        train_range = float(best.features[0])
+        if (
+            self.compressor.config_scale == "log"
+            and query_range > 0.0
+            and train_range > 0.0
+        ):
+            # Absolute error bounds scale with the data's amplitude;
+            # transfer the curve's bound range-normalized, exactly as
+            # the model is trained (see TrainingEngine). A degenerate
+            # (zero) range on either side makes the ratio meaningless,
+            # so the bound transfers unscaled instead.
+            config *= query_range / train_range
+        try:
+            config = float(self.compressor.normalize_config(config))
+        except InvalidConfiguration:
+            return None
+        return config if _usable(config) else None
+
+    def _fraz_config(self, data: np.ndarray, target_ratio: float) -> float:
+        searcher = FRaZ(self.compressor, max_iterations=self.fraz_iterations)
+        return float(searcher.search(data, target_ratio).config)
+
+    # -- public API ------------------------------------------------------------
+
+    def estimate(self, data: np.ndarray, target_ratio: float) -> Estimate:
+        """Guarded version of :meth:`InferenceEngine.estimate`.
+
+        Never returns a NaN/Inf/non-positive configuration: low-
+        confidence model answers fall through the ladder, and if every
+        permitted rung fails, :class:`FallbackExhaustedError` (or
+        :class:`OutOfDistributionError` for ``fallback="none"``) is
+        raised instead of a bad number.
+        """
+        try:
+            target_ratio = float(target_ratio)
+        except (TypeError, ValueError) as exc:
+            raise InvalidConfiguration(
+                f"target ratio must be a number: {exc}"
+            ) from exc
+        if not math.isfinite(target_ratio) or target_ratio <= 0:
+            raise InvalidConfiguration("target ratio must be finite and > 0")
+
+        start = time.perf_counter()
+        report = validate_field(data)
+        features = extract_features(
+            report.data, stride=self.config.sampling_stride
+        ).selected()
+        nonconstant = (
+            nonconstant_fraction(
+                report.data,
+                block_size=self.config.block_size,
+                lam=self.config.lam,
+            )
+            if self.config.use_adjustment
+            else 1.0
+        )
+        acr = adjusted_ratio(float(target_ratio), nonconstant)
+
+        confidence_report = score_confidence(
+            self.model, self.envelope, np.concatenate((features, [acr]))
+        )
+        confidence = confidence_report.score
+        if report.issues:
+            # A patched or degenerate field is evidence the model never
+            # saw data like this, independent of where the features land.
+            confidence = min(confidence, 0.25)
+
+        reasons: list[str] = []
+        if report.issues:
+            reasons.append("field issues: " + ",".join(report.issues))
+        if confidence_report.envelope_violation > 0.0:
+            reasons.append(
+                f"outside training envelope by "
+                f"{confidence_report.envelope_violation:.2f} spans"
+            )
+        if not math.isnan(confidence_report.tree_std):
+            reasons.append(f"tree spread {confidence_report.tree_std:.3f}")
+
+        config: float | None = None
+        tier = ""
+        fallback_reason = ""
+        for rung in _LADDERS[self.fallback]:
+            if rung == "model":
+                if confidence < self.min_confidence:
+                    fallback_reason = (
+                        f"model confidence {confidence:.2f} < "
+                        f"{self.min_confidence:.2f} ({'; '.join(reasons)})"
+                    )
+                    continue
+                try:
+                    candidate = self._model_config(features, acr)
+                except InvalidConfiguration as exc:
+                    fallback_reason = f"model produced unusable config ({exc})"
+                    continue
+                if not _usable(candidate):
+                    fallback_reason = f"model produced unusable config {candidate!r}"
+                    continue
+                config, tier = candidate, "model"
+                break
+            if rung == "curve":
+                candidate = self._curve_config(features, acr)
+                if candidate is None:
+                    fallback_reason += (
+                        "; target outside every training curve's range"
+                    )
+                    continue
+                config, tier = candidate, "curve"
+                break
+            if rung == "fraz":
+                try:
+                    candidate = self._fraz_config(report.data, float(target_ratio))
+                except ReproError as exc:
+                    fallback_reason += f"; FRaZ search failed: {exc}"
+                    continue
+                if not _usable(candidate):
+                    fallback_reason += f"; FRaZ produced unusable config {candidate!r}"
+                    continue
+                config, tier = candidate, "fraz"
+                break
+
+        if config is None:
+            detail = fallback_reason.lstrip("; ") or "no tier produced a config"
+            if self.fallback == "none":
+                raise OutOfDistributionError(
+                    f"model tier rejected and fallbacks disabled: {detail}"
+                )
+            raise FallbackExhaustedError(
+                f"degradation ladder exhausted ({self.fallback}): {detail}"
+            )
+
+        elapsed = time.perf_counter() - start
+        return Estimate(
+            config=config,
+            target_ratio=float(target_ratio),
+            adjusted_target=acr,
+            nonconstant=nonconstant,
+            features=features,
+            analysis_seconds=elapsed,
+            tier=tier,
+            confidence=confidence,
+            fallback_reason=fallback_reason.lstrip("; "),
+        )

@@ -13,7 +13,7 @@ import pytest
 from repro.compressors import get_compressor
 from repro.compressors.base import CompressedBlob
 from repro.encoding import HuffmanCodec, LZCodec
-from repro.errors import ReproError
+from repro.errors import CorruptStreamError, InvalidConfiguration, ReproError
 
 _ACCEPTABLE = (ReproError,)
 
@@ -71,6 +71,94 @@ class TestLZCorruption:
                 codec.decompress(mutated)
             except _ACCEPTABLE:
                 pass
+
+
+@pytest.mark.robustness
+class TestPersistenceCorruption:
+    """Fuzzed pipeline archives fail with typed errors only.
+
+    The framed container (magic + version + length + CRC32) means any
+    truncation or bit flip must surface as :class:`CorruptStreamError`
+    or :class:`InvalidConfiguration` — never ``zipfile``/``struct``/
+    ``KeyError`` internals leaking out of ``load_pipeline``.
+    """
+
+    _TYPED = (CorruptStreamError, InvalidConfiguration)
+
+    @pytest.fixture(scope="class")
+    def archive_bytes(self, tmp_path_factory):
+        import repro
+        from repro.core.persistence import save_pipeline
+        from tests.conftest import small_forest_factory
+
+        rng = np.random.default_rng(11)
+        lin = np.linspace(0, 4 * np.pi, 16)
+        x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+        data = (np.sin(x) * np.cos(y) + 0.05 * z).astype(np.float32)
+        config = repro.FXRZConfig(stationary_points=6, augmented_samples=40)
+        pipeline = repro.FXRZ(
+            get_compressor("sz"), config=config,
+            model_factory=small_forest_factory,
+        )
+        pipeline.fit([data + 0.02 * rng.standard_normal(data.shape)])
+        path = tmp_path_factory.mktemp("fuzz") / "pipeline.npz"
+        save_pipeline(pipeline, path)
+        return path.read_bytes()
+
+    def test_only_typed_errors_escape(self, archive_bytes, tmp_path):
+        from repro.core.persistence import load_pipeline
+
+        path = tmp_path / "mutated.npz"
+        survivors = 0
+        for mutated in _mutations(
+            archive_bytes, np.random.default_rng(5), 40
+        ):
+            path.write_bytes(mutated)
+            try:
+                load_pipeline(path)
+                survivors += 1  # CRC collision — astronomically unlikely
+            except self._TYPED:
+                pass  # the controlled failure this test demands
+        assert survivors == 0
+
+    def test_every_truncation_point_is_controlled(self, archive_bytes, tmp_path):
+        from repro.core.persistence import load_pipeline
+
+        path = tmp_path / "short.npz"
+        for cut in np.linspace(0, len(archive_bytes) - 1, 25).astype(int):
+            path.write_bytes(archive_bytes[:cut])
+            with pytest.raises(self._TYPED):
+                load_pipeline(path)
+
+
+@pytest.mark.robustness
+class TestEncodedStreamCorruption:
+    """Typed-error guarantee for the byte-stream codecs (RLE, LZ)."""
+
+    def test_rle_token_corruption(self, rng):
+        from repro.encoding.rle import zero_rle_decode, zero_rle_encode
+
+        tokens, literals = zero_rle_encode(rng.integers(0, 3, 4000))
+        corrupter = np.random.default_rng(9)
+        for _ in range(40):
+            bad_tokens = tokens.copy()
+            idx = corrupter.integers(0, tokens.size)
+            bad_tokens[idx] = int(corrupter.integers(-(2**40), 2**40))
+            try:
+                out = zero_rle_decode(bad_tokens, literals)
+                assert out.size <= 2**28
+            except _ACCEPTABLE:
+                pass
+
+    def test_lz_declared_size_lies(self, rng):
+        from repro.encoding import LZCodec
+
+        codec = LZCodec()
+        blob = bytearray(codec.compress(b"xyzw" * 500))
+        # Forge an implausibly large declared size in the varint header.
+        blob[:2] = b"\xff\xff"
+        with pytest.raises(_ACCEPTABLE):
+            codec.decompress(bytes(blob))
 
 
 @pytest.mark.parametrize("name,config", [

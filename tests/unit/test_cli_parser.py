@@ -68,3 +68,65 @@ class TestParser:
                 ["search", "a.npy", "--ratio", "5", "--compressor", name]
             )
             assert args.compressor == name
+
+
+@pytest.mark.robustness
+class TestGuardFlags:
+    def test_estimate_defaults(self, parser):
+        args = parser.parse_args(
+            ["estimate", "a.npy", "--model", "m.npz", "--ratio", "10"]
+        )
+        assert args.fallback == "fraz"
+        assert args.min_confidence == 0.5
+
+    def test_fallback_choices(self, parser):
+        for choice in ("none", "curve", "fraz"):
+            args = parser.parse_args(
+                ["compress", "a.npy", "--model", "m.npz", "--ratio", "10",
+                 "--output", "o", "--fallback", choice]
+            )
+            assert args.fallback == choice
+
+    def test_bad_fallback_rejected(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["estimate", "a.npy", "--model", "m.npz", "--ratio", "10",
+                 "--fallback", "panic"]
+            )
+
+    def test_min_confidence_override(self, parser):
+        args = parser.parse_args(
+            ["estimate", "a.npy", "--model", "m.npz", "--ratio", "10",
+             "--min-confidence", "0.9"]
+        )
+        assert args.min_confidence == 0.9
+
+
+@pytest.mark.robustness
+class TestDumpFlags:
+    def test_defaults(self, parser):
+        args = parser.parse_args(["dump"])
+        assert args.ranks == 1024
+        assert args.fault_seed == 0
+        assert args.fail_prob == 0.0
+        assert args.retries == 4
+        assert not args.no_retry
+
+    def test_fault_knobs(self, parser):
+        args = parser.parse_args(
+            ["dump", "--ranks", "64", "--fault-seed", "7",
+             "--fail-prob", "0.12", "--straggler-prob", "0.1",
+             "--write-error-prob", "0.05", "--retries", "8",
+             "--base-delay", "0.1"]
+        )
+        assert args.ranks == 64
+        assert args.fault_seed == 7
+        assert args.fail_prob == 0.12
+        assert args.straggler_prob == 0.1
+        assert args.write_error_prob == 0.05
+        assert args.retries == 8
+        assert args.base_delay == 0.1
+
+    def test_no_retry_flag(self, parser):
+        args = parser.parse_args(["dump", "--no-retry"])
+        assert args.no_retry

@@ -4,9 +4,15 @@ import numpy as np
 import pytest
 
 from repro.compressors import get_compressor
-from repro.errors import InvalidConfiguration
-from repro.hpc.iosim import DumpBreakdown, DumpScenario, simulate_dump
+from repro.errors import InvalidConfiguration, RetryExhausted
+from repro.hpc.iosim import (
+    DumpBreakdown,
+    DumpScenario,
+    simulate_dump,
+    simulate_faulty_dump,
+)
 from repro.hpc.throughput import measure_throughput
+from repro.robustness import FaultSpec, RetryPolicy
 
 
 def _scenario(**overrides):
@@ -68,6 +74,100 @@ class TestScenario:
             _scenario(compression_ratio=-1.0)
         with pytest.raises(InvalidConfiguration):
             _scenario(analysis_seconds=-0.1)
+
+
+@pytest.mark.robustness
+class TestFaultInjection:
+    def _faults(self, **overrides):
+        base = dict(
+            seed=7,
+            rank_failure_prob=0.12,
+            straggler_prob=0.1,
+            straggler_slowdown=4.0,
+            write_error_prob=0.05,
+            checkpoint_fraction=0.5,
+        )
+        base.update(overrides)
+        return FaultSpec(**base)
+
+    def test_no_faults_matches_clean_dump(self):
+        scenario = _scenario(n_ranks=16)
+        report = simulate_faulty_dump(
+            scenario, FaultSpec(seed=0), retry=RetryPolicy()
+        )
+        assert report.failed_ranks == 0
+        assert report.total_attempts == 16
+        assert report.completion_seconds == pytest.approx(
+            report.fault_free_seconds
+        )
+        assert report.overhead == pytest.approx(1.0)
+
+    def test_deterministic_under_fixed_seed(self):
+        scenario = _scenario(n_ranks=64)
+        a = simulate_faulty_dump(scenario, self._faults(), retry=RetryPolicy())
+        b = simulate_faulty_dump(scenario, self._faults(), retry=RetryPolicy())
+        assert a == b
+
+    def test_different_seed_differs(self):
+        scenario = _scenario(n_ranks=64)
+        a = simulate_faulty_dump(scenario, self._faults(seed=7), retry=RetryPolicy())
+        b = simulate_faulty_dump(scenario, self._faults(seed=8), retry=RetryPolicy())
+        assert a != b
+
+    def test_heavy_faults_complete_via_retry(self):
+        """The ISSUE scenario: >=10% rank failures + stragglers finishes."""
+        scenario = _scenario(n_ranks=64)
+        report = simulate_faulty_dump(
+            scenario,
+            self._faults(),
+            retry=RetryPolicy(max_attempts=8, base_delay=0.1),
+        )
+        assert len(report.ranks) == 64
+        assert report.failed_ranks > 0
+        assert any(r.straggler for r in report.ranks)
+        assert report.completion_seconds > report.fault_free_seconds
+        # Per-rank attempts are all listed and plausible.
+        for outcome in report.ranks:
+            assert 1 <= outcome.attempts <= 8
+            assert len(outcome.events) == outcome.attempts - 1
+            assert outcome.seconds > 0.0
+
+    def test_retries_disabled_raises(self):
+        scenario = _scenario(n_ranks=64)
+        with pytest.raises(RetryExhausted) as excinfo:
+            simulate_faulty_dump(scenario, self._faults(), retry=None)
+        assert excinfo.value.attempts == 1
+        assert excinfo.value.last_cause in ("rank-failure", "write-error")
+
+    def test_tiny_budget_exhausts(self):
+        scenario = _scenario(n_ranks=256)
+        with pytest.raises(RetryExhausted) as excinfo:
+            simulate_faulty_dump(
+                scenario,
+                self._faults(rank_failure_prob=0.9, checkpoint_fraction=0.0),
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            )
+        assert excinfo.value.attempts == 2
+
+    def test_checkpointing_reduces_completion_time(self):
+        scenario = _scenario(n_ranks=64)
+        retry = RetryPolicy(max_attempts=10, base_delay=0.0, jitter=0.0)
+        no_ckpt = simulate_faulty_dump(
+            scenario, self._faults(checkpoint_fraction=0.0), retry=retry
+        )
+        full_ckpt = simulate_faulty_dump(
+            scenario, self._faults(checkpoint_fraction=1.0), retry=retry
+        )
+        total = lambda rep: sum(r.seconds for r in rep.ranks)
+        assert total(full_ckpt) < total(no_ckpt)
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            FaultSpec(seed=0, rank_failure_prob=1.5)
+        with pytest.raises(InvalidConfiguration):
+            FaultSpec(seed=0, straggler_slowdown=0.5)
+        with pytest.raises(InvalidConfiguration):
+            FaultSpec(seed=0, checkpoint_fraction=-0.1)
 
 
 class TestThroughput:

@@ -1,15 +1,27 @@
 """Unit tests for pipeline save/load."""
 
+import io
+import json
+
 import numpy as np
 import pytest
 
 import repro
 from repro.compressors import get_compressor
+from repro.core import persistence
 from repro.core.persistence import load_pipeline, save_pipeline
-from repro.errors import InvalidConfiguration, NotFittedError
+from repro.errors import CorruptStreamError, InvalidConfiguration, NotFittedError
 from repro.ml.svr import SVR
 
 from tests.conftest import small_forest_factory
+
+
+def _unwrap_arrays(path) -> dict[str, np.ndarray]:
+    """The npz arrays inside a framed archive written by save_pipeline."""
+    raw = path.read_bytes()
+    payload = raw[persistence._HEADER_LEN :]
+    with np.load(io.BytesIO(payload)) as archive:
+        return {k: archive[k] for k in archive.files}
 
 
 @pytest.fixture(scope="module")
@@ -111,18 +123,91 @@ class TestValidation:
             load_pipeline(path)
 
     def test_wrong_format_version_rejected(self, fitted_pipeline, tmp_path):
-        import json
-
         pipeline, _ = fitted_pipeline
         path = tmp_path / "versioned.npz"
         save_pipeline(pipeline, path)
-        with np.load(path) as archive:
-            arrays = {k: archive[k] for k in archive.files}
+        arrays = _unwrap_arrays(path)
         meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
         meta["format_version"] = 999
         arrays["meta"] = np.frombuffer(
             json.dumps(meta).encode("utf-8"), dtype=np.uint8
         )
+        np.savez(path, **arrays)  # legacy bare-npz layout is still read
+        with pytest.raises(InvalidConfiguration, match="newer"):
+            load_pipeline(path)
+
+    def test_unknown_compressor_rejected(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        path = tmp_path / "badcomp.npz"
+        save_pipeline(pipeline, path)
+        arrays = _unwrap_arrays(path)
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta["compressor"] = "definitely-not-a-compressor"
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
         np.savez(path, **arrays)
-        with pytest.raises(InvalidConfiguration):
+        with pytest.raises(InvalidConfiguration, match="unknown or unloadable"):
+            load_pipeline(path)
+
+    def test_bad_config_rejected(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        path = tmp_path / "badcfg.npz"
+        save_pipeline(pipeline, path)
+        arrays = _unwrap_arrays(path)
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta["config"]["no_such_knob"] = 1
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(InvalidConfiguration, match="configuration"):
+            load_pipeline(path)
+
+
+class TestFrameIntegrity:
+    def test_truncated_archive_rejected(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        path = tmp_path / "trunc.npz"
+        save_pipeline(pipeline, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CorruptStreamError, match="truncated"):
+            load_pipeline(path)
+
+    def test_bit_flip_rejected(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        path = tmp_path / "flip.npz"
+        save_pipeline(pipeline, path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptStreamError, match="checksum"):
+            load_pipeline(path)
+
+    def test_future_container_version_rejected(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        path = tmp_path / "future.npz"
+        save_pipeline(pipeline, path)
+        raw = bytearray(path.read_bytes())
+        offset = len(persistence._MAGIC)
+        raw[offset : offset + 2] = (99).to_bytes(2, "little")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(InvalidConfiguration, match="newer"):
+            load_pipeline(path)
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"this is not an archive at all")
+        with pytest.raises(InvalidConfiguration, match="not an FXRZ"):
+            load_pipeline(path)
+
+    def test_missing_array_is_corrupt(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        path = tmp_path / "missing.npz"
+        save_pipeline(pipeline, path)
+        arrays = _unwrap_arrays(path)
+        del arrays["tree0_feature"]
+        np.savez(path, **arrays)
+        with pytest.raises(CorruptStreamError, match="missing array"):
             load_pipeline(path)

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.errors import CorruptStreamError
+
 from repro.encoding.rle import (
     rle_decode,
     rle_encode,
@@ -38,11 +40,11 @@ class TestGenericRLE:
         assert (runs == 1).all()
 
     def test_decode_rejects_mismatched_shapes(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptStreamError):
             rle_decode(np.array([1, 2]), np.array([1]))
 
     def test_decode_rejects_nonpositive_runs(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptStreamError):
             rle_decode(np.array([1]), np.array([0]))
 
 
@@ -80,9 +82,9 @@ class TestZeroRLE:
         assert zero_rle_decode(tokens, literals).size == 0
 
     def test_decode_rejects_bad_token_count(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptStreamError):
             zero_rle_decode(np.array([1, 2]), np.array([5, 6]))
 
     def test_decode_rejects_negative_runs(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptStreamError):
             zero_rle_decode(np.array([-1, 0]), np.array([5]))
