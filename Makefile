@@ -1,11 +1,16 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness bench
+.PHONY: test robustness bench serve-smoke
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
 	$(PYTEST) -x -q
+
+# Serving smoke: publish a model to a registry, push a JSONL batch
+# through the estimate-batch CLI, assert non-empty per-request output.
+serve-smoke:
+	PYTHONPATH=src $(PY) examples/serve_smoke.py
 
 # Robustness gate: the robustness-marked tests alone for fast signal,
 # then the full tier-1 suite with RuntimeWarnings promoted to errors so

@@ -1,0 +1,112 @@
+"""Serving throughput — requests/sec and cache amortization by batch size.
+
+The estimation service's claim: once the per-dataset analysis sits in
+the feature cache, every further target against that dataset pays only
+the adjustment + model query. This bench pushes batches of 1, 16 and
+64 same-dataset requests through a fresh service per batch size
+(fresh, so batch 1 cannot ride on a previous batch's warm cache) and
+reports requests/sec, the cache hit ratio, and the amortized
+per-request analysis cost next to the cold single-shot cost.
+
+Asserted: at batch size 16 and up the amortized cost undercuts the
+single-shot cost (the ISSUE's acceptance criterion), and the cache hit
+ratio matches the coalescing math ((n-1)/n for one shared dataset).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_CONFIG
+from repro.experiments.corpus import held_out_snapshots
+from repro.experiments.harness import get_trained_fxrz
+from repro.experiments.tables import render_table
+from repro.serving import EstimateRequest, EstimationService
+
+BATCH_SIZES = (1, 16, 64)
+
+
+def test_serving_throughput(benchmark, report):
+    pipeline = get_trained_fxrz("hurricane", "TC", "sz", config=BENCH_CONFIG)
+    snapshot = held_out_snapshots("hurricane", "TC")[0]
+    lo, hi = pipeline.trained_ratio_range(snapshot.data)
+    targets_for = lambda n: np.linspace(lo * 1.05, hi * 0.95, n)  # noqa: E731
+
+    # Cold baseline: every request pays features + blocks + model query.
+    single_shot = float(
+        np.mean(
+            [
+                pipeline.estimate_config(snapshot.data, float(tcr)).analysis_seconds
+                for tcr in targets_for(8)
+            ]
+        )
+    )
+
+    rows = []
+    amortized_by_batch = {}
+    for batch_size in BATCH_SIZES:
+        with EstimationService.for_pipeline(
+            pipeline, workers=2, max_batch=batch_size
+        ) as service:
+            requests = [
+                EstimateRequest(
+                    data=snapshot.data,
+                    target_ratio=float(tcr),
+                    dataset_id=snapshot.name,
+                )
+                for tcr in targets_for(batch_size)
+            ]
+            tick = time.perf_counter()
+            served = service.run_batch(requests)
+            wall = time.perf_counter() - tick
+            metrics = service.metrics
+        amortized = float(
+            np.mean([s.estimate.analysis_seconds for s in served])
+        )
+        amortized_by_batch[batch_size] = amortized
+        rows.append(
+            [
+                str(batch_size),
+                f"{batch_size / wall:.0f}",
+                f"{metrics.cache_hit_ratio:.2f}",
+                f"{amortized * 1e3:.3f} ms",
+                f"{single_shot * 1e3:.3f} ms",
+                f"{single_shot / max(amortized, 1e-12):.2f}x",
+            ]
+        )
+        assert metrics.latency_count == batch_size
+        assert metrics.cache_misses >= 1
+        if batch_size > 1:
+            assert metrics.cache_hits > 0, "coalesced batch must hit the cache"
+
+    report(
+        render_table(
+            [
+                "batch size",
+                "req/s",
+                "cache hit ratio",
+                "amortized analysis",
+                "single-shot analysis",
+                "speedup",
+            ],
+            rows,
+            title=(
+                "Serving throughput - amortized per-request analysis cost "
+                "vs the cold single-shot engine"
+            ),
+        )
+    )
+
+    for batch_size in (16, 64):
+        assert amortized_by_batch[batch_size] < single_shot, (
+            f"batch {batch_size}: amortized analysis must undercut "
+            "the single-shot cost"
+        )
+
+    with EstimationService.for_pipeline(pipeline, workers=2) as service:
+        service.estimate(snapshot.data, float(np.median(targets_for(3))))
+        benchmark(
+            lambda: service.estimate(
+                snapshot.data, float(np.median(targets_for(3)))
+            )
+        )

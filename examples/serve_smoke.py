@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Serving smoke test: publish a model, push a JSONL batch, check output.
+
+The end-to-end path ``make serve-smoke`` exercises:
+
+1. train a small pipeline and publish it into a model registry;
+2. write a JSONL request batch against two datasets;
+3. serve the batch through the ``estimate-batch`` CLI (registry-backed,
+   guarded engine) into a results file;
+4. assert every request came back with a usable configuration.
+
+Run:
+    python examples/serve_smoke.py
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+
+import numpy as np
+
+import repro
+from repro.cli import main as cli_main
+from repro.compressors import get_compressor
+from repro.serving import ModelRegistry
+
+
+def main(argv=None) -> int:
+    rng = np.random.default_rng(0)
+    lin = np.linspace(0, 4 * np.pi, 20)
+    x, y, _ = np.meshgrid(lin, lin, lin, indexing="ij")
+    fields = [
+        (
+            np.sin(x + 0.4 * i) * np.cos(y)
+            + (0.02 + 0.01 * i) * rng.standard_normal((20,) * 3)
+        ).astype(np.float32)
+        for i in range(5)
+    ]
+
+    config = repro.FXRZConfig(stationary_points=8, augmented_samples=60)
+    pipeline = repro.FXRZ(get_compressor("sz"), config=config)
+    pipeline.fit(fields[:3])
+
+    with tempfile.TemporaryDirectory(prefix="fxrz-serve-") as tmp:
+        root = pathlib.Path(tmp)
+        published = ModelRegistry(root / "registry").publish(pipeline)
+        print(
+            f"published {published.compressor}/{published.fingerprint} "
+            f"v{published.version}"
+        )
+
+        inputs = []
+        for i, probe in enumerate(fields[3:]):
+            path = root / f"probe{i}.npy"
+            np.save(path, probe)
+            inputs.append(str(path))
+        requests = root / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                json.dumps({"input": path, "ratio": ratio})
+                for path in inputs
+                for ratio in (4.0, 6.0, 9.0)
+            )
+            + "\n"
+        )
+
+        results = root / "results.jsonl"
+        code = cli_main(
+            [
+                "estimate-batch",
+                str(requests),
+                "--registry",
+                str(root / "registry"),
+                "--compressor",
+                "sz",
+                "--output",
+                str(results),
+                "--stats",
+            ]
+        )
+        if code != 0:
+            print(f"estimate-batch exited with {code}", file=sys.stderr)
+            return 1
+
+        records = [
+            json.loads(line) for line in results.read_text().splitlines()
+        ]
+        assert records, "service produced no output"
+        assert len(records) == 6, f"expected 6 results, got {len(records)}"
+        for record in records:
+            assert "error" not in record, f"request failed: {record}"
+            assert record["config"] > 0
+            assert record["latency_ms"] > 0
+        hits = sum(1 for record in records if record["cache_hit"])
+        print(
+            f"smoke OK: {len(records)} requests served, "
+            f"{hits} feature-cache hits"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

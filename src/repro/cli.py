@@ -5,6 +5,9 @@ whole fixed-ratio workflow on ``.npy`` files:
 
 * ``repro train``     — fit a pipeline on training arrays, save it.
 * ``repro estimate``  — predict the error config for a target ratio.
+* ``repro estimate-batch`` (alias ``serve``) — push a JSONL request
+  batch through the estimation service (batched, cached, concurrent);
+  ``--stats`` appends the service metrics snapshot.
 * ``repro compress``  — fixed-ratio compress one array to a blob file.
 * ``repro decompress``— reconstruct an array from a blob file.
 * ``repro search``    — run the FRaZ baseline for comparison.
@@ -40,6 +43,7 @@ from repro.datasets.registry import dataset_catalog
 from repro.errors import ReproError
 from repro.hpc.iosim import DumpScenario, simulate_dump, simulate_faulty_dump
 from repro.robustness import FaultSpec, GuardedInferenceEngine, RetryPolicy
+from repro.serving import EstimateRequest, EstimationService, ModelRegistry
 
 _MAGIC = b"FXRZBLOB"
 
@@ -130,6 +134,122 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         f"analysis {estimate.analysis_seconds * 1e3:.1f}ms; "
         f"{_tier_note(estimate)})"
     )
+    return 0
+
+
+def _load_batch_pipeline(args: argparse.Namespace):
+    """The model behind ``estimate-batch``: a file or a registry entry."""
+    if args.model:
+        return load_pipeline(args.model)
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        return registry.load(
+            args.compressor, args.fingerprint or None, args.version
+        )
+    raise ReproError("estimate-batch needs --model or --registry")
+
+
+def _read_batch_requests(path: str) -> list[dict]:
+    """Parse a JSONL request file: {"input": ..., "ratio": ...} per line."""
+    specs: list[dict] = []
+    for lineno, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spec = json.loads(line)
+        except ValueError as exc:
+            raise ReproError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(spec, dict) or "input" not in spec or "ratio" not in spec:
+            raise ReproError(
+                f'{path}:{lineno}: each request needs "input" and "ratio"'
+            )
+        specs.append(spec)
+    if not specs:
+        raise ReproError(f"{path} holds no requests")
+    return specs
+
+
+def _cmd_estimate_batch(args: argparse.Namespace) -> int:
+    pipeline = _load_batch_pipeline(args)
+    specs = _read_batch_requests(args.requests)
+    arrays: dict[str, np.ndarray] = {}
+    for spec in specs:
+        path = str(spec["input"])
+        if path not in arrays:
+            arrays[path] = _load_array(path)
+
+    guarded = args.engine == "guarded"
+    service = EstimationService.for_pipeline(
+        pipeline,
+        guarded=guarded,
+        guard_options=(
+            {"fallback": args.fallback, "min_confidence": args.min_confidence}
+            if guarded
+            else None
+        ),
+        workers=args.workers,
+        max_batch=args.max_batch,
+    )
+    try:
+        futures = service.submit_many(
+            [
+                EstimateRequest(
+                    data=arrays[str(spec["input"])],
+                    target_ratio=float(spec["ratio"]),
+                    request_id=str(spec.get("id", "")),
+                    dataset_id=str(spec["input"]),
+                )
+                for spec in specs
+            ]
+        )
+        records = []
+        failures = 0
+        for spec, future in zip(specs, futures):
+            record = {
+                "id": str(spec.get("id", "")),
+                "input": str(spec["input"]),
+                "ratio": float(spec["ratio"]),
+            }
+            try:
+                served = future.result()
+            except Exception as exc:  # noqa: BLE001 — reported per line
+                failures += 1
+                record["error"] = str(exc)
+            else:
+                record.update(
+                    {
+                        "id": served.request_id,
+                        "config": served.estimate.config,
+                        "acr": served.estimate.adjusted_target,
+                        "nonconstant": served.estimate.nonconstant,
+                        "tier": served.estimate.tier,
+                        "confidence": served.estimate.confidence,
+                        "latency_ms": served.latency_seconds * 1e3,
+                        "cache_hit": served.cache_hit,
+                        "batch_size": served.batch_size,
+                    }
+                )
+            records.append(json.dumps(record))
+        snapshot = service.metrics
+    finally:
+        service.close()
+
+    text = "\n".join(records) + "\n"
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(
+            f"served {len(records)} request(s) ({failures} failed) over "
+            f"{len(arrays)} dataset(s); wrote {args.output}"
+        )
+    else:
+        print(text, end="")
+    if args.stats:
+        print("-- service stats --")
+        for line in snapshot.lines():
+            print(line)
     return 0
 
 
@@ -277,6 +397,47 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--ratio", type=float, required=True)
     add_guard_flags(estimate)
     estimate.set_defaults(func=_cmd_estimate)
+
+    batch = sub.add_parser(
+        "estimate-batch",
+        aliases=["serve"],
+        help="serve a JSONL batch of estimation requests",
+    )
+    batch.add_argument(
+        "requests",
+        help='JSONL file, one {"input": "x.npy", "ratio": 40.0} per line '
+        '(optional "id")',
+    )
+    batch.add_argument("--model", default="", help="pipeline .npz archive")
+    batch.add_argument(
+        "--registry", default="", help="model registry root (instead of --model)"
+    )
+    batch.add_argument(
+        "--compressor",
+        default="sz",
+        choices=available_compressors(),
+        help="registry lookup: compressor name",
+    )
+    batch.add_argument(
+        "--fingerprint", default="", help="registry lookup: corpus fingerprint"
+    )
+    batch.add_argument(
+        "--version", default="latest", help='registry lookup: version or "latest"'
+    )
+    batch.add_argument("--output", default="", help="results JSONL (default stdout)")
+    batch.add_argument(
+        "--engine",
+        choices=("guarded", "plain"),
+        default="guarded",
+        help="serve through the guarded ladder or the plain model",
+    )
+    add_guard_flags(batch)
+    batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument("--max-batch", type=int, default=32)
+    batch.add_argument(
+        "--stats", action="store_true", help="append the service metrics snapshot"
+    )
+    batch.set_defaults(func=_cmd_estimate_batch)
 
     compress = sub.add_parser("compress", help="fixed-ratio compress")
     compress.add_argument("input", help="data .npy file")

@@ -62,9 +62,23 @@ def nonconstant_fraction(
 
 
 def adjusted_ratio(target_ratio: float, nonconstant: float) -> float:
-    """Formula (4): ACR = TCR * R, floored to stay a valid ratio."""
+    """Formula (4): ACR = TCR * R, floored to stay a valid ratio.
+
+    A small-but-positive R legitimately clamps the adjusted target to
+    the 1.0 floor (an almost-constant dataset still carries *some*
+    information). R exactly 0 means every block is constant: any error
+    bound reproduces the field and ACR = 0 is not a ratio the model was
+    ever trained on, so the degenerate query is rejected outright.
+    """
     if target_ratio <= 0:
         raise InvalidConfiguration("target ratio must be > 0")
     if not 0.0 <= nonconstant <= 1.0:
         raise InvalidConfiguration("nonconstant fraction must be in [0, 1]")
+    if nonconstant == 0.0:
+        raise InvalidConfiguration(
+            "dataset is entirely constant (non-constant block fraction "
+            "R = 0): the adjusted target ACR = TCR * R degenerates to 0, "
+            "which no trained model can answer; compress the field with "
+            "any error bound instead of estimating one"
+        )
     return max(target_ratio * nonconstant, 1.0)

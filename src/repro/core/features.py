@@ -158,10 +158,31 @@ def _gradient_stats(data: np.ndarray) -> tuple[float, float, float]:
 
 
 def extract_features(data: np.ndarray, stride: int = 1) -> FeatureVector:
-    """Compute the eight candidate features on a stride-K subsample."""
+    """Compute the eight candidate features on a stride-K subsample.
+
+    Raises:
+        InvalidConfiguration: empty input, or non-finite values in the
+            sampled view — NaN/Inf would silently poison every feature
+            and, downstream, the model's prediction. Callers with dirty
+            fields should patch them first
+            (:func:`repro.robustness.validate_field`).
+    """
+    data = np.asarray(data)
     if data.size == 0:
         raise InvalidConfiguration("cannot extract features from empty data")
     sampled = uniform_sample(np.asarray(data, dtype=np.float64), stride)
+    if not np.isfinite(sampled).all():
+        raise InvalidConfiguration(
+            "field contains non-finite values in its sampled view; "
+            "patch or reject it (repro.robustness.validate_field) "
+            "before extracting features"
+        )
+    if sampled.size == 1:
+        # A single point has no neighbors: every difference-based
+        # feature is degenerate. Report the well-defined zeros instead
+        # of dividing by an empty neighbor count.
+        value = float(sampled.reshape(()))
+        return FeatureVector(0.0, value, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
     mean_grad, min_grad, max_grad = _gradient_stats(sampled)
     return FeatureVector(
         value_range=float(np.ptp(sampled)),

@@ -6,6 +6,12 @@ the non-constant block fraction (CA), and asks the regression model for
 the error configuration — all without touching the compressor. The
 recorded ``analysis_seconds`` is what Table VIII compares against
 FRaZ's iterative search cost.
+
+The per-dataset half of that work (feature extraction + block
+classification) is independent of the target ratio, so it is split out
+as :meth:`InferenceEngine.analyze`: a serving layer can run it once per
+dataset and answer many targets from the cached
+:class:`DatasetAnalysis` (see :mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -22,7 +28,35 @@ from repro.core.features import extract_features
 from repro.errors import InvalidConfiguration
 
 
+def _frozen_array(values: np.ndarray) -> np.ndarray:
+    """A read-only float64 copy (or the input, if already locked)."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.flags.writeable:
+        array = array.copy()
+        array.flags.writeable = False
+    return array
+
+
 @dataclass(frozen=True)
+class DatasetAnalysis:
+    """The target-independent half of one inference: what the dataset *is*.
+
+    Attributes:
+        features: the five adopted model-input features (read-only).
+        nonconstant: the non-constant block fraction R (1.0 when CA is
+            disabled).
+        seconds: wall time spent computing this analysis.
+    """
+
+    features: np.ndarray
+    nonconstant: float
+    seconds: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "features", _frozen_array(self.features))
+
+
+@dataclass(frozen=True, eq=False)
 class Estimate:
     """One inference outcome.
 
@@ -32,7 +66,8 @@ class Estimate:
         target_ratio: the user's TCR.
         adjusted_target: ACR fed to the model (TCR when CA is off).
         nonconstant: the measured non-constant block fraction R.
-        features: the five model-input features.
+        features: the five model-input features (stored read-only, so a
+            frozen ``Estimate`` cannot be mutated through its array).
         analysis_seconds: end-to-end inference wall time.
         tier: which engine produced ``config`` — ``"model"`` for the
             plain regression path, ``"curve"`` / ``"fraz"`` when guarded
@@ -53,6 +88,27 @@ class Estimate:
     confidence: float = 1.0
     fallback_reason: str = ""
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "features", _frozen_array(self.features))
+
+    def __eq__(self, other: object) -> bool:
+        # The generated dataclass __eq__ compares the features arrays
+        # elementwise and raises on the ambiguous truth value; compare
+        # them properly instead.
+        if not isinstance(other, Estimate):
+            return NotImplemented
+        return (
+            self.config == other.config
+            and self.target_ratio == other.target_ratio
+            and self.adjusted_target == other.adjusted_target
+            and self.nonconstant == other.nonconstant
+            and self.analysis_seconds == other.analysis_seconds
+            and self.tier == other.tier
+            and self.confidence == other.confidence
+            and self.fallback_reason == other.fallback_reason
+            and np.array_equal(self.features, other.features)
+        )
+
 
 class InferenceEngine:
     """Maps (dataset, target ratio) -> error configuration."""
@@ -67,10 +123,13 @@ class InferenceEngine:
         self.compressor = compressor
         self.config = config or FXRZConfig()
 
-    def estimate(self, data: np.ndarray, target_ratio: float) -> Estimate:
-        """Predict the error configuration for ``target_ratio``."""
-        if target_ratio <= 0:
-            raise InvalidConfiguration("target ratio must be > 0")
+    def analyze(self, data: np.ndarray) -> DatasetAnalysis:
+        """Run the target-independent dataset analysis once.
+
+        The returned record can be passed to :meth:`estimate` for any
+        number of target ratios on the *same* dataset, skipping the
+        feature/block passes each time.
+        """
         start = time.perf_counter()
         features = extract_features(
             data, stride=self.config.sampling_stride
@@ -82,7 +141,35 @@ class InferenceEngine:
             if self.config.use_adjustment
             else 1.0
         )
-        acr = adjusted_ratio(target_ratio, nonconstant)
+        return DatasetAnalysis(
+            features=features,
+            nonconstant=nonconstant,
+            seconds=time.perf_counter() - start,
+        )
+
+    def estimate(
+        self,
+        data: np.ndarray,
+        target_ratio: float,
+        analysis: DatasetAnalysis | None = None,
+    ) -> Estimate:
+        """Predict the error configuration for ``target_ratio``.
+
+        Args:
+            data: the runtime dataset.
+            target_ratio: the user's TCR.
+            analysis: a cached :meth:`analyze` result for ``data``; when
+                given, the feature/block passes are skipped and
+                ``analysis_seconds`` covers only the per-request
+                remainder (adjustment + model query).
+        """
+        if target_ratio <= 0:
+            raise InvalidConfiguration("target ratio must be > 0")
+        start = time.perf_counter()
+        if analysis is None:
+            analysis = self.analyze(data)
+        features = analysis.features
+        acr = adjusted_ratio(target_ratio, analysis.nonconstant)
         row = np.concatenate((features, [acr]))[None, :]
         raw = float(self.model.predict(row)[0])
         if self.compressor.config_scale == "log":
@@ -95,7 +182,7 @@ class InferenceEngine:
             config=config,
             target_ratio=float(target_ratio),
             adjusted_target=acr,
-            nonconstant=nonconstant,
+            nonconstant=analysis.nonconstant,
             features=features,
             analysis_seconds=elapsed,
         )

@@ -14,6 +14,7 @@ model FXRZ adopts, and the one the registry trains.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import pathlib
@@ -61,6 +62,46 @@ def _tree_from_arrays(arrays: dict[str, np.ndarray]) -> DecisionTreeRegressor:
         for key in ("feature", "threshold", "left", "right", "value")
     }
     return tree
+
+
+def pipeline_fingerprint(pipeline: FXRZ) -> str:
+    """Content fingerprint of a fitted pipeline's training corpus.
+
+    Hashes what the model was *trained from* — per-record features,
+    non-constant fractions and anchored curves, plus the compressor name
+    and framework configuration — so two pipelines fitted on the same
+    corpus with the same knobs share a fingerprint while any corpus or
+    configuration change produces a new one. The model registry uses
+    this as its on-disk key.
+    """
+    if not pipeline.is_fitted:
+        raise NotFittedError("fingerprint needs a fitted pipeline")
+    digest = hashlib.blake2b(digest_size=8)
+    config = pipeline.config
+    digest.update(
+        json.dumps(
+            {
+                "compressor": pipeline.compressor.name,
+                "sampling_stride": config.sampling_stride,
+                "block_size": config.block_size,
+                "lam": config.lam,
+                "stationary_points": config.stationary_points,
+                "augmented_samples": config.augmented_samples,
+                "use_adjustment": config.use_adjustment,
+                "seed": config.seed,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+    )
+    for record in pipeline._training.records:
+        for array in (
+            record.features,
+            np.array([record.nonconstant]),
+            record.curve.configs,
+            record.curve.ratios,
+        ):
+            digest.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
+    return digest.hexdigest()
 
 
 def save_pipeline(pipeline: FXRZ, path: str | pathlib.Path) -> None:

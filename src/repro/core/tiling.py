@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compressors.base import CompressedBlob
+from repro.core.adjustment import nonconstant_fraction
 from repro.core.pipeline import FXRZ
 from repro.errors import InvalidConfiguration, NotFittedError
 
@@ -102,15 +103,41 @@ class TiledFixedRatio:
         tiles: list[TileRecord] = []
         for index, slices in tile_grid(data.shape, self.tile_shape):
             tile = np.ascontiguousarray(data[slices])
-            result = self.pipeline.compress_to_ratio(tile, target_ratio)
-            tiles.append(
-                TileRecord(index=index, slices=slices, blob=result.blob)
-            )
+            if self._entirely_constant(tile):
+                # R = 0: estimation is degenerate (the adjustment layer
+                # rejects it), but the tile itself is trivial — compress
+                # it directly under the constancy tolerance.
+                blob = self.pipeline.compressor.compress(
+                    tile, self._constant_tile_config(tile)
+                )
+            else:
+                blob = self.pipeline.compress_to_ratio(tile, target_ratio).blob
+            tiles.append(TileRecord(index=index, slices=slices, blob=blob))
         return TiledResult(
             tiles=tiles,
             original_shape=data.shape,
             target_ratio=float(target_ratio),
         )
+
+    def _entirely_constant(self, tile: np.ndarray) -> bool:
+        cfg = self.pipeline.config
+        if not cfg.use_adjustment:
+            return False
+        return (
+            nonconstant_fraction(tile, block_size=cfg.block_size, lam=cfg.lam)
+            == 0.0
+        )
+
+    def _constant_tile_config(self, tile: np.ndarray) -> float:
+        """A config for a tile whose every block sits below the
+        constancy threshold: an error bound at that same threshold (the
+        variation CA already calls noise), or the loosest precision."""
+        compressor = self.pipeline.compressor
+        if compressor.error_mode == "abs":
+            bound = self.pipeline.config.lam * abs(float(tile.mean()))
+            return compressor.normalize_config(bound if bound > 0.0 else 1e-12)
+        lo, _ = compressor.config_domain()
+        return compressor.normalize_config(lo)
 
     def decompress(self, result: TiledResult) -> np.ndarray:
         """Reassemble the full array from its tiles."""

@@ -3,6 +3,12 @@
 Training a pipeline and probing valid ratio ranges are expensive, so
 this module memoizes them per (application, field, compressor) within
 the process — one pytest-benchmark session reuses them across benches.
+
+The serving helpers (:func:`get_estimation_service`,
+:func:`serving_analysis_cost`) route estimation traffic through
+:mod:`repro.serving` so benches can compare the amortized per-request
+analysis cost of a cached, batched service against the single-shot
+engine Table VIII measures.
 """
 
 from __future__ import annotations
@@ -20,10 +26,12 @@ from repro.config import FXRZConfig
 from repro.core.pipeline import FXRZ
 from repro.datasets.base import FieldSnapshot
 from repro.experiments.corpus import held_out_snapshots, training_arrays
+from repro.serving import EstimateRequest, EstimationService, MetricsSnapshot
 
 _FXRZ_CACHE: dict[tuple, FXRZ] = {}
 _RANGE_CACHE: dict[tuple, tuple[float, float]] = {}
 _FRAZ_EVAL_CACHE: dict[tuple, dict[float, tuple[float, float]]] = {}
+_SERVICE_CACHE: dict[tuple, EstimationService] = {}
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,102 @@ def get_trained_fxrz(
         pipeline.fit(training_arrays(application, fld))
         _FXRZ_CACHE[key] = pipeline
     return _FXRZ_CACHE[key]
+
+
+def get_estimation_service(
+    application: str,
+    fld: str,
+    compressor_name: str,
+    config: FXRZConfig | None = None,
+    guarded: bool = False,
+    workers: int = 2,
+    max_batch: int = 32,
+) -> EstimationService:
+    """A serving front-end over the memoized trained pipeline.
+
+    Cached per (app, field, compressor, guarded) so one bench session
+    reuses a warm service; :func:`clear_caches` closes them.
+    """
+    cfg = config or FXRZConfig()
+    key = (application, fld, compressor_name, cfg, guarded)
+    if key not in _SERVICE_CACHE:
+        pipeline = get_trained_fxrz(application, fld, compressor_name, config=cfg)
+        _SERVICE_CACHE[key] = EstimationService.for_pipeline(
+            pipeline, guarded=guarded, workers=workers, max_batch=max_batch
+        )
+    return _SERVICE_CACHE[key]
+
+
+@dataclass(frozen=True)
+class ServingCostSummary:
+    """Amortized-vs-single-shot analysis cost of one served batch."""
+
+    requests: int
+    single_shot_seconds: float
+    amortized_seconds: float
+    wall_seconds: float
+    metrics: MetricsSnapshot
+
+    @property
+    def speedup(self) -> float:
+        return self.single_shot_seconds / max(self.amortized_seconds, 1e-12)
+
+
+def serving_analysis_cost(
+    application: str,
+    fld: str,
+    compressor_name: str,
+    n_targets: int = 8,
+    config: FXRZConfig | None = None,
+    max_snapshots: int | None = 1,
+) -> ServingCostSummary:
+    """Serve ``n_targets`` ratios per held-out snapshot through the service.
+
+    ``single_shot_seconds`` is the mean cost of a cold
+    ``estimate_config`` (features + blocks + model, per request);
+    ``amortized_seconds`` is the mean engine-reported per-request cost
+    once the service's feature cache absorbs the per-dataset analysis.
+    """
+    pipeline = get_trained_fxrz(application, fld, compressor_name, config=config)
+    service = get_estimation_service(
+        application, fld, compressor_name, config=config
+    )
+    snapshots = held_out_snapshots(application, fld)
+    if max_snapshots is not None:
+        snapshots = snapshots[:max_snapshots]
+
+    requests: list[EstimateRequest] = []
+    single_shot: list[float] = []
+    for snapshot in snapshots:
+        lo, hi = pipeline.trained_ratio_range(snapshot.data)
+        targets = np.linspace(lo * 1.05, hi * 0.95, n_targets)
+        single_shot.append(
+            pipeline.estimate_config(
+                snapshot.data, float(np.median(targets))
+            ).analysis_seconds
+        )
+        requests.extend(
+            EstimateRequest(
+                data=snapshot.data,
+                target_ratio=float(tcr),
+                dataset_id=snapshot.name,
+            )
+            for tcr in targets
+        )
+
+    tick = time.perf_counter()
+    served = service.run_batch(requests)
+    wall = time.perf_counter() - tick
+    amortized = float(
+        np.mean([s.estimate.analysis_seconds for s in served])
+    )
+    return ServingCostSummary(
+        requests=len(served),
+        single_shot_seconds=float(np.mean(single_shot)),
+        amortized_seconds=amortized,
+        wall_seconds=wall,
+        metrics=service.metrics,
+    )
 
 
 def target_ratio_grid(
@@ -195,3 +299,6 @@ def clear_caches() -> None:
     _FXRZ_CACHE.clear()
     _RANGE_CACHE.clear()
     _FRAZ_EVAL_CACHE.clear()
+    for service in _SERVICE_CACHE.values():
+        service.close()
+    _SERVICE_CACHE.clear()

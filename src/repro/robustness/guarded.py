@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -52,6 +53,22 @@ _CURVE_SLACK = 0.25
 
 def _usable(config: float) -> bool:
     return math.isfinite(config) and config > 0.0
+
+
+@dataclass(frozen=True)
+class GuardedAnalysis:
+    """Target-independent half of one guarded inference.
+
+    Like :class:`~repro.core.inference.DatasetAnalysis` but carrying the
+    validation report too (the FRaZ rung must compress the *patched*
+    field, and field issues discount the model's confidence). A serving
+    layer caches this per dataset and reuses it across targets.
+    """
+
+    report: object  # FieldReport
+    features: np.ndarray
+    nonconstant: float
+    seconds: float
 
 
 class GuardedInferenceEngine:
@@ -162,24 +179,8 @@ class GuardedInferenceEngine:
 
     # -- public API ------------------------------------------------------------
 
-    def estimate(self, data: np.ndarray, target_ratio: float) -> Estimate:
-        """Guarded version of :meth:`InferenceEngine.estimate`.
-
-        Never returns a NaN/Inf/non-positive configuration: low-
-        confidence model answers fall through the ladder, and if every
-        permitted rung fails, :class:`FallbackExhaustedError` (or
-        :class:`OutOfDistributionError` for ``fallback="none"``) is
-        raised instead of a bad number.
-        """
-        try:
-            target_ratio = float(target_ratio)
-        except (TypeError, ValueError) as exc:
-            raise InvalidConfiguration(
-                f"target ratio must be a number: {exc}"
-            ) from exc
-        if not math.isfinite(target_ratio) or target_ratio <= 0:
-            raise InvalidConfiguration("target ratio must be finite and > 0")
-
+    def analyze(self, data: np.ndarray) -> GuardedAnalysis:
+        """Validate ``data`` and run the target-independent analysis once."""
         start = time.perf_counter()
         report = validate_field(data)
         features = extract_features(
@@ -194,6 +195,45 @@ class GuardedInferenceEngine:
             if self.config.use_adjustment
             else 1.0
         )
+        return GuardedAnalysis(
+            report=report,
+            features=features,
+            nonconstant=nonconstant,
+            seconds=time.perf_counter() - start,
+        )
+
+    def estimate(
+        self,
+        data: np.ndarray,
+        target_ratio: float,
+        analysis: GuardedAnalysis | None = None,
+    ) -> Estimate:
+        """Guarded version of :meth:`InferenceEngine.estimate`.
+
+        Never returns a NaN/Inf/non-positive configuration: low-
+        confidence model answers fall through the ladder, and if every
+        permitted rung fails, :class:`FallbackExhaustedError` (or
+        :class:`OutOfDistributionError` for ``fallback="none"``) is
+        raised instead of a bad number.
+
+        ``analysis`` accepts a cached :meth:`analyze` result for
+        ``data``, skipping the validation/feature/block passes.
+        """
+        try:
+            target_ratio = float(target_ratio)
+        except (TypeError, ValueError) as exc:
+            raise InvalidConfiguration(
+                f"target ratio must be a number: {exc}"
+            ) from exc
+        if not math.isfinite(target_ratio) or target_ratio <= 0:
+            raise InvalidConfiguration("target ratio must be finite and > 0")
+
+        start = time.perf_counter()
+        if analysis is None:
+            analysis = self.analyze(data)
+        report = analysis.report
+        features = analysis.features
+        nonconstant = analysis.nonconstant
         acr = adjusted_ratio(float(target_ratio), nonconstant)
 
         confidence_report = score_confidence(

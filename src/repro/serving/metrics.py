@@ -1,0 +1,167 @@
+"""Service metrics: counters, latency distribution, tier accounting.
+
+The serving layer records every request's outcome into a thread-safe
+:class:`MetricsRecorder`; :meth:`MetricsRecorder.snapshot` freezes the
+current state into an immutable :class:`MetricsSnapshot` that the CLI
+``--stats`` view and the throughput benchmark render. Latencies keep a
+bounded window (the most recent ``latency_window`` requests) so a
+long-lived service never grows without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Ladder tiers a request can be answered from (plus "error").
+TIERS = ("model", "curve", "fraz")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable view of a service's counters at one instant.
+
+    Attributes:
+        requests_total: completed requests (successes + failures).
+        requests_failed: requests whose engine raised.
+        batches: dataset-coalesced batches processed.
+        mean_batch_size: requests per batch on average.
+        cache_hits / cache_misses: feature-cache lookups.
+        cache_hit_ratio: hits / lookups (0.0 before any lookup).
+        cache_evictions: analyses dropped by the LRU.
+        tier_counts: requests answered per ladder tier.
+        fallback_count: requests the model tier did *not* answer
+            (degraded to curve/fraz) — the guarded ladder's degradation
+            counter.
+        latency_count: requests inside the retained latency window.
+        latency_mean_ms / latency_p50_ms / latency_p95_ms /
+        latency_max_ms: submit-to-completion latency over that window.
+        analysis_seconds_total: engine-reported per-request analysis
+            time, summed (the amortized-cost numerator).
+        uptime_seconds: service age at snapshot time.
+    """
+
+    requests_total: int
+    requests_failed: int
+    batches: int
+    mean_batch_size: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_ratio: float
+    cache_evictions: int
+    tier_counts: dict[str, int]
+    fallback_count: int
+    latency_count: int
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_max_ms: float
+    analysis_seconds_total: float
+    uptime_seconds: float
+
+    def lines(self) -> list[str]:
+        """Human-readable key/value lines (the CLI ``--stats`` view)."""
+        tiers = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.tier_counts.items())
+        ) or "none"
+        return [
+            f"requests        {self.requests_total} "
+            f"({self.requests_failed} failed)",
+            f"batches         {self.batches} "
+            f"(mean size {self.mean_batch_size:.1f})",
+            f"feature cache   {self.cache_hits} hits / "
+            f"{self.cache_misses} misses "
+            f"(hit ratio {self.cache_hit_ratio:.0%}, "
+            f"{self.cache_evictions} evicted)",
+            f"tiers           {tiers} (fallbacks {self.fallback_count})",
+            f"latency         mean {self.latency_mean_ms:.2f}ms, "
+            f"p50 {self.latency_p50_ms:.2f}ms, p95 {self.latency_p95_ms:.2f}ms, "
+            f"max {self.latency_max_ms:.2f}ms over {self.latency_count} requests",
+            f"analysis time   {self.analysis_seconds_total * 1e3:.1f}ms total",
+            f"uptime          {self.uptime_seconds:.1f}s",
+        ]
+
+
+class MetricsRecorder:
+    """Thread-safe accumulator behind a service's ``metrics`` property."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._start = time.perf_counter()
+        self._requests_total = 0
+        self._requests_failed = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._tier_counts: Counter[str] = Counter()
+        self._fallbacks = 0
+        self._latencies: deque[float] = deque(maxlen=int(latency_window))
+        self._analysis_seconds = 0.0
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += int(size)
+
+    def record_request(
+        self,
+        latency_seconds: float,
+        tier: str = "",
+        analysis_seconds: float = 0.0,
+        failed: bool = False,
+    ) -> None:
+        with self._lock:
+            self._requests_total += 1
+            self._latencies.append(float(latency_seconds))
+            if failed:
+                self._requests_failed += 1
+                return
+            self._analysis_seconds += float(analysis_seconds)
+            if tier:
+                self._tier_counts[tier] += 1
+                if tier != "model":
+                    self._fallbacks += 1
+
+    def snapshot(self, cache=None) -> MetricsSnapshot:
+        """Freeze the counters; ``cache`` supplies hit/miss/eviction."""
+        with self._lock:
+            latencies = np.array(self._latencies, dtype=np.float64)
+            tier_counts = dict(self._tier_counts)
+            requests_total = self._requests_total
+            requests_failed = self._requests_failed
+            batches = self._batches
+            batched = self._batched_requests
+            fallbacks = self._fallbacks
+            analysis_seconds = self._analysis_seconds
+            uptime = time.perf_counter() - self._start
+        hits = int(getattr(cache, "hits", 0))
+        misses = int(getattr(cache, "misses", 0))
+        evictions = int(getattr(cache, "evictions", 0))
+        lookups = hits + misses
+        has_latency = latencies.size > 0
+        return MetricsSnapshot(
+            requests_total=requests_total,
+            requests_failed=requests_failed,
+            batches=batches,
+            mean_batch_size=batched / batches if batches else 0.0,
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_ratio=hits / lookups if lookups else 0.0,
+            cache_evictions=evictions,
+            tier_counts=tier_counts,
+            fallback_count=fallbacks,
+            latency_count=int(latencies.size),
+            latency_mean_ms=float(latencies.mean() * 1e3) if has_latency else 0.0,
+            latency_p50_ms=(
+                float(np.percentile(latencies, 50) * 1e3) if has_latency else 0.0
+            ),
+            latency_p95_ms=(
+                float(np.percentile(latencies, 95) * 1e3) if has_latency else 0.0
+            ),
+            latency_max_ms=float(latencies.max() * 1e3) if has_latency else 0.0,
+            analysis_seconds_total=analysis_seconds,
+            uptime_seconds=uptime,
+        )

@@ -1,0 +1,248 @@
+"""Versioned on-disk registry of trained FXRZ pipelines.
+
+The paper's deployment story (Sec. III-A) is that one user's training
+run serves many later users; a serving process therefore needs a place
+where trained models *live* — versioned, addressable, and kept warm.
+The registry stores pipelines under::
+
+    <root>/<compressor>/<corpus-fingerprint>/
+        v1.fxrz
+        v2.fxrz
+        manifest.json        # {"latest": 2, "versions": {"1": {...}}}
+
+Keys are the compressor name plus the training-corpus fingerprint
+(:func:`~repro.core.persistence.pipeline_fingerprint`), so retraining
+on the same corpus publishes a new *version* of the same entry, while a
+different corpus (or different framework knobs) creates a sibling
+entry. Every entry keeps a ``latest`` alias in its manifest; loads go
+through :func:`~repro.core.persistence.load_pipeline` and land in a
+bounded in-memory LRU so a serving process keeps its hot models
+deserialized.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.persistence import (
+    load_pipeline,
+    pipeline_fingerprint,
+    save_pipeline,
+)
+from repro.core.pipeline import FXRZ
+from repro.errors import InvalidConfiguration
+
+_MANIFEST = "manifest.json"
+_SUFFIX = ".fxrz"
+
+#: The version alias resolving to an entry's newest published version.
+LATEST = "latest"
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published pipeline version."""
+
+    compressor: str
+    fingerprint: str
+    version: int
+    path: pathlib.Path
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.compressor, self.fingerprint, self.version)
+
+
+class ModelRegistry:
+    """Filesystem-backed model store with an in-memory LRU of hot models.
+
+    Args:
+        root: registry directory (created on first publish).
+        max_loaded: how many deserialized pipelines to keep in memory;
+            the least recently used is evicted past this.
+    """
+
+    def __init__(self, root: str | pathlib.Path, max_loaded: int = 4) -> None:
+        if max_loaded < 1:
+            raise InvalidConfiguration("max_loaded must be >= 1")
+        self.root = pathlib.Path(root)
+        self.max_loaded = int(max_loaded)
+        self._loaded: OrderedDict[tuple[str, str, int], FXRZ] = OrderedDict()
+        self._lock = threading.Lock()
+        self.load_hits = 0
+        self.load_misses = 0
+        self.evictions = 0
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(
+        self, pipeline: FXRZ, fingerprint: str | None = None
+    ) -> ModelVersion:
+        """Persist a fitted pipeline as the entry's next version.
+
+        The new version becomes the entry's ``latest``; the published
+        pipeline is also placed in the in-memory LRU, already warm.
+        """
+        fingerprint = fingerprint or pipeline_fingerprint(pipeline)
+        entry_dir = self.root / pipeline.compressor.name / fingerprint
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        manifest = self._read_manifest(entry_dir)
+        version = int(manifest.get("latest", 0)) + 1
+        path = entry_dir / f"v{version}{_SUFFIX}"
+        tmp = entry_dir / f".v{version}{_SUFFIX}.tmp"
+        save_pipeline(pipeline, tmp)
+        tmp.replace(path)
+        manifest["latest"] = version
+        manifest.setdefault("versions", {})[str(version)] = {
+            "n_records": len(pipeline._training.records),
+            "compressor": pipeline.compressor.name,
+        }
+        (entry_dir / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+        published = ModelVersion(
+            compressor=pipeline.compressor.name,
+            fingerprint=fingerprint,
+            version=version,
+            path=path,
+        )
+        with self._lock:
+            self._cache_locked(published.key, pipeline)
+        return published
+
+    # -- lookup ----------------------------------------------------------------
+
+    def entries(self) -> list[ModelVersion]:
+        """Every published version on disk, sorted."""
+        found: list[ModelVersion] = []
+        if not self.root.is_dir():
+            return found
+        for comp_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for entry_dir in sorted(p for p in comp_dir.iterdir() if p.is_dir()):
+                for path in sorted(entry_dir.glob(f"v*{_SUFFIX}")):
+                    try:
+                        version = int(path.stem[1:])
+                    except ValueError:
+                        continue
+                    found.append(
+                        ModelVersion(
+                            compressor=comp_dir.name,
+                            fingerprint=entry_dir.name,
+                            version=version,
+                            path=path,
+                        )
+                    )
+        return found
+
+    def fingerprints(self, compressor: str) -> list[str]:
+        """Corpus fingerprints published for ``compressor``."""
+        comp_dir = self.root / compressor
+        if not comp_dir.is_dir():
+            return []
+        return sorted(p.name for p in comp_dir.iterdir() if p.is_dir())
+
+    def resolve(
+        self,
+        compressor: str,
+        fingerprint: str | None = None,
+        version: int | str = LATEST,
+    ) -> ModelVersion:
+        """Resolve a (compressor, fingerprint, version) coordinate.
+
+        ``fingerprint=None`` is accepted when the compressor has exactly
+        one published entry; ``version`` is an integer or the
+        ``"latest"`` alias.
+        """
+        if fingerprint is None:
+            candidates = self.fingerprints(compressor)
+            if not candidates:
+                raise InvalidConfiguration(
+                    f"registry {self.root} has no models for "
+                    f"compressor {compressor!r}"
+                )
+            if len(candidates) > 1:
+                raise InvalidConfiguration(
+                    f"compressor {compressor!r} has {len(candidates)} "
+                    f"entries ({', '.join(candidates)}); pass a fingerprint"
+                )
+            fingerprint = candidates[0]
+        entry_dir = self.root / compressor / fingerprint
+        if not entry_dir.is_dir():
+            raise InvalidConfiguration(
+                f"registry has no entry {compressor}/{fingerprint}"
+            )
+        if version == LATEST:
+            manifest = self._read_manifest(entry_dir)
+            resolved = int(manifest.get("latest", 0))
+            if resolved < 1:
+                versions = sorted(
+                    int(p.stem[1:])
+                    for p in entry_dir.glob(f"v*{_SUFFIX}")
+                    if p.stem[1:].isdigit()
+                )
+                if not versions:
+                    raise InvalidConfiguration(
+                        f"entry {compressor}/{fingerprint} has no versions"
+                    )
+                resolved = versions[-1]
+        else:
+            try:
+                resolved = int(version)
+            except (TypeError, ValueError) as exc:
+                raise InvalidConfiguration(
+                    f"version must be an integer or {LATEST!r}, "
+                    f"got {version!r}"
+                ) from exc
+        path = entry_dir / f"v{resolved}{_SUFFIX}"
+        if not path.is_file():
+            raise InvalidConfiguration(
+                f"entry {compressor}/{fingerprint} has no version {resolved}"
+            )
+        return ModelVersion(
+            compressor=compressor,
+            fingerprint=fingerprint,
+            version=resolved,
+            path=path,
+        )
+
+    def load(
+        self,
+        compressor: str,
+        fingerprint: str | None = None,
+        version: int | str = LATEST,
+    ) -> FXRZ:
+        """A deserialized pipeline, through the in-memory LRU."""
+        coordinate = self.resolve(compressor, fingerprint, version)
+        with self._lock:
+            cached = self._loaded.get(coordinate.key)
+            if cached is not None:
+                self._loaded.move_to_end(coordinate.key)
+                self.load_hits += 1
+                return cached
+            self.load_misses += 1
+        pipeline = load_pipeline(coordinate.path)
+        with self._lock:
+            self._cache_locked(coordinate.key, pipeline)
+        return pipeline
+
+    # -- internals -------------------------------------------------------------
+
+    def _cache_locked(self, key: tuple[str, str, int], pipeline: FXRZ) -> None:
+        self._loaded[key] = pipeline
+        self._loaded.move_to_end(key)
+        while len(self._loaded) > self.max_loaded:
+            self._loaded.popitem(last=False)
+            self.evictions += 1
+
+    @staticmethod
+    def _read_manifest(entry_dir: pathlib.Path) -> dict:
+        path = entry_dir / _MANIFEST
+        if not path.is_file():
+            return {}
+        try:
+            manifest = json.loads(path.read_text())
+        except (ValueError, OSError):
+            return {}
+        return manifest if isinstance(manifest, dict) else {}

@@ -1,0 +1,283 @@
+"""The in-process estimation service: batched, concurrent, cached.
+
+FXRZ's pitch (and Table VIII's headline) is that inference is
+compressor-free and cheap; this module amortizes it further for the
+request-serving workload the ROADMAP targets. Clients ``submit``
+individual :class:`EstimateRequest`\\ s and receive futures; a pool of
+worker threads drains the queue, **coalescing requests that target the
+same dataset** into one batch so the expensive per-dataset analysis
+(sampled features + constant-block classification) runs once and every
+target in the batch reuses it via the :class:`~repro.serving.cache.FeatureCache`.
+
+The engine is pluggable: the plain
+:class:`~repro.core.inference.InferenceEngine` gives answers identical
+to direct calls, while the PR-1
+:class:`~repro.robustness.guarded.GuardedInferenceEngine` plugs its
+degradation ladder into the service so every curve/FRaZ fallback is
+*counted* in the metrics, not just returned.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inference import Estimate, InferenceEngine
+from repro.core.pipeline import FXRZ
+from repro.errors import InvalidConfiguration, NotFittedError, ReproError
+from repro.serving.cache import FeatureCache, dataset_fingerprint
+from repro.serving.metrics import MetricsRecorder, MetricsSnapshot
+
+
+@dataclass
+class EstimateRequest:
+    """One estimation query.
+
+    Attributes:
+        data: the dataset to answer for.
+        target_ratio: the requested TCR.
+        request_id: caller-chosen identifier echoed in the result
+            (auto-assigned ``req-N`` when empty).
+        dataset_id: optional explicit dataset key; requests sharing it
+            are coalesced without content-hashing the array. Leave empty
+            to let the service fingerprint the sampled view.
+    """
+
+    data: np.ndarray
+    target_ratio: float
+    request_id: str = ""
+    dataset_id: str = ""
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """A completed request: the estimate plus serving bookkeeping."""
+
+    request_id: str
+    dataset_key: str
+    estimate: Estimate
+    latency_seconds: float
+    cache_hit: bool
+    batch_size: int
+
+
+@dataclass
+class _Pending:
+    request: EstimateRequest
+    future: Future
+    submitted: float
+    request_id: str
+
+
+class EstimationService:
+    """Batched concurrent front-end over one inference engine.
+
+    Args:
+        engine: anything exposing ``analyze(data)`` and
+            ``estimate(data, ratio, analysis=...)`` — the plain or the
+            guarded engine.
+        workers: worker threads draining the queue.
+        max_batch: cap on how many same-dataset requests one worker
+            coalesces into a single batch.
+        cache_entries: LRU capacity of the per-dataset analysis cache.
+        latency_window: how many recent request latencies the metrics
+            retain for percentile reporting.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        workers: int = 4,
+        max_batch: int = 32,
+        cache_entries: int = 128,
+        latency_window: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise InvalidConfiguration("service needs at least one worker")
+        if max_batch < 1:
+            raise InvalidConfiguration("max_batch must be >= 1")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.cache = FeatureCache(max_entries=cache_entries)
+        self._metrics = MetricsRecorder(latency_window=latency_window)
+        self._pending: OrderedDict[str, deque[_Pending]] = OrderedDict()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._ids = itertools.count(1)
+        self._workers = [
+            threading.Thread(
+                target=self._worker, daemon=True, name=f"fxrz-serve-{i}"
+            )
+            for i in range(int(workers))
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def for_pipeline(
+        cls,
+        pipeline: FXRZ,
+        guarded: bool = False,
+        guard_options: dict | None = None,
+        **service_options,
+    ) -> "EstimationService":
+        """A service over a fitted pipeline.
+
+        ``guarded=False`` serves through the plain engine (answers
+        identical to ``pipeline.estimate_config``); ``guarded=True``
+        builds the robustness ladder with ``guard_options`` forwarded to
+        :meth:`FXRZ.guarded`, so degradations show up in the metrics.
+        """
+        if not pipeline.is_fitted:
+            raise NotFittedError("serve needs a fitted pipeline")
+        if guarded:
+            engine = pipeline.guarded(**(guard_options or {}))
+        else:
+            engine = InferenceEngine(
+                pipeline.model, pipeline.compressor, config=pipeline.config
+            )
+        return cls(engine, **service_options)
+
+    # -- client API ------------------------------------------------------------
+
+    def submit(self, request: EstimateRequest) -> Future:
+        """Queue one request; the future resolves to a :class:`ServedEstimate`."""
+        future = self._enqueue(request)
+        with self._cond:
+            self._cond.notify()
+        return future
+
+    def submit_many(self, requests: list[EstimateRequest]) -> list[Future]:
+        """Queue a whole batch before waking the workers.
+
+        Enqueueing everything under one lock maximizes same-dataset
+        coalescing: workers see the full groups, not a trickle.
+        """
+        futures = [self._enqueue(request) for request in requests]
+        with self._cond:
+            self._cond.notify_all()
+        return futures
+
+    def run_batch(
+        self, requests: list[EstimateRequest], timeout: float | None = None
+    ) -> list[ServedEstimate]:
+        """Submit ``requests`` and wait for every result, in order."""
+        return [
+            future.result(timeout=timeout)
+            for future in self.submit_many(requests)
+        ]
+
+    def estimate(self, data: np.ndarray, target_ratio: float) -> ServedEstimate:
+        """Synchronous single-request convenience."""
+        return self.submit(
+            EstimateRequest(data=data, target_ratio=float(target_ratio))
+        ).result()
+
+    @property
+    def metrics(self) -> MetricsSnapshot:
+        """A frozen snapshot of the service counters."""
+        return self._metrics.snapshot(cache=self.cache)
+
+    def close(self) -> None:
+        """Drain queued work, then stop the workers (idempotent)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for thread in self._workers:
+            thread.join()
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _dataset_key(self, request: EstimateRequest) -> str:
+        if request.dataset_id:
+            return f"id:{request.dataset_id}"
+        stride = getattr(self.engine.config, "sampling_stride", 1)
+        return dataset_fingerprint(request.data, stride=stride)
+
+    def _enqueue(self, request: EstimateRequest) -> Future:
+        key = self._dataset_key(request)
+        future: Future = Future()
+        item = _Pending(
+            request=request,
+            future=future,
+            submitted=time.perf_counter(),
+            request_id=request.request_id or f"req-{next(self._ids)}",
+        )
+        with self._cond:
+            if self._closed:
+                raise InvalidConfiguration(
+                    "estimation service is closed; no new requests accepted"
+                )
+            self._pending.setdefault(key, deque()).append(item)
+        return future
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending:
+                    return  # closed and drained
+                key, queue = next(iter(self._pending.items()))
+                batch = [
+                    queue.popleft()
+                    for _ in range(min(len(queue), self.max_batch))
+                ]
+                if queue:
+                    # Leftovers go to the back so other datasets get a
+                    # turn before this one's next chunk.
+                    self._pending.move_to_end(key)
+                else:
+                    del self._pending[key]
+            self._serve_batch(key, batch)
+
+    def _serve_batch(self, key: str, batch: list[_Pending]) -> None:
+        self._metrics.record_batch(len(batch))
+        for item in batch:
+            try:
+                analysis, hit = self.cache.get_or_compute(
+                    key, lambda: self.engine.analyze(item.request.data)
+                )
+                estimate = self.engine.estimate(
+                    item.request.data,
+                    float(item.request.target_ratio),
+                    analysis=analysis,
+                )
+            except Exception as exc:  # noqa: BLE001 — future carries it
+                latency = time.perf_counter() - item.submitted
+                self._metrics.record_request(latency, failed=True)
+                item.future.set_exception(exc)
+                continue
+            latency = time.perf_counter() - item.submitted
+            self._metrics.record_request(
+                latency,
+                tier=estimate.tier,
+                analysis_seconds=estimate.analysis_seconds,
+            )
+            item.future.set_result(
+                ServedEstimate(
+                    request_id=item.request_id,
+                    dataset_key=key,
+                    estimate=estimate,
+                    latency_seconds=latency,
+                    cache_hit=hit,
+                    batch_size=len(batch),
+                )
+            )

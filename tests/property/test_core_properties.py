@@ -59,9 +59,11 @@ class TestAdjustmentProperties:
         r = nonconstant_fraction(data)
         assert 0.0 <= r <= 1.0
 
-    @given(st.floats(0.1, 1e4), st.floats(0.0, 1.0))
+    @given(st.floats(0.1, 1e4), st.floats(1e-9, 1.0))
     @settings(max_examples=60, deadline=None)
     def test_acr_never_exceeds_tcr(self, tcr, r):
+        # R = 0 (all-constant dataset) is rejected outright, so the
+        # clamp property only holds on positive fractions.
         acr = adjusted_ratio(tcr, r)
         assert acr <= max(tcr, 1.0) + 1e-9
         assert acr >= 1.0

@@ -87,3 +87,19 @@ class TestAdjustedRatio:
             adjusted_ratio(10.0, 1.5)
         with pytest.raises(InvalidConfiguration):
             adjusted_ratio(10.0, -0.1)
+
+    def test_all_constant_dataset_rejected(self):
+        """R = 0 means ACR degenerates to 0 — no model can answer it."""
+        with pytest.raises(InvalidConfiguration, match="entirely constant"):
+            adjusted_ratio(10.0, 0.0)
+
+    def test_all_constant_field_rejected_end_to_end(self):
+        data = np.full((16, 16), 3.0)
+        assert nonconstant_fraction(data) == 0.0
+        with pytest.raises(InvalidConfiguration, match="entirely constant"):
+            adjusted_ratio(25.0, nonconstant_fraction(data))
+
+    def test_tiny_positive_r_clamps_not_raises(self):
+        """The clamp path still owns every R in (0, 1]."""
+        assert adjusted_ratio(10.0, 1e-9) == 1.0
+        assert adjusted_ratio(10.0, 1e-3) == 1.0

@@ -109,3 +109,41 @@ class TestSampledFeatures:
         data = np.random.default_rng(0).standard_normal((4, 4))
         features = extract_features(data)
         assert features.msd == pytest.approx(features.mnd)
+
+
+class TestFeatureEdgeCases:
+    def test_dataset_smaller_than_stride(self):
+        """Sampling falls back to the full view; features stay finite."""
+        data = np.random.default_rng(3).standard_normal((3, 3))
+        features = extract_features(data, stride=8)
+        full = extract_features(data, stride=1)
+        assert np.isfinite(features.all_features()).all()
+        assert features.mean_value == pytest.approx(full.mean_value)
+
+    def test_single_element_array(self):
+        """A 1-point field has no neighbors: degenerate but defined."""
+        features = extract_features(np.array([7.5]))
+        assert features.mean_value == 7.5
+        assert features.value_range == 0.0
+        assert features.mnd == 0.0
+        assert features.msd == 0.0
+        assert np.isfinite(features.all_features()).all()
+
+    def test_nan_input_raises_typed_error(self):
+        data = np.ones((8, 8))
+        data[2, 2] = np.nan
+        with pytest.raises(InvalidConfiguration, match="non-finite"):
+            extract_features(data)
+
+    def test_inf_input_raises_typed_error(self):
+        data = np.ones((8, 8))
+        data[0, 0] = np.inf
+        with pytest.raises(InvalidConfiguration, match="non-finite"):
+            extract_features(data)
+
+    def test_nan_outside_sampled_lattice_is_invisible(self):
+        """The guard inspects the sampled view, like extraction itself."""
+        data = np.ones((8, 8))
+        data[1, 1] = np.nan  # off the stride-4 lattice
+        features = extract_features(data, stride=4)
+        assert np.isfinite(features.all_features()).all()

@@ -1,0 +1,122 @@
+"""Unit tests for the versioned on-disk model registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compressors import get_compressor
+from repro.core.persistence import pipeline_fingerprint
+from repro.errors import InvalidConfiguration
+from repro.serving import LATEST, ModelRegistry
+
+from tests.conftest import small_forest_factory
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline():
+    rng = np.random.default_rng(7)
+    lin = np.linspace(0, 4 * np.pi, 20)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    train = [
+        (np.sin(x + 0.3 * i) * np.cos(y) + 0.03 * rng.standard_normal((20,) * 3))
+        .astype(np.float32)
+        for i in range(2)
+    ]
+    config = repro.FXRZConfig(stationary_points=8, augmented_samples=60)
+    pipeline = repro.FXRZ(
+        get_compressor("sz"), config=config, model_factory=small_forest_factory
+    )
+    pipeline.fit(train)
+    return pipeline, train
+
+
+class TestPublish:
+    def test_versions_increment(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        first = registry.publish(pipeline)
+        second = registry.publish(pipeline)
+        assert (first.version, second.version) == (1, 2)
+        assert first.fingerprint == second.fingerprint
+        assert first.path.is_file() and second.path.is_file()
+
+    def test_disk_layout_and_manifest(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        published = registry.publish(pipeline)
+        fingerprint = pipeline_fingerprint(pipeline)
+        entry_dir = tmp_path / "reg" / "sz" / fingerprint
+        assert published.path == entry_dir / "v1.fxrz"
+        manifest = json.loads((entry_dir / "manifest.json").read_text())
+        assert manifest["latest"] == 1
+        assert manifest["versions"]["1"]["compressor"] == "sz"
+
+    def test_entries_and_fingerprints(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        registry.publish(pipeline)
+        entries = registry.entries()
+        assert [e.version for e in entries] == [1, 2]
+        assert registry.fingerprints("sz") == [pipeline_fingerprint(pipeline)]
+        assert registry.fingerprints("zfp") == []
+
+
+class TestLoad:
+    def test_latest_alias_tracks_newest(self, fitted_pipeline, tmp_path):
+        pipeline, train = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        registry.publish(pipeline)
+        assert registry.resolve("sz", version=LATEST).version == 2
+        loaded = registry.load("sz")
+        probe = train[0]
+        assert loaded.estimate_config(probe, 6.0).config == pytest.approx(
+            pipeline.estimate_config(probe, 6.0).config
+        )
+
+    def test_publish_warms_lru(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        assert registry.load("sz") is pipeline
+        assert registry.load_hits == 1 and registry.load_misses == 0
+
+    def test_lru_eviction_forces_reload(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg", max_loaded=1)
+        registry.publish(pipeline)
+        registry.publish(pipeline)  # v2 evicts warm v1
+        assert registry.evictions == 1
+        v1 = registry.load("sz", version=1)  # miss: deserialized from disk
+        assert registry.load_misses == 1
+        assert v1 is not pipeline
+        assert v1.is_fitted
+
+    def test_missing_manifest_falls_back_to_scan(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        published = registry.publish(pipeline)
+        (published.path.parent / "manifest.json").unlink()
+        assert registry.resolve("sz", version=LATEST).version == 1
+
+    def test_unknown_lookups_raise(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(InvalidConfiguration):
+            registry.resolve("sz")  # nothing published yet
+        registry.publish(pipeline)
+        with pytest.raises(InvalidConfiguration):
+            registry.resolve("zfp")
+        with pytest.raises(InvalidConfiguration):
+            registry.resolve("sz", version=99)
+        with pytest.raises(InvalidConfiguration):
+            registry.resolve("sz", version="new")
+
+    def test_max_loaded_validated(self, tmp_path):
+        with pytest.raises(InvalidConfiguration):
+            ModelRegistry(tmp_path, max_loaded=0)

@@ -137,3 +137,67 @@ class TestInferenceEngine:
         inference = InferenceEngine(engine.fit(), comp, config=fast_config)
         with pytest.raises(InvalidConfiguration):
             inference.estimate(train_fields[0], 0.0)
+
+    def test_cached_analysis_reproduces_cold_estimate(
+        self, train_fields, fast_config, fast_model_factory
+    ):
+        """analyze() + estimate(analysis=...) == the single-shot path."""
+        comp = get_compressor("sz")
+        engine = TrainingEngine(
+            comp, config=fast_config, model_factory=fast_model_factory
+        )
+        engine.add_dataset(train_fields[0])
+        inference = InferenceEngine(engine.fit(), comp, config=fast_config)
+        analysis = inference.analyze(train_fields[0])
+        assert analysis.seconds > 0
+        assert not analysis.features.flags.writeable
+        for tcr in (5.0, 10.0, 20.0):
+            cold = inference.estimate(train_fields[0], tcr)
+            warm = inference.estimate(train_fields[0], tcr, analysis=analysis)
+            assert warm.config == cold.config
+            assert warm.adjusted_target == cold.adjusted_target
+            assert warm.nonconstant == cold.nonconstant
+            assert np.array_equal(warm.features, cold.features)
+
+
+class TestEstimateDataclass:
+    def _estimate(self, **overrides) -> "Estimate":
+        from repro.core.inference import Estimate
+
+        fields = dict(
+            config=1e-3,
+            target_ratio=10.0,
+            adjusted_target=8.0,
+            nonconstant=0.8,
+            features=np.arange(5.0),
+            analysis_seconds=0.01,
+        )
+        fields.update(overrides)
+        return Estimate(**fields)
+
+    def test_features_stored_read_only(self):
+        estimate = self._estimate()
+        with pytest.raises(ValueError):
+            estimate.features[0] = 99.0
+
+    def test_caller_array_not_mutated_or_aliased(self):
+        source = np.arange(5.0)
+        estimate = self._estimate(features=source)
+        source[0] = 99.0  # caller keeps a writable copy
+        assert estimate.features[0] == 0.0
+
+    def test_frozen_attributes(self):
+        estimate = self._estimate()
+        with pytest.raises(AttributeError):
+            estimate.config = 2.0
+
+    def test_eq_compares_by_value(self):
+        assert self._estimate() == self._estimate()
+        assert self._estimate() != self._estimate(config=2e-3)
+        assert self._estimate() != self._estimate(
+            features=np.array([9.0, 1, 2, 3, 4])
+        )
+
+    def test_eq_against_other_types(self):
+        assert self._estimate() != "not an estimate"
+        assert (self._estimate() == object()) is False
