@@ -1,7 +1,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness bench serve-smoke
+.PHONY: test robustness parallel bench bench-parallel serve-smoke
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
@@ -19,5 +19,17 @@ robustness:
 	$(PYTEST) -x -q -W error::RuntimeWarning -m robustness
 	$(PYTEST) -x -q -W error::RuntimeWarning
 
+# Parallel-layer gate: the parity/executor/memo tests alone, with
+# RuntimeWarnings promoted to errors — a worker that divides by zero or
+# overflows must fail the gate, not just log.
+parallel:
+	$(PYTEST) -x -q -W error::RuntimeWarning -m parallel
+
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q
+
+# Parallel scaling smoke bench (writes BENCH_parallel_scaling.json at
+# the repo root; FXRZ_BENCH_PARALLEL_FULL=1 for the 256^3 / 25-point /
+# 8-way configuration).
+bench-parallel:
+	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q bench_parallel_scaling.py

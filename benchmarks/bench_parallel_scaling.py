@@ -1,0 +1,215 @@
+"""Parallel execution layer — sweep scaling, memo reuse, forest fit.
+
+Three measurements over the new :mod:`repro.parallel` seams:
+
+1. **Sweep scaling** — ``build_curve`` at several ``--jobs`` levels,
+   each run twice against one shared memo: the *cold* pass pays every
+   compressor run (fanned over the process pool; on a multi-core box
+   the wall clock drops with jobs), the *warm* pass answers every
+   stationary config from the memo. Both wall clocks, the parallel
+   speedup and the memo-warm speedup are recorded — separately and
+   honestly labeled, because they come from different mechanisms.
+2. **Forest fit** — serial vs ``n_jobs=4`` fit wall clock, with the
+   bit-identical-prediction parity asserted in passing.
+3. **FRaZ memo reuse** — the same field searched twice through one
+   memo; the second search must *hit* (the cross-path cache's
+   raison d'être) and its compressor-free wall clock is recorded.
+
+Smoke mode (default) keeps the grid small so the bench lands in
+seconds; ``FXRZ_BENCH_PARALLEL_FULL=1`` switches to the ISSUE's
+256^3 / 25-point configuration. Results go to stdout, to
+``benchmarks/results/``, and machine-readably to the repo-root
+``BENCH_parallel_scaling.json``.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.compressors import get_compressor
+from repro.core.augmentation import build_curve
+from repro.baselines.fraz import FRaZ
+from repro.experiments.tables import render_table
+from repro.ml.forest import RandomForestRegressor
+from repro.parallel import CompressionMemoCache, ParallelExecutor, available_cpus
+
+FULL = os.environ.get("FXRZ_BENCH_PARALLEL_FULL", "") not in ("", "0")
+GRID = 256 if FULL else 64
+N_POINTS = 25 if FULL else 8
+JOBS_LEVELS = (1, 2, 4, 8) if FULL else (1, 2, 4)
+
+_JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_parallel_scaling.json"
+
+
+def _field(n: int) -> np.ndarray:
+    lin = np.linspace(0, 4 * np.pi, n)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    noise = np.random.default_rng(13).standard_normal((n, n, n))
+    return (np.sin(x) * np.cos(y) * np.sin(z) + 0.05 * noise).astype(np.float32)
+
+
+def test_parallel_scaling(benchmark, report):
+    sz = get_compressor("sz")
+    data = _field(GRID)
+    fingerprint = CompressionMemoCache.fingerprint(data)
+
+    # -- 1. sweep scaling: cold (pool) + warm (memo) per jobs level -----------
+    sweep_rows = []
+    sweep_records = []
+    reference = None
+    serial_cold = None
+    for jobs in JOBS_LEVELS:
+        memo = CompressionMemoCache()
+        executor = (
+            ParallelExecutor(n_jobs=jobs, backend="process") if jobs > 1 else None
+        )
+        tick = time.perf_counter()
+        cold_curve = build_curve(
+            sz, data, n_points=N_POINTS, executor=executor,
+            memo=memo, fingerprint=fingerprint,
+        )
+        cold = time.perf_counter() - tick
+        tick = time.perf_counter()
+        warm_curve = build_curve(
+            sz, data, n_points=N_POINTS, memo=memo, fingerprint=fingerprint
+        )
+        warm = time.perf_counter() - tick
+
+        if reference is None:
+            reference = cold_curve
+            serial_cold = cold
+        np.testing.assert_array_equal(cold_curve.ratios, reference.ratios)
+        np.testing.assert_array_equal(warm_curve.ratios, reference.ratios)
+        assert memo.hits >= N_POINTS, "warm sweep must answer from the memo"
+
+        cold_speedup = serial_cold / max(cold, 1e-12)
+        warm_speedup = cold / max(warm, 1e-12)
+        sweep_rows.append(
+            [
+                str(jobs),
+                f"{cold:.3f} s",
+                f"{cold_speedup:.2f}x",
+                f"{warm * 1e3:.1f} ms",
+                f"{warm_speedup:.1f}x",
+                f"{memo.hit_ratio:.2f}",
+            ]
+        )
+        sweep_records.append(
+            {
+                "jobs": jobs,
+                "cold_seconds": cold,
+                "cold_speedup_vs_serial": cold_speedup,
+                "warm_seconds": warm,
+                "warm_speedup_vs_cold": warm_speedup,
+                "memo_hits": memo.hits,
+                "memo_hit_ratio": memo.hit_ratio,
+            }
+        )
+
+    at4 = next(r for r in sweep_records if r["jobs"] == 4)
+    assert at4["warm_speedup_vs_cold"] >= 2.5, (
+        "memo-warm sweep at jobs=4 must be at least 2.5x faster than cold"
+    )
+
+    # -- 2. forest fit: serial vs n_jobs=4, parity asserted -------------------
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(400, 6))
+    y = x @ rng.normal(size=6) + 0.1 * rng.normal(size=400)
+    tick = time.perf_counter()
+    serial_forest = RandomForestRegressor(n_estimators=24, random_state=3).fit(x, y)
+    fit_serial = time.perf_counter() - tick
+    tick = time.perf_counter()
+    parallel_forest = RandomForestRegressor(
+        n_estimators=24, random_state=3, n_jobs=4
+    ).fit(x, y)
+    fit_parallel = time.perf_counter() - tick
+    queries = rng.normal(size=(50, 6))
+    np.testing.assert_array_equal(
+        parallel_forest.predict(queries), serial_forest.predict(queries)
+    )
+
+    # -- 3. FRaZ memo reuse: the second search must hit -----------------------
+    memo = CompressionMemoCache()
+    curve = reference
+    target = float(np.sqrt(np.prod(curve.ratio_range)))
+    tick = time.perf_counter()
+    first = FRaZ(sz, max_iterations=6, memo=memo).search(data, target)
+    fraz_first = time.perf_counter() - tick
+    hits_before = memo.hits
+    tick = time.perf_counter()
+    second = FRaZ(sz, max_iterations=6, memo=memo).search(data, target)
+    fraz_second = time.perf_counter() - tick
+    fraz_hits = memo.hits - hits_before
+    assert fraz_hits >= 1, "repeat FRaZ search must hit the shared memo"
+    assert second.evaluations == first.evaluations
+    assert second.search_seconds == first.search_seconds  # recorded, honest
+
+    report(
+        render_table(
+            ["jobs", "cold sweep", "vs serial", "warm sweep", "warm vs cold", "hit ratio"],
+            sweep_rows,
+            title=(
+                f"Parallel scaling - {N_POINTS}-point sweep of a "
+                f"{GRID}^3 field on {available_cpus()} CPU(s) "
+                f"({'full' if FULL else 'smoke'} mode)"
+            ),
+        )
+        + "\n"
+        + render_table(
+            ["path", "serial", "jobs=4", "note"],
+            [
+                [
+                    "forest fit (24 trees)",
+                    f"{fit_serial:.3f} s",
+                    f"{fit_parallel:.3f} s",
+                    "predictions bit-identical",
+                ],
+                [
+                    "FRaZ search x2 (shared memo)",
+                    f"{fraz_first:.3f} s",
+                    f"{fraz_second:.3f} s",
+                    f"{fraz_hits} memo hit(s) on repeat",
+                ],
+            ],
+            title="Forest fit and FRaZ memo reuse",
+        )
+    )
+
+    _JSON_PATH.write_text(
+        json.dumps(
+            {
+                "mode": "full" if FULL else "smoke",
+                "cpus": available_cpus(),
+                "grid": [GRID, GRID, GRID],
+                "n_points": N_POINTS,
+                "sweep": sweep_records,
+                "forest_fit": {
+                    "n_estimators": 24,
+                    "serial_seconds": fit_serial,
+                    "jobs4_seconds": fit_parallel,
+                    "bit_identical": True,
+                },
+                "fraz_memo": {
+                    "target_ratio": target,
+                    "first_seconds": fraz_first,
+                    "second_seconds": fraz_second,
+                    "repeat_memo_hits": fraz_hits,
+                    "recorded_search_seconds": first.search_seconds,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The steady-state op the layer optimizes for: a fully memo-warm sweep.
+    warm_memo = CompressionMemoCache()
+    build_curve(sz, data, n_points=N_POINTS, memo=warm_memo, fingerprint=fingerprint)
+    benchmark(
+        lambda: build_curve(
+            sz, data, n_points=N_POINTS, memo=warm_memo, fingerprint=fingerprint
+        )
+    )

@@ -48,6 +48,16 @@ from repro.serving import EstimateRequest, EstimationService, ModelRegistry
 _MAGIC = b"FXRZBLOB"
 
 
+def _executor_for(jobs: int | None):
+    """A process executor for ``--jobs``, or None when serial."""
+    if jobs is None or jobs == 1:
+        return None
+    from repro.parallel import ParallelExecutor
+
+    executor = ParallelExecutor(n_jobs=jobs, backend="process")
+    return executor if executor.backend != "serial" else None
+
+
 def _load_array(path: str) -> np.ndarray:
     array = np.load(path)
     if not isinstance(array, np.ndarray):
@@ -95,7 +105,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         augmented_samples=args.augmented_samples,
         use_adjustment=not args.no_adjustment,
     )
-    pipeline = FXRZ(get_compressor(args.compressor), config=config)
+    pipeline = FXRZ(
+        get_compressor(args.compressor), config=config, n_jobs=args.jobs
+    )
     arrays = [_load_array(p) for p in args.inputs]
     report = pipeline.fit(arrays)
     save_pipeline(pipeline, args.model)
@@ -115,6 +127,7 @@ def _guarded_estimate(args: argparse.Namespace):
         pipeline,
         fallback=args.fallback,
         min_confidence=args.min_confidence,
+        executor=_executor_for(args.jobs),
     )
     return pipeline, data, engine.estimate(data, args.ratio)
 
@@ -182,14 +195,24 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> int:
             arrays[path] = _load_array(path)
 
     guarded = args.engine == "guarded"
+    memo = None
+    if guarded:
+        from repro.parallel import CompressionMemoCache
+
+        memo = CompressionMemoCache()
     service = EstimationService.for_pipeline(
         pipeline,
         guarded=guarded,
         guard_options=(
-            {"fallback": args.fallback, "min_confidence": args.min_confidence}
+            {
+                "fallback": args.fallback,
+                "min_confidence": args.min_confidence,
+                "executor": _executor_for(args.jobs),
+            }
             if guarded
             else None
         ),
+        memo=memo,
         workers=args.workers,
         max_batch=args.max_batch,
     )
@@ -283,7 +306,11 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     comp = get_compressor(args.compressor)
     data = _load_array(args.input)
-    searcher = FRaZ(comp, max_iterations=args.iterations)
+    searcher = FRaZ(
+        comp,
+        max_iterations=args.iterations,
+        executor=_executor_for(args.jobs),
+    )
     result = searcher.search(data, args.ratio)
     print(
         f"FRaZ({args.iterations}): config {result.config:.6g} -> "
@@ -366,6 +393,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for compressor runs "
+            "(1 = serial, 0 = all CPUs; results are identical either way)",
+        )
+
     train = sub.add_parser("train", help="fit a pipeline on .npy arrays")
     train.add_argument("inputs", nargs="+", help="training .npy files")
     train.add_argument("--model", required=True, help="output model .npz")
@@ -374,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--stationary-points", type=int, default=25)
     train.add_argument("--augmented-samples", type=int, default=250)
     train.add_argument("--no-adjustment", action="store_true")
+    add_jobs_flag(train)
     train.set_defaults(func=_cmd_train)
 
     def add_guard_flags(cmd: argparse.ArgumentParser) -> None:
@@ -396,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--model", required=True)
     estimate.add_argument("--ratio", type=float, required=True)
     add_guard_flags(estimate)
+    add_jobs_flag(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
     batch = sub.add_parser(
@@ -432,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through the guarded ladder or the plain model",
     )
     add_guard_flags(batch)
+    add_jobs_flag(batch)
     batch.add_argument("--workers", type=int, default=4)
     batch.add_argument("--max-batch", type=int, default=32)
     batch.add_argument(
@@ -445,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--ratio", type=float, required=True)
     compress.add_argument("--output", required=True, help="output blob file")
     add_guard_flags(compress)
+    add_jobs_flag(compress)
     compress.set_defaults(func=_cmd_compress)
 
     decompress = sub.add_parser("decompress", help="reconstruct from a blob")
@@ -457,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--compressor", default="sz", choices=available_compressors())
     search.add_argument("--ratio", type=float, required=True)
     search.add_argument("--iterations", type=int, default=15)
+    add_jobs_flag(search)
     search.set_defaults(func=_cmd_search)
 
     dump = sub.add_parser(

@@ -11,6 +11,7 @@ by a target ratio (Sec. III-A).
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -113,6 +114,28 @@ class Compressor(abc.ABC):
         blob = self.compress(array, config)
         return self.decompress(blob), blob
 
+    # -- identity ------------------------------------------------------------
+
+    def cache_token(self) -> str:
+        """A string identifying this compressor *instance* for caching.
+
+        Two instances share a token exactly when they would produce
+        identical blobs for identical inputs: the registry name plus
+        every simple option attribute (SZ's interpolation/entropy
+        choice, ZFP's mode, ...). Memo caches key on this instead of
+        ``name`` so differently-configured instances never alias.
+        """
+        options = sorted(
+            (attr, value)
+            for attr, value in vars(self).items()
+            if not attr.startswith("_")
+            and isinstance(value, (str, int, float, bool))
+        )
+        if not options:
+            return self.name
+        suffix = ",".join(f"{attr}={value!r}" for attr, value in options)
+        return f"{self.name}({suffix})"
+
     # -- error configuration -------------------------------------------------
 
     def normalize_config(self, config: float) -> float:
@@ -210,6 +233,23 @@ class Compressor(abc.ABC):
         if not np.all(np.isfinite(array)):
             raise CompressionError("input contains non-finite values")
         return np.ascontiguousarray(array)
+
+
+def content_fingerprint(array: np.ndarray) -> str:
+    """Content-hash the *full* array (shape + dtype + every byte).
+
+    Compression outcomes depend on every point, so the memo layer
+    (:mod:`repro.parallel.memo`) keys on this full-content hash — unlike
+    the serving layer's sampled-view fingerprint, which only has to
+    cover what feature extraction reads.
+    """
+    array = np.asarray(array)
+    if array.size == 0:
+        raise CompressionError("cannot fingerprint an empty array")
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{array.shape}|{array.dtype.str}".encode("ascii"))
+    digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
 
 
 _REGISTRY: dict[str, type[Compressor]] = {}

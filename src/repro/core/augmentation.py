@@ -58,16 +58,8 @@ class CompressionCurve:
         x = np.log10(config) if self.log_config else config
         return float(np.interp(x, axis, self.ratios))
 
-    def config_for_ratio(self, ratio: float) -> float:
-        """Interpolate the config expected to reach ``ratio`` (clamped).
-
-        The measured ratio curve is made monotone (isotonic envelope)
-        before inversion, which resolves the flat steps of stairwise
-        compressors like ZFP to the cheapest config achieving each
-        ratio. Curves whose ratio *falls* with the config axis —
-        precision compressors like FPZIP — are inverted by traversing
-        the axis in reverse.
-        """
+    def _inversion_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (monotone ratios, config axis) table ``np.interp`` inverts."""
         axis = self._config_axis()
         ratios = self.ratios
         if ratios[0] > ratios[-1]:
@@ -79,8 +71,30 @@ class CompressionCurve:
         # np.interp needs strictly usable x: collapse duplicate ratios
         # to their first (cheapest) config.
         keep = np.concatenate(([True], np.diff(monotone) > 0))
-        x = float(np.interp(ratio, monotone[keep], axis[keep]))
-        return float(10.0**x) if self.log_config else x
+        return monotone[keep], axis[keep]
+
+    def config_for_ratio(self, ratio: float) -> float:
+        """Interpolate the config expected to reach ``ratio`` (clamped).
+
+        The measured ratio curve is made monotone (isotonic envelope)
+        before inversion, which resolves the flat steps of stairwise
+        compressors like ZFP to the cheapest config achieving each
+        ratio. Curves whose ratio *falls* with the config axis —
+        precision compressors like FPZIP — are inverted by traversing
+        the axis in reverse.
+        """
+        return float(self.configs_for_ratios(np.asarray([ratio]))[0])
+
+    def configs_for_ratios(self, ratios: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`config_for_ratio` over a ratio array.
+
+        The inversion table is built once and every ratio goes through
+        one ``np.interp`` call, so sampling hundreds of augmented pairs
+        costs one pass instead of one envelope build per ratio.
+        """
+        monotone, axis = self._inversion_table()
+        x = np.interp(np.asarray(ratios, dtype=np.float64), monotone, axis)
+        return np.power(10.0, x) if self.log_config else x
 
     def sample(
         self, n_samples: int, seed: int | None = None
@@ -106,8 +120,7 @@ class CompressionCurve:
             span = (log_hi - log_lo) / max(n_samples - 1, 1)
             log_ratios[1:-1] += rng.uniform(-0.25, 0.25, n_samples - 2) * span
         ratios = np.exp(log_ratios)
-        configs = np.array([self.config_for_ratio(r) for r in ratios])
-        return ratios, configs
+        return ratios, self.configs_for_ratios(ratios)
 
 
 def stationary_configs(
@@ -131,22 +144,87 @@ def stationary_configs(
     return configs
 
 
+def _sweep_task(config: float, arrays: dict, compressor: Compressor):
+    """One stationary evaluation (executor worker): ``(ratio, seconds)``."""
+    tick = time.perf_counter()
+    ratio = compressor.compression_ratio(arrays["data"], config)
+    return ratio, time.perf_counter() - tick
+
+
 def build_curve(
     compressor: Compressor,
     data: np.ndarray,
     n_points: int = 25,
     domain: tuple[float, float] | None = None,
+    *,
+    executor=None,
+    memo=None,
+    fingerprint: str | None = None,
 ) -> CompressionCurve:
-    """Run the compressor at the stationary configs and anchor a curve."""
+    """Run the compressor at the stationary configs and anchor a curve.
+
+    The sweep is the only place the whole framework pays for compressor
+    runs (Table VI's dominant offline cost), and its ~25 evaluations are
+    independent, so two accelerations apply:
+
+    * ``executor``: a :class:`~repro.parallel.ParallelExecutor` fans the
+      evaluations over workers; the field ships to process workers once
+      via shared memory. Results are assembled in config order, so the
+      curve is bit-identical to the serial one.
+    * ``memo``: a :class:`~repro.parallel.CompressionMemoCache` resolves
+      already-paid evaluations before anything is submitted and records
+      the rest, so repeated sweeps (re-training, benchmarks) skip the
+      compressor entirely. ``fingerprint`` optionally supplies the
+      precomputed content hash of ``data``.
+
+    ``build_seconds`` totals the *compressor* time of the evaluations
+    (memo hits charge their recorded time), which is the quantity
+    Table VI accounts — under a parallel executor the wall clock is
+    lower.
+    """
     configs = stationary_configs(compressor, data, n_points, domain)
-    start = time.perf_counter()
-    ratios = np.array(
-        [compressor.compression_ratio(data, c) for c in configs]
-    )
-    elapsed = time.perf_counter() - start
+    ratios = np.empty(configs.size, dtype=np.float64)
+    seconds = np.zeros(configs.size, dtype=np.float64)
+    pending: list[int] = []
+    keys: dict[int, tuple] = {}
+    if memo is not None:
+        if fingerprint is None:
+            fingerprint = memo.fingerprint(data)
+        for i, config in enumerate(configs):
+            key = memo.key(fingerprint, compressor, float(config))
+            record = memo.get(key)
+            if record is None:
+                pending.append(i)
+                keys[i] = key
+            else:
+                ratios[i], seconds[i] = record.ratio, record.seconds
+    else:
+        pending = list(range(configs.size))
+
+    if pending:
+        miss_configs = [float(configs[i]) for i in pending]
+        if executor is not None:
+            results = executor.map(
+                _sweep_task,
+                miss_configs,
+                shared={"data": np.asarray(data)},
+                context=compressor,
+            )
+        else:
+            results = [
+                _sweep_task(config, {"data": data}, compressor)
+                for config in miss_configs
+            ]
+        for i, (ratio, elapsed) in zip(pending, results):
+            ratios[i], seconds[i] = ratio, elapsed
+            if memo is not None:
+                from repro.parallel.memo import MemoRecord
+
+                memo.put(keys[i], MemoRecord(ratio=ratio, seconds=elapsed))
+
     return CompressionCurve(
         configs=configs,
         ratios=ratios,
         log_config=compressor.config_scale == "log",
-        build_seconds=elapsed,
+        build_seconds=float(seconds.sum()),
     )

@@ -56,6 +56,12 @@ class FXRZ:
         config: framework knobs (sampling stride, CA lambda, ...).
         model_factory: ``seed -> model`` override for the Table III
             model comparison; defaults to the random forest.
+        n_jobs: worker count for training-time parallelism (stationary
+            sweeps + forest fit); ``None``/1 = serial. Results are
+            bit-identical at any worker count.
+        memo: a :class:`~repro.parallel.CompressionMemoCache` shared
+            across pipelines/paths; the training sweeps reuse and feed
+            it.
     """
 
     def __init__(
@@ -63,11 +69,19 @@ class FXRZ:
         compressor: Compressor,
         config: FXRZConfig | None = None,
         model_factory=None,
+        n_jobs: int | None = None,
+        memo=None,
     ) -> None:
         self.compressor = compressor
         self.config = config or FXRZConfig()
+        self.n_jobs = n_jobs
+        self.memo = memo
         self._training = TrainingEngine(
-            compressor, config=self.config, model_factory=model_factory
+            compressor,
+            config=self.config,
+            model_factory=model_factory,
+            n_jobs=n_jobs,
+            memo=memo,
         )
         self._inference: InferenceEngine | None = None
 

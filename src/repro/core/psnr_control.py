@@ -20,6 +20,8 @@ open problem.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.analysis.distortion import psnr
@@ -49,6 +51,7 @@ def calibrated_bound_for_psnr(
     data: np.ndarray,
     target_psnr: float,
     probes: int = 2,
+    memo=None,
 ) -> float:
     """Analytic estimate refined by measuring the compressor's PSNR.
 
@@ -60,6 +63,10 @@ def calibrated_bound_for_psnr(
         data: the dataset.
         target_psnr: desired reconstruction quality in dB.
         probes: refinement compressions to spend (0 = pure analytic).
+        memo: optional :class:`~repro.parallel.CompressionMemoCache`;
+            probes whose PSNR an earlier caller already measured are
+            answered from it, and fresh probes record both the ratio
+            and the PSNR for everyone downstream.
     """
     if compressor.error_mode != "abs":
         raise InvalidConfiguration(
@@ -75,9 +82,31 @@ def calibrated_bound_for_psnr(
     # the closest bound seen rather than the last.
     best_bound = bound
     best_miss = np.inf
+    fingerprint = memo.fingerprint(data) if memo is not None else None
     for _ in range(probes):
-        recon, _ = compressor.roundtrip(data, bound)
-        achieved = psnr(data, recon)
+        achieved = None
+        key = None
+        if memo is not None:
+            key = memo.key(fingerprint, compressor, bound)
+            record = memo.get(key)
+            if record is not None and record.psnr is not None:
+                achieved = record.psnr
+        if achieved is None:
+            tick = perf_counter()
+            recon, blob = compressor.roundtrip(data, bound)
+            seconds = perf_counter() - tick
+            achieved = psnr(data, recon)
+            if memo is not None:
+                from repro.parallel.memo import MemoRecord
+
+                memo.put(
+                    key,
+                    MemoRecord(
+                        ratio=blob.compression_ratio,
+                        seconds=seconds,
+                        psnr=float(achieved) if np.isfinite(achieved) else None,
+                    ),
+                )
         if not np.isfinite(achieved):
             return bound  # lossless already; cannot miss the target
         miss_db = achieved - target_psnr

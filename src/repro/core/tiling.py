@@ -81,63 +81,104 @@ def tile_grid(
     return grid
 
 
+def _entirely_constant(pipeline: FXRZ, tile: np.ndarray) -> bool:
+    cfg = pipeline.config
+    if not cfg.use_adjustment:
+        return False
+    return (
+        nonconstant_fraction(tile, block_size=cfg.block_size, lam=cfg.lam)
+        == 0.0
+    )
+
+
+def _constant_tile_config(pipeline: FXRZ, tile: np.ndarray) -> float:
+    """A config for a tile whose every block sits below the
+    constancy threshold: an error bound at that same threshold (the
+    variation CA already calls noise), or the loosest precision."""
+    compressor = pipeline.compressor
+    if compressor.error_mode == "abs":
+        bound = pipeline.config.lam * abs(float(tile.mean()))
+        return compressor.normalize_config(bound if bound > 0.0 else 1e-12)
+    lo, _ = compressor.config_domain()
+    return compressor.normalize_config(lo)
+
+
+def _tile_task(task, arrays: dict, context: dict) -> TileRecord:
+    """Analyze, estimate, and compress one tile (executor worker).
+
+    The feature pass, the model query, and the compression are all
+    per-tile and independent of every other tile, so the whole chunk
+    job runs where the tile is scheduled; the parent only collects the
+    finished :class:`TileRecord` (a few compressed bytes, not a field).
+    """
+    index, slices = task
+    pipeline = context["pipeline"]
+    tile = np.ascontiguousarray(arrays["data"][slices])
+    if _entirely_constant(pipeline, tile):
+        # R = 0: estimation is degenerate (the adjustment layer
+        # rejects it), but the tile itself is trivial — compress
+        # it directly under the constancy tolerance.
+        blob = pipeline.compressor.compress(
+            tile, _constant_tile_config(pipeline, tile)
+        )
+    else:
+        blob = pipeline.compress_to_ratio(tile, context["target_ratio"]).blob
+    return TileRecord(index=index, slices=slices, blob=blob)
+
+
 class TiledFixedRatio:
     """Apply a trained pipeline tile by tile.
 
     Args:
         pipeline: a fitted :class:`~repro.core.pipeline.FXRZ`.
         tile_shape: chunk dimensions (HDF5-chunk style).
+        n_jobs: tile-level parallelism (``None``/1 = serial). Tiles are
+            independent by construction, so results are identical at
+            any worker count; the full field ships to process workers
+            once via shared memory.
+        executor: a preconfigured
+            :class:`~repro.parallel.ParallelExecutor` (overrides
+            ``n_jobs``).
     """
 
-    def __init__(self, pipeline: FXRZ, tile_shape: tuple[int, ...]) -> None:
+    def __init__(
+        self,
+        pipeline: FXRZ,
+        tile_shape: tuple[int, ...],
+        n_jobs: int | None = None,
+        executor=None,
+    ) -> None:
         if not pipeline.is_fitted:
             raise NotFittedError("pipeline must be fitted before tiling")
         self.pipeline = pipeline
         self.tile_shape = tuple(int(t) for t in tile_shape)
+        if executor is None and n_jobs is not None and n_jobs != 1:
+            from repro.parallel.executor import ParallelExecutor
+
+            executor = ParallelExecutor(n_jobs=n_jobs, backend="process")
+            if executor.backend == "serial":
+                executor = None
+        self.executor = executor
 
     def compress(self, data: np.ndarray, target_ratio: float) -> TiledResult:
         """Fixed-ratio compress every tile independently."""
         if target_ratio <= 0:
             raise InvalidConfiguration("target ratio must be > 0")
         data = np.asarray(data)
-        tiles: list[TileRecord] = []
-        for index, slices in tile_grid(data.shape, self.tile_shape):
-            tile = np.ascontiguousarray(data[slices])
-            if self._entirely_constant(tile):
-                # R = 0: estimation is degenerate (the adjustment layer
-                # rejects it), but the tile itself is trivial — compress
-                # it directly under the constancy tolerance.
-                blob = self.pipeline.compressor.compress(
-                    tile, self._constant_tile_config(tile)
-                )
-            else:
-                blob = self.pipeline.compress_to_ratio(tile, target_ratio).blob
-            tiles.append(TileRecord(index=index, slices=slices, blob=blob))
+        grid = tile_grid(data.shape, self.tile_shape)
+        context = {"pipeline": self.pipeline, "target_ratio": float(target_ratio)}
+        if self.executor is not None and len(grid) > 1:
+            tiles = self.executor.map(
+                _tile_task, grid, shared={"data": data}, context=context
+            )
+        else:
+            arrays = {"data": data}
+            tiles = [_tile_task(task, arrays, context) for task in grid]
         return TiledResult(
             tiles=tiles,
             original_shape=data.shape,
             target_ratio=float(target_ratio),
         )
-
-    def _entirely_constant(self, tile: np.ndarray) -> bool:
-        cfg = self.pipeline.config
-        if not cfg.use_adjustment:
-            return False
-        return (
-            nonconstant_fraction(tile, block_size=cfg.block_size, lam=cfg.lam)
-            == 0.0
-        )
-
-    def _constant_tile_config(self, tile: np.ndarray) -> float:
-        """A config for a tile whose every block sits below the
-        constancy threshold: an error bound at that same threshold (the
-        variation CA already calls noise), or the loosest precision."""
-        compressor = self.pipeline.compressor
-        if compressor.error_mode == "abs":
-            bound = self.pipeline.config.lam * abs(float(tile.mean()))
-            return compressor.normalize_config(bound if bound > 0.0 else 1e-12)
-        lo, _ = compressor.config_domain()
-        return compressor.normalize_config(lo)
 
     def decompress(self, result: TiledResult) -> np.ndarray:
         """Reassemble the full array from its tiles."""

@@ -66,17 +66,43 @@ def default_model_factory(seed: int):
 
 
 class TrainingEngine:
-    """Accumulates training datasets and fits the error-config model."""
+    """Accumulates training datasets and fits the error-config model.
+
+    Args:
+        compressor: the error-controlled compressor being modeled.
+        config: framework knobs.
+        model_factory: ``seed -> model`` override.
+        n_jobs: worker count for the stationary sweeps and (when the
+            model supports it) the forest fit; ``None``/1 = serial.
+        executor: a preconfigured
+            :class:`~repro.parallel.ParallelExecutor` (overrides
+            ``n_jobs`` for the sweeps).
+        memo: a :class:`~repro.parallel.CompressionMemoCache`; sweeps
+            resolve already-paid compressor runs from it and record the
+            rest.
+    """
 
     def __init__(
         self,
         compressor: Compressor,
         config: FXRZConfig | None = None,
         model_factory=None,
+        n_jobs: int | None = None,
+        executor=None,
+        memo=None,
     ) -> None:
         self.compressor = compressor
         self.config = config or FXRZConfig()
         self.model_factory = model_factory or default_model_factory
+        self.n_jobs = n_jobs
+        if executor is None and n_jobs is not None and n_jobs != 1:
+            from repro.parallel.executor import ParallelExecutor
+
+            executor = ParallelExecutor(n_jobs=n_jobs, backend="process")
+            if executor.backend == "serial":
+                executor = None
+        self.executor = executor
+        self.memo = memo
         self.records: list[_DatasetRecord] = []
         self.report = TrainingReport()
         self._model = None
@@ -102,6 +128,8 @@ class TrainingEngine:
             data,
             n_points=self.config.stationary_points,
             domain=domain,
+            executor=self.executor,
+            memo=self.memo,
         )
         self.records.append(
             _DatasetRecord(features=features, nonconstant=nonconstant, curve=curve)
@@ -142,6 +170,10 @@ class TrainingEngine:
         x, y = self.build_training_matrix()
         start = time.perf_counter()
         model = self.model_factory(self.config.seed)
+        if self.n_jobs is not None and hasattr(model, "n_jobs"):
+            # Seeds are drawn serially inside the forest, so the fitted
+            # model is bit-identical at any worker count.
+            model.n_jobs = self.n_jobs
         model.fit(x, y)
         self.report.fit_seconds += time.perf_counter() - start
         self._model = model

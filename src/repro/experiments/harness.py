@@ -26,12 +26,22 @@ from repro.config import FXRZConfig
 from repro.core.pipeline import FXRZ
 from repro.datasets.base import FieldSnapshot
 from repro.experiments.corpus import held_out_snapshots, training_arrays
+from repro.parallel import CompressionMemoCache
 from repro.serving import EstimateRequest, EstimationService, MetricsSnapshot
 
 _FXRZ_CACHE: dict[tuple, FXRZ] = {}
 _RANGE_CACHE: dict[tuple, tuple[float, float]] = {}
-_FRAZ_EVAL_CACHE: dict[tuple, dict[float, tuple[float, float]]] = {}
 _SERVICE_CACHE: dict[tuple, EstimationService] = {}
+# One content-addressed memo for every compression the suite triggers:
+# training sweeps, FRaZ searches at every budget, guarded fallbacks and
+# repeated bench rounds all share it (superseding the old per-snapshot
+# FRaZ eval dict, which only FRaZ could read).
+_COMPRESSION_MEMO = CompressionMemoCache()
+
+
+def get_compression_memo() -> CompressionMemoCache:
+    """The suite-wide compression memo (cleared by :func:`clear_caches`)."""
+    return _COMPRESSION_MEMO
 
 
 @dataclass(frozen=True)
@@ -67,13 +77,23 @@ def get_trained_fxrz(
     compressor_name: str,
     config: FXRZConfig | None = None,
     model_factory=None,
+    n_jobs: int | None = None,
 ) -> FXRZ:
-    """A trained FXRZ pipeline, memoized per (app, field, compressor)."""
+    """A trained FXRZ pipeline, memoized per (app, field, compressor).
+
+    ``n_jobs`` only sets training-time parallelism (the fitted model is
+    bit-identical at any worker count), so it is deliberately not part
+    of the cache key.
+    """
     cfg = config or FXRZConfig()
     key = (application, fld, compressor_name, cfg, id(model_factory))
     if key not in _FXRZ_CACHE:
         pipeline = FXRZ(
-            get_compressor(compressor_name), config=cfg, model_factory=model_factory
+            get_compressor(compressor_name),
+            config=cfg,
+            model_factory=model_factory,
+            n_jobs=n_jobs,
+            memo=_COMPRESSION_MEMO,
         )
         pipeline.fit(training_arrays(application, fld))
         _FXRZ_CACHE[key] = pipeline
@@ -99,7 +119,11 @@ def get_estimation_service(
     if key not in _SERVICE_CACHE:
         pipeline = get_trained_fxrz(application, fld, compressor_name, config=cfg)
         _SERVICE_CACHE[key] = EstimationService.for_pipeline(
-            pipeline, guarded=guarded, workers=workers, max_batch=max_batch
+            pipeline,
+            guarded=guarded,
+            memo=_COMPRESSION_MEMO,
+            workers=workers,
+            max_batch=max_batch,
         )
     return _SERVICE_CACHE[key]
 
@@ -192,11 +216,6 @@ def target_ratio_grid(
     return np.linspace(lo * 1.1, hi * 0.9, n_targets)
 
 
-def _fraz_cache_for(snapshot: FieldSnapshot, compressor_name: str):
-    key = (snapshot.name, compressor_name)
-    return _FRAZ_EVAL_CACHE.setdefault(key, {})
-
-
 def accuracy_records(
     application: str,
     fld: str,
@@ -239,7 +258,6 @@ def accuracy_records(
         if hi <= lo:
             hi = lo * 1.5
         targets = np.linspace(lo, hi, n_targets)
-        eval_cache = _fraz_cache_for(snapshot, compressor_name)
         # One reference compression (at a mid-grid config) times the
         # denominator of Table VIII's relative analysis cost.
         mid_estimate = pipeline.estimate_config(
@@ -253,10 +271,14 @@ def accuracy_records(
             result = pipeline.compress_to_ratio(snapshot.data, float(tcr))
             fraz_outcomes: dict[int, FRaZSummary] = {}
             for budget in fraz_budgets:
-                searcher = FRaZ(compressor, max_iterations=budget)
-                outcome = searcher.search(
-                    snapshot.data, float(tcr), cache=eval_cache
+                # The suite-wide memo replaces the old per-snapshot eval
+                # dict: searches share probes across budgets *and* with
+                # the training sweeps, at the same honest-cost
+                # accounting (hits charge their recorded seconds).
+                searcher = FRaZ(
+                    compressor, max_iterations=budget, memo=_COMPRESSION_MEMO
                 )
+                outcome = searcher.search(snapshot.data, float(tcr))
                 fraz_outcomes[budget] = FRaZSummary(
                     measured_ratio=outcome.measured_ratio,
                     error=outcome.estimation_error,
@@ -298,7 +320,7 @@ def clear_caches() -> None:
     """Drop all memoized pipelines/ranges (tests use this for isolation)."""
     _FXRZ_CACHE.clear()
     _RANGE_CACHE.clear()
-    _FRAZ_EVAL_CACHE.clear()
+    _COMPRESSION_MEMO.clear()
     for service in _SERVICE_CACHE.values():
         service.close()
     _SERVICE_CACHE.clear()

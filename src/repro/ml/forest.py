@@ -14,6 +14,31 @@ from repro.errors import InvalidConfiguration, NotFittedError
 from repro.ml.tree import DecisionTreeRegressor
 
 
+def _fit_tree_task(task, arrays: dict, context: dict) -> DecisionTreeRegressor:
+    """Fit one tree on its bootstrap rows (executor worker)."""
+    seed, idx = task
+    tree = DecisionTreeRegressor(
+        max_depth=context["max_depth"],
+        min_samples_leaf=context["min_samples_leaf"],
+        max_features=context["max_features"],
+        random_state=seed,
+    )
+    tree.fit(arrays["x"][idx], arrays["y"][idx])
+    return tree
+
+
+def _predict_chunk_task(task, arrays: dict, context: dict) -> list[np.ndarray]:
+    """Per-tree predictions of one tree chunk (executor worker).
+
+    Individual predictions (not a chunk partial sum) come back so the
+    parent can reduce in exact tree order — floating-point addition is
+    not associative, and parity with the serial path is bit-level.
+    """
+    lo, hi = task
+    features = arrays["features"]
+    return [tree.predict(features) for tree in context["trees"][lo:hi]]
+
+
 class RandomForestRegressor:
     """Bagged ensemble of :class:`DecisionTreeRegressor`.
 
@@ -26,6 +51,9 @@ class RandomForestRegressor:
             classic regression-forest default).
         bootstrap: draw each tree's sample with replacement.
         random_state: master seed; trees get derived seeds.
+        n_jobs: default worker count for :meth:`fit`/:meth:`predict`
+            (``None``/1 = serial; tree fitting is pure-python and
+            GIL-bound, so parallel runs use a process pool).
     """
 
     def __init__(
@@ -36,6 +64,7 @@ class RandomForestRegressor:
         max_features: int | str | None = "third",
         bootstrap: bool = True,
         random_state: int | None = None,
+        n_jobs: int | None = None,
     ) -> None:
         if n_estimators < 1:
             raise InvalidConfiguration("n_estimators must be >= 1")
@@ -45,7 +74,19 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self._trees: list[DecisionTreeRegressor] | None = None
+
+    def _executor(self, n_jobs: int | None):
+        """The executor for one call: ``n_jobs`` overrides the instance."""
+        if n_jobs is None:
+            n_jobs = self.n_jobs
+        if n_jobs is None or n_jobs == 1:
+            return None
+        from repro.parallel.executor import ParallelExecutor
+
+        executor = ParallelExecutor(n_jobs=n_jobs, backend="process")
+        return executor if executor.backend != "serial" else None
 
     def _resolve_max_features(self, n_features: int) -> int | None:
         if self.max_features is None:
@@ -60,8 +101,20 @@ class RandomForestRegressor:
             return min(self.max_features, n_features)
         raise InvalidConfiguration(f"bad max_features {self.max_features!r}")
 
-    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestRegressor":
-        """Fit ``n_estimators`` trees on bootstrap resamples."""
+    def fit(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        n_jobs: int | None = None,
+    ) -> "RandomForestRegressor":
+        """Fit ``n_estimators`` trees on bootstrap resamples.
+
+        With ``n_jobs > 1`` the trees are fitted on a process pool. The
+        per-tree seeds and bootstrap rows are drawn serially from the
+        master generator first (the draws are cheap; the tree fits are
+        not), so the resulting forest is bit-identical at any worker
+        count.
+        """
         features = np.asarray(features, dtype=np.float64)
         targets = np.asarray(targets, dtype=np.float64)
         if features.ndim != 2 or targets.shape != (features.shape[0],):
@@ -69,32 +122,67 @@ class RandomForestRegressor:
         n = features.shape[0]
         max_features = self._resolve_max_features(features.shape[1])
         rng = np.random.default_rng(self.random_state)
-        trees = []
+        tasks: list[tuple[int, np.ndarray]] = []
         for _ in range(self.n_estimators):
             seed = int(rng.integers(0, 2**31 - 1))
             if self.bootstrap:
                 idx = rng.integers(0, n, size=n)
             else:
                 idx = np.arange(n)
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=max_features,
-                random_state=seed,
+            tasks.append((seed, idx))
+        context = {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": max_features,
+        }
+        executor = self._executor(n_jobs)
+        if executor is not None:
+            trees = executor.map(
+                _fit_tree_task,
+                tasks,
+                shared={"x": features, "y": targets},
+                context=context,
             )
-            tree.fit(features[idx], targets[idx])
-            trees.append(tree)
+        else:
+            arrays = {"x": features, "y": targets}
+            trees = [_fit_tree_task(task, arrays, context) for task in tasks]
         self._trees = trees
         return self
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        """Average of the per-tree predictions."""
+    def predict(
+        self, features: np.ndarray, n_jobs: int | None = None
+    ) -> np.ndarray:
+        """Average of the per-tree predictions.
+
+        With ``n_jobs > 1`` tree chunks predict on a process pool; the
+        reduction still adds per-tree predictions in tree order, so the
+        average is bit-identical to the serial one.
+        """
         if self._trees is None:
             raise NotFittedError("RandomForestRegressor is not fitted")
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        executor = self._executor(n_jobs)
         total = np.zeros(features.shape[0], dtype=np.float64)
-        for tree in self._trees:
-            total += tree.predict(features)
+        if executor is not None and len(self._trees) > 1:
+            bounds = np.linspace(
+                0, len(self._trees), min(executor.n_jobs, len(self._trees)) + 1
+            ).astype(int)
+            chunks = executor.map(
+                _predict_chunk_task,
+                [
+                    (int(lo), int(hi))
+                    for lo, hi in zip(bounds[:-1], bounds[1:])
+                    if hi > lo
+                ],
+                shared={"features": features},
+                context={"trees": self._trees},
+            )
+            for chunk in chunks:
+                for prediction in chunk:
+                    total += prediction
+        else:
+            for tree in self._trees:
+                total += tree.predict(features)
         return total / len(self._trees)
 
     @property

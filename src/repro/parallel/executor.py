@@ -1,0 +1,187 @@
+"""Backend-pluggable task execution with deterministic results.
+
+Every hot loop in this library — the ~25-point stationary sweeps of
+augmentation, FRaZ's window probes, per-tree forest fits, per-tile
+estimation — is a map over independent tasks. :class:`ParallelExecutor`
+gives those loops one seam: a ``map`` that runs serially, on a thread
+pool, or on a process pool, always returning results in task order so
+callers are bit-identical to their serial selves.
+
+Backend guidance (the GIL decides):
+
+* ``"process"`` — CPU-bound work that holds the GIL (the pure-python
+  compressors, CART tree fitting). Tasks and results cross process
+  boundaries by pickling, so large ndarrays should travel through
+  ``shared=`` (see :mod:`repro.parallel.shm`) instead of task tuples.
+* ``"thread"`` — work dominated by numpy kernels that release the GIL,
+  or anything touching in-process state (a warm
+  :class:`~repro.parallel.memo.CompressionMemoCache`).
+* ``"serial"`` — the reference behavior; also what any ``n_jobs=1``
+  executor collapses to.
+
+Worker functions used with the process backend must be module-level
+(picklable by reference). The uniform signature is
+``fn(task, arrays, context)`` where ``arrays`` is the dict passed as
+``shared=`` (reconstructed zero-copy in workers) and ``context`` is the
+per-map constant shipped once per worker instead of once per task.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import InvalidConfiguration
+from repro.parallel.shm import SharedNDArray
+
+_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` and ``0`` mean "all available CPUs"; negative values count
+    back from the CPU pool (``-1`` = all, ``-2`` = all but one, the
+    joblib convention); positive values are taken literally.
+    """
+    cpus = available_cpus()
+    if n_jobs is None or n_jobs == 0:
+        return cpus
+    n_jobs = int(n_jobs)
+    if n_jobs < 0:
+        return max(1, cpus + 1 + n_jobs)
+    return n_jobs
+
+
+def derive_seeds(master_seed: int | None, n_tasks: int) -> list[int]:
+    """``n_tasks`` independent per-task seeds from one master seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the derived
+    seeds do not depend on how tasks are later scheduled — the same
+    master seed yields the same per-task streams at any ``n_jobs``.
+    """
+    if n_tasks < 0:
+        raise InvalidConfiguration("n_tasks must be >= 0")
+    children = np.random.SeedSequence(master_seed).spawn(n_tasks)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+# -- process-backend worker plumbing -----------------------------------------
+#
+# The pool initializer attaches every shared segment once per worker and
+# stashes (arrays, fn, context) in module globals; per-task traffic is
+# then just the task tuple and the result.
+
+_WORKER_STATE: dict | None = None
+
+
+def _worker_init(descriptors, fn, context) -> None:
+    global _WORKER_STATE
+    handles = {
+        name: SharedNDArray.attach(desc) for name, desc in descriptors.items()
+    }
+    _WORKER_STATE = {
+        "handles": handles,
+        "arrays": {name: handle.asarray() for name, handle in handles.items()},
+        "fn": fn,
+        "context": context,
+    }
+
+
+def _worker_call(task):
+    state = _WORKER_STATE
+    return state["fn"](task, state["arrays"], state["context"])
+
+
+class ParallelExecutor:
+    """Map independent tasks over a serial / thread / process backend.
+
+    Args:
+        n_jobs: worker count (``None``/``0`` = all CPUs, negatives count
+            back from the pool, joblib-style).
+        backend: ``"auto"`` picks ``"process"`` when more than one job
+            is available and ``"serial"`` otherwise; or force one of
+            ``"serial"``/``"thread"``/``"process"``.
+
+    The executor is stateless between ``map`` calls (pools live only for
+    the duration of one map), so one instance can be shared freely.
+    """
+
+    def __init__(self, n_jobs: int | None = None, backend: str = "auto") -> None:
+        if backend not in _BACKENDS:
+            raise InvalidConfiguration(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        if backend == "auto":
+            backend = "process" if self.n_jobs > 1 else "serial"
+        if self.n_jobs == 1 and backend != "serial":
+            # One worker gains nothing from a pool; collapse to the
+            # reference path so n_jobs=1 is exactly the serial code.
+            backend = "serial"
+        self.backend = backend
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(n_jobs={self.n_jobs}, backend={self.backend!r})"
+
+    def map(
+        self,
+        fn,
+        tasks,
+        *,
+        shared: dict[str, np.ndarray] | None = None,
+        context=None,
+    ) -> list:
+        """``[fn(task, arrays, context) for task in tasks]``, maybe parallel.
+
+        Results are always returned in task order, whatever the backend
+        or scheduling, so callers see serial semantics. ``shared``
+        ndarrays are shipped to process workers once (via shared
+        memory), not per task; serial/thread backends pass them through
+        zero-copy.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        arrays = dict(shared) if shared else {}
+        if self.backend == "serial" or len(tasks) == 1:
+            return [fn(task, arrays, context) for task in tasks]
+        if self.backend == "thread":
+            workers = min(self.n_jobs, len(tasks))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(lambda task: fn(task, arrays, context), tasks)
+                )
+        return self._process_map(fn, tasks, arrays, context)
+
+    def _process_map(self, fn, tasks, arrays, context) -> list:
+        handles = {
+            name: SharedNDArray.from_array(array)
+            for name, array in arrays.items()
+        }
+        descriptors = {
+            name: handle.descriptor for name, handle in handles.items()
+        }
+        workers = min(self.n_jobs, len(tasks))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(descriptors, fn, context),
+            ) as pool:
+                chunksize = max(1, len(tasks) // (workers * 4))
+                return list(pool.map(_worker_call, tasks, chunksize=chunksize))
+        finally:
+            for handle in handles.values():
+                handle.close()
+                handle.unlink()

@@ -1,0 +1,110 @@
+"""Shared-memory ndarray transport for process-pool workers.
+
+Pickling a 256^3 float64 field costs ~134 MB of serialization *per
+task*; a 25-point sweep would ship it 25 times. :class:`SharedNDArray`
+ships it once: the parent copies the array into a
+:mod:`multiprocessing.shared_memory` segment, workers attach by name at
+pool startup and view it zero-copy for every task they run.
+
+Lifecycle contract: the creating side (``from_array``) owns the segment
+and must ``unlink`` it; attaching sides (``attach``) only ``close``.
+:class:`~repro.parallel.executor.ParallelExecutor` follows this
+contract automatically — user code normally never touches this module
+directly, it just passes ``shared={"data": array}`` to ``map``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Everything a worker needs to attach and rebuild the view."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedNDArray:
+    """One ndarray living in a named shared-memory segment."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._shape = tuple(int(n) for n in shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedNDArray":
+        """Copy ``array`` into a fresh segment (the copy is the only one)."""
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(array.nbytes, 1)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return cls(shm, array.shape, array.dtype, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: ShmDescriptor) -> "SharedNDArray":
+        """Attach to an existing segment created by another process."""
+        # Pool workers share the parent's resource tracker (the fd is
+        # inherited), so the attach-side register below is an idempotent
+        # re-add of the parent's own registration — the segment is
+        # unregistered exactly once, by the owner's ``unlink``.
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+        return cls(shm, descriptor.shape, np.dtype(descriptor.dtype), owner=False)
+
+    @property
+    def descriptor(self) -> ShmDescriptor:
+        return ShmDescriptor(
+            name=self._shm.name, shape=self._shape, dtype=self._dtype.str
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self._shape, dtype=np.int64)) * self._dtype.itemsize
+
+    def asarray(self) -> np.ndarray:
+        """A zero-copy ndarray view over the segment.
+
+        The view is only valid while this handle stays open; workers
+        keep their handle alive in the pool initializer state.
+        """
+        if self._closed:
+            raise ValueError("shared segment is closed")
+        return np.ndarray(self._shape, dtype=self._dtype, buffer=self._shm.buf)
+
+    def close(self) -> None:
+        """Unmap the segment from this process (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side only; idempotent)."""
+        if self._owner:
+            self._owner = False
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedNDArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.unlink()

@@ -82,6 +82,12 @@ class GuardedInferenceEngine:
         min_confidence: model-tier acceptance threshold in [0, 1].
         envelope_margin: fractional margin of the training envelope.
         fraz_iterations: compressor-run budget of the FRaZ rung.
+        memo: optional :class:`~repro.parallel.CompressionMemoCache`
+            handed to the FRaZ rung, so repeated fallback searches over
+            the same field (a fleet of targets, a retried request)
+            reuse each other's compressor runs.
+        executor: optional :class:`~repro.parallel.ParallelExecutor`
+            for the FRaZ rung's window edge probes.
     """
 
     def __init__(
@@ -91,6 +97,8 @@ class GuardedInferenceEngine:
         min_confidence: float = 0.5,
         envelope_margin: float = 0.05,
         fraz_iterations: int = 6,
+        memo=None,
+        executor=None,
     ) -> None:
         if fallback not in _LADDERS:
             raise InvalidConfiguration(
@@ -104,6 +112,8 @@ class GuardedInferenceEngine:
         self.fallback = fallback
         self.min_confidence = min_confidence
         self.fraz_iterations = fraz_iterations
+        self.memo = memo if memo is not None else getattr(pipeline, "memo", None)
+        self.executor = executor
         self.compressor = pipeline.compressor
         self.config = pipeline.config
         self.model = pipeline.model
@@ -174,7 +184,12 @@ class GuardedInferenceEngine:
         return config if _usable(config) else None
 
     def _fraz_config(self, data: np.ndarray, target_ratio: float) -> float:
-        searcher = FRaZ(self.compressor, max_iterations=self.fraz_iterations)
+        searcher = FRaZ(
+            self.compressor,
+            max_iterations=self.fraz_iterations,
+            executor=self.executor,
+            memo=self.memo,
+        )
         return float(searcher.search(data, target_ratio).config)
 
     # -- public API ------------------------------------------------------------

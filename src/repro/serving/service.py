@@ -128,6 +128,7 @@ class EstimationService:
         pipeline: FXRZ,
         guarded: bool = False,
         guard_options: dict | None = None,
+        memo=None,
         **service_options,
     ) -> "EstimationService":
         """A service over a fitted pipeline.
@@ -136,11 +137,17 @@ class EstimationService:
         identical to ``pipeline.estimate_config``); ``guarded=True``
         builds the robustness ladder with ``guard_options`` forwarded to
         :meth:`FXRZ.guarded`, so degradations show up in the metrics.
+        ``memo`` (a :class:`~repro.parallel.CompressionMemoCache`) is
+        forwarded to the guarded engine's FRaZ rung so fallback searches
+        across requests share compressor runs.
         """
         if not pipeline.is_fitted:
             raise NotFittedError("serve needs a fitted pipeline")
         if guarded:
-            engine = pipeline.guarded(**(guard_options or {}))
+            options = dict(guard_options or {})
+            if memo is not None:
+                options.setdefault("memo", memo)
+            engine = pipeline.guarded(**options)
         else:
             engine = InferenceEngine(
                 pipeline.model, pipeline.compressor, config=pipeline.config

@@ -1,0 +1,118 @@
+"""Serial-vs-parallel parity: every hot path must be bit-identical.
+
+The executor's whole contract is that ``n_jobs`` changes the wall
+clock, never the numbers: sweeps assemble in config order, the forest
+draws its seeds serially before fanning out and reduces predictions in
+tree order, FRaZ's prefetch only relocates where probes are computed,
+and tiles are independent by construction. These tests pin that
+contract at n_jobs=4 against the serial reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fraz import FRaZ
+from repro.compressors import get_compressor
+from repro.config import FXRZConfig
+from repro.core.augmentation import build_curve
+from repro.core.pipeline import FXRZ
+from repro.core.tiling import TiledFixedRatio
+from repro.ml.forest import RandomForestRegressor
+from repro.parallel import CompressionMemoCache, ParallelExecutor
+
+from tests.conftest import small_forest_factory
+
+pytestmark = pytest.mark.parallel
+
+
+@pytest.fixture(scope="module")
+def field():
+    lin = np.linspace(0, 4 * np.pi, 20)
+    x, y, z = np.meshgrid(lin, lin, lin, indexing="ij")
+    noise = np.random.default_rng(3).standard_normal((20, 20, 20))
+    return (np.sin(x) * np.cos(y + z) + 0.02 * noise).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def executor4():
+    return ParallelExecutor(n_jobs=4, backend="process")
+
+
+class TestSweepParity:
+    def test_build_curve_identical_at_four_workers(self, field, executor4):
+        sz = get_compressor("sz")
+        serial = build_curve(sz, field, n_points=6)
+        parallel = build_curve(sz, field, n_points=6, executor=executor4)
+        np.testing.assert_array_equal(parallel.configs, serial.configs)
+        np.testing.assert_array_equal(parallel.ratios, serial.ratios)
+        assert parallel.log_config == serial.log_config
+
+    def test_memo_warmed_curve_identical(self, field, executor4):
+        sz = get_compressor("sz")
+        memo = CompressionMemoCache()
+        cold = build_curve(sz, field, n_points=6, executor=executor4, memo=memo)
+        warm = build_curve(sz, field, n_points=6, memo=memo)
+        np.testing.assert_array_equal(warm.ratios, cold.ratios)
+        assert memo.hits >= 6  # the second sweep never ran the compressor
+        assert warm.build_seconds == cold.build_seconds  # recorded seconds
+
+
+class TestForestParity:
+    def test_fit_and_predict_identical(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(120, 6))
+        y = x @ rng.normal(size=6) + 0.1 * rng.normal(size=120)
+        serial = RandomForestRegressor(
+            n_estimators=12, random_state=9, min_samples_leaf=2
+        ).fit(x, y)
+        parallel = RandomForestRegressor(
+            n_estimators=12, random_state=9, min_samples_leaf=2, n_jobs=4
+        ).fit(x, y)
+        queries = rng.normal(size=(30, 6))
+        np.testing.assert_array_equal(
+            parallel.predict(queries), serial.predict(queries)
+        )
+        # parallel predict over a serially fitted forest, too
+        np.testing.assert_array_equal(
+            serial.predict(queries, n_jobs=4), serial.predict(queries)
+        )
+
+
+class TestFRaZParity:
+    def test_search_trace_identical_with_executor(self, field, executor4):
+        sz = get_compressor("sz")
+        serial = FRaZ(sz, max_iterations=6).search(field, 20.0)
+        parallel = FRaZ(sz, max_iterations=6, executor=executor4).search(
+            field, 20.0
+        )
+        assert parallel.evaluations == serial.evaluations
+        assert parallel.config == serial.config
+        assert parallel.measured_ratio == serial.measured_ratio
+        assert parallel.iterations == serial.iterations
+
+
+class TestTiledParity:
+    @pytest.fixture(scope="class")
+    def pipeline(self, field):
+        fxrz = FXRZ(
+            get_compressor("sz"),
+            config=FXRZConfig(stationary_points=6, augmented_samples=40),
+            model_factory=small_forest_factory,
+        )
+        fxrz.fit([field])
+        return fxrz
+
+    def test_tiles_identical_at_four_workers(self, pipeline, field):
+        serial = TiledFixedRatio(pipeline, (10, 10, 10)).compress(field, 15.0)
+        parallel = TiledFixedRatio(pipeline, (10, 10, 10), n_jobs=4).compress(
+            field, 15.0
+        )
+        assert len(parallel.tiles) == len(serial.tiles)
+        for ser, par in zip(serial.tiles, parallel.tiles):
+            assert par.index == ser.index
+            assert par.slices == ser.slices
+            assert par.blob.config == ser.blob.config
+            assert par.blob.data == ser.blob.data
+        assert parallel.measured_ratio == serial.measured_ratio
