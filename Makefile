@@ -1,7 +1,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness parallel bench bench-parallel serve-smoke
+.PHONY: test robustness parallel obs bench bench-parallel serve-smoke trace-smoke
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
@@ -24,6 +24,16 @@ robustness:
 # overflows must fail the gate, not just log.
 parallel:
 	$(PYTEST) -x -q -W error::RuntimeWarning -m parallel
+
+# Observability gate: the obs-marked tests (tracer, registry,
+# exporters, cost tree, span-tree parity), RuntimeWarnings as errors.
+obs:
+	$(PYTEST) -x -q -W error::RuntimeWarning -m obs
+
+# Tracing smoke: trace a CLI train + estimate end to end, assert the
+# rendered cost tree accounts for the measured wall time within 5%.
+trace-smoke:
+	PYTHONPATH=src $(PY) examples/trace_smoke.py
 
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q

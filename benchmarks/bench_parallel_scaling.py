@@ -13,7 +13,10 @@ Three measurements over the new :mod:`repro.parallel` seams:
    bit-identical-prediction parity asserted in passing.
 3. **FRaZ memo reuse** — the same field searched twice through one
    memo; the second search must *hit* (the cross-path cache's
-   raison d'être) and its compressor-free wall clock is recorded.
+   raison d'être) and its compressor-free wall clock is recorded. The
+   section runs with a live :class:`~repro.obs.MetricsRegistry`: the
+   memo's counters surface as ``repro_memo_*`` gauges and FRaZ's probe
+   tally as ``repro_fraz_probes_total``, printed as a third table.
 
 Smoke mode (default) keeps the grid small so the bench lands in
 seconds; ``FXRZ_BENCH_PARALLEL_FULL=1`` switches to the ISSUE's
@@ -29,6 +32,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.compressors import get_compressor
 from repro.core.augmentation import build_curve
 from repro.baselines.fraz import FRaZ
@@ -132,20 +136,46 @@ def test_parallel_scaling(benchmark, report):
     )
 
     # -- 3. FRaZ memo reuse: the second search must hit -----------------------
+    # Run with a live metrics registry: the memo publishes its counters
+    # as repro_memo_* gauges and FRaZ flushes per-source probe counts.
     memo = CompressionMemoCache()
+    registry = obs.MetricsRegistry()
+    memo.register_metrics(registry)
     curve = reference
     target = float(np.sqrt(np.prod(curve.ratio_range)))
-    tick = time.perf_counter()
-    first = FRaZ(sz, max_iterations=6, memo=memo).search(data, target)
-    fraz_first = time.perf_counter() - tick
-    hits_before = memo.hits
-    tick = time.perf_counter()
-    second = FRaZ(sz, max_iterations=6, memo=memo).search(data, target)
-    fraz_second = time.perf_counter() - tick
+    obs.install(registry=registry)
+    try:
+        tick = time.perf_counter()
+        first = FRaZ(sz, max_iterations=6, memo=memo).search(data, target)
+        fraz_first = time.perf_counter() - tick
+        hits_before = memo.hits
+        tick = time.perf_counter()
+        second = FRaZ(sz, max_iterations=6, memo=memo).search(data, target)
+        fraz_second = time.perf_counter() - tick
+    finally:
+        obs.uninstall()
     fraz_hits = memo.hits - hits_before
     assert fraz_hits >= 1, "repeat FRaZ search must hit the shared memo"
     assert second.evaluations == first.evaluations
     assert second.search_seconds == first.search_seconds  # recorded, honest
+
+    registry.collect()
+    assert registry.get("repro_memo_hits").value() == memo.hits
+    assert registry.get("repro_fraz_searches_total").value() == 2
+    metric_rows = []
+    for name in (
+        "repro_memo_hits",
+        "repro_memo_misses",
+        "repro_memo_evictions",
+        "repro_memo_entries",
+    ):
+        metric_rows.append([name, f"{registry.get(name).value():g}"])
+    probes = registry.get("repro_fraz_probes_total")
+    for key in probes.labels():
+        labels = ",".join(f'{k}="{v}"' for k, v in key)
+        metric_rows.append(
+            [f"repro_fraz_probes_total{{{labels}}}", f"{probes.value(**dict(key)):g}"]
+        )
 
     report(
         render_table(
@@ -176,6 +206,12 @@ def test_parallel_scaling(benchmark, report):
             ],
             title="Forest fit and FRaZ memo reuse",
         )
+        + "\n"
+        + render_table(
+            ["metric", "value"],
+            metric_rows,
+            title="Registry view of the FRaZ section (pull-model gauges)",
+        )
     )
 
     _JSON_PATH.write_text(
@@ -199,6 +235,7 @@ def test_parallel_scaling(benchmark, report):
                     "repeat_memo_hits": fraz_hits,
                     "recorded_search_seconds": first.search_seconds,
                 },
+                "registry": registry.to_dict(),
             },
             indent=2,
         )

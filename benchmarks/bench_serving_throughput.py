@@ -11,19 +11,31 @@ per-request analysis cost next to the cold single-shot cost.
 Asserted: at batch size 16 and up the amortized cost undercuts the
 single-shot cost (the ISSUE's acceptance criterion), and the cache hit
 ratio matches the coalescing math ((n-1)/n for one shared dataset).
+
+A second bench guards the observability layer's overhead: the same
+batch-16 workload with a live tracer + metrics registry must keep at
+least 95% of the plain throughput (recorded in the repo-root
+``BENCH_obs_overhead.json``).
 """
 
+import json
+import pathlib
 import time
 
 import numpy as np
 
 from conftest import BENCH_CONFIG
+from repro import obs
 from repro.experiments.corpus import held_out_snapshots
 from repro.experiments.harness import get_trained_fxrz
 from repro.experiments.tables import render_table
 from repro.serving import EstimateRequest, EstimationService
 
 BATCH_SIZES = (1, 16, 64)
+
+_OVERHEAD_JSON = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_obs_overhead.json"
+)
 
 
 def test_serving_throughput(benchmark, report):
@@ -110,3 +122,156 @@ def test_serving_throughput(benchmark, report):
                 snapshot.data, float(np.median(targets_for(3)))
             )
         )
+
+
+def test_tracing_overhead_guard(report):
+    """Live tracing + metrics must cost < 5% req/s at batch 16.
+
+    The disabled path is a module-global ``None`` check returning a
+    shared null span, so the interesting number is the *enabled* cost:
+    three spans plus a handful of counter/histogram updates per
+    request, a few percent of a ~2 ms request. Resolving that against
+    a shared box's load drift needs fine-grained alternation: two
+    long-lived warm services — one plain, one built with the registry
+    installed so its recorder mirrors metrics and its cache gauges are
+    bound — serve one 16-request batch each per round, with the
+    within-round order alternating. Each timed unit is ~30 ms, so load
+    shifts slower than that hit both sides equally; the guarded
+    statistic is the *aggregate* req/s over one trial's rounds (total
+    requests / total timed seconds per side), which averages the
+    residual jitter down. Because a whole trial's mean still drifts by
+    a few percent run to run (CPU steal on a shared host moves slower
+    than one trial), three independent trials run back to back and the
+    *minimum* trial overhead is guarded: interference only has to miss
+    one trial to expose the true cost, while a genuine regression
+    inflates every trial. Coarser designs — a fresh service per timed
+    section, best-of or median per-side statistics — all proved
+    noisier than the effect itself.
+
+    The services run one worker each, unlike the throughput bench
+    above: with several workers the measurement folds in how the GIL
+    schedules the extra pure-Python span code against numpy's
+    released-GIL sections, which varies by machine and load. One worker
+    attributes the whole delta to the instrumentation itself.
+    """
+    pipeline = get_trained_fxrz("hurricane", "TC", "sz", config=BENCH_CONFIG)
+    snapshot = held_out_snapshots("hurricane", "TC")[0]
+    lo, hi = pipeline.trained_ratio_range(snapshot.data)
+    batch_size, rounds, trials = 16, 40, 3
+    batch = [
+        EstimateRequest(
+            data=snapshot.data,
+            target_ratio=float(tcr),
+            dataset_id=snapshot.name,
+        )
+        for tcr in np.linspace(lo * 1.05, hi * 0.95, batch_size)
+    ]
+
+    tracer, registry = obs.Tracer(), obs.MetricsRegistry()
+    service_plain = EstimationService.for_pipeline(
+        pipeline, workers=1, max_batch=batch_size
+    )
+    obs.install(tracer, registry)
+    service_traced = EstimationService.for_pipeline(
+        pipeline, workers=1, max_batch=batch_size
+    )
+    obs.uninstall()
+
+    def run_plain() -> float:
+        tick = time.perf_counter()
+        service_plain.run_batch(batch)
+        return time.perf_counter() - tick
+
+    spans_per_round = 0
+
+    def run_traced() -> float:
+        nonlocal spans_per_round
+        obs.install(tracer, registry)
+        tick = time.perf_counter()
+        service_traced.run_batch(batch)
+        elapsed = time.perf_counter() - tick
+        obs.uninstall()
+        spans_per_round = len(tracer)
+        tracer.clear()
+        return elapsed
+
+    def run_trial() -> tuple[float, float]:
+        plain_seconds = traced_seconds = 0.0
+        for round_index in range(rounds):
+            if round_index % 2 == 0:
+                plain_seconds += run_plain()
+                traced_seconds += run_traced()
+            else:
+                traced_seconds += run_traced()
+                plain_seconds += run_plain()
+        return plain_seconds, traced_seconds
+
+    try:
+        run_plain()  # warm caches, threads and both code paths
+        run_traced()
+        trial_seconds = [run_trial() for _ in range(trials)]
+    finally:
+        service_plain.close()
+        service_traced.close()
+
+    total_requests = rounds * batch_size
+    overheads = [
+        1.0 - (total_requests / traced) / (total_requests / plain)
+        for plain, traced in trial_seconds
+    ]
+    best = min(range(trials), key=lambda index: overheads[index])
+    plain_seconds, traced_seconds = trial_seconds[best]
+    rps_plain = total_requests / plain_seconds
+    rps_traced = total_requests / traced_seconds
+    overhead = overheads[best]
+    assert spans_per_round >= batch_size, (
+        "tracer must have seen every request of the round"
+    )
+
+    report(
+        render_table(
+            ["variant", "req/s (best trial)", "rounds/trial"],
+            [
+                ["plain", f"{rps_plain:.0f}", str(rounds)],
+                ["traced + metrics", f"{rps_traced:.0f}", str(rounds)],
+                [
+                    "overhead per trial",
+                    " / ".join(f"{o * 100:.1f}%" for o in overheads),
+                    "",
+                ],
+            ],
+            title=(
+                f"Tracing overhead - alternating 16-request batches, "
+                f"{spans_per_round} spans per traced round"
+            ),
+        )
+    )
+
+    _OVERHEAD_JSON.write_text(
+        json.dumps(
+            {
+                "batch_size": batch_size,
+                "rounds_per_trial": rounds,
+                "trials": trials,
+                "requests_per_side_per_trial": total_requests,
+                "trial_seconds": [list(pair) for pair in trial_seconds],
+                "overhead_fractions": overheads,
+                "overhead_fraction_best": overhead,
+                "rps_plain_best_trial": rps_plain,
+                "rps_traced_best_trial": rps_traced,
+                "spans_per_traced_round": spans_per_round,
+                "guard": (
+                    "min over trials of aggregate overhead <= 5% "
+                    "(rps_traced >= 0.95 * rps_plain)"
+                ),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert overhead <= 0.05, (
+        f"tracing overhead {overhead * 100:.1f}% in the best of {trials} "
+        f"trials ({rounds} alternating rounds each) exceeds the 5% "
+        "req/s budget"
+    )

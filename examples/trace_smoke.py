@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Tracing smoke test: trace a CLI estimate, check the cost tree adds up.
+
+The end-to-end path ``make trace-smoke`` exercises:
+
+1. train a small pipeline on Gaussian random fields via the ``train``
+   CLI, itself traced (so the trace file demonstrably survives a
+   process's worth of spans);
+2. render the training trace with ``repro obs-report`` (which also
+   warms the CLI code path before anything is timed);
+3. run ``repro estimate --trace`` on a larger held-out field;
+4. load the span log back and assert the cost tree's total wall time
+   agrees with the wall time measured around the CLI call to within
+   5% — the tree must account for the run, not just decorate it. The
+   held-out field is 64^3 so the traced work dwarfs the few ms of
+   argument parsing that sit outside the root span.
+
+Run:
+    python examples/trace_smoke.py
+"""
+
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.datasets.grf import gaussian_random_field
+
+
+def main(argv=None) -> int:
+    fields = [
+        gaussian_random_field((20, 20, 20), alpha=3.0, seed=seed).astype(
+            np.float32
+        )
+        for seed in range(3)
+    ]
+    held_out = gaussian_random_field((64, 64, 64), alpha=3.0, seed=3).astype(
+        np.float32
+    )
+
+    with tempfile.TemporaryDirectory(prefix="fxrz-trace-") as tmp:
+        root = pathlib.Path(tmp)
+        for i, field in enumerate(fields):
+            np.save(root / f"field{i}.npy", field)
+        np.save(root / "field3.npy", held_out)
+        model = root / "model.npz"
+
+        train_trace = root / "train-trace.jsonl"
+        code = cli_main(
+            [
+                "train",
+                *(str(root / f"field{i}.npy") for i in range(3)),
+                "--model",
+                str(model),
+                "--stationary-points",
+                "8",
+                "--augmented-samples",
+                "60",
+                "--trace",
+                str(train_trace),
+            ]
+        )
+        if code != 0:
+            print(f"train exited with {code}", file=sys.stderr)
+            return 1
+        assert train_trace.exists(), "train --trace wrote no file"
+        code = cli_main(["obs-report", str(train_trace)])
+        if code != 0:
+            print(f"obs-report exited with {code}", file=sys.stderr)
+            return 1
+
+        estimate_trace = root / "estimate-trace.jsonl"
+        tick = time.perf_counter()
+        code = cli_main(
+            [
+                "estimate",
+                str(root / "field3.npy"),
+                "--model",
+                str(model),
+                "--ratio",
+                "8.0",
+                "--trace",
+                str(estimate_trace),
+            ]
+        )
+        wall = time.perf_counter() - tick
+        if code != 0:
+            print(f"estimate exited with {code}", file=sys.stderr)
+            return 1
+
+        spans = obs.load_trace(estimate_trace)
+        assert spans, "estimate --trace recorded no spans"
+        roots = [span for span in spans if span.parent_id is None]
+        assert [span.name for span in roots] == ["cli.estimate"], (
+            f"expected one cli.estimate root, got {roots}"
+        )
+        total = obs.cost_tree(spans)["wall_seconds"]
+        drift = abs(total - wall) / wall
+        assert drift < 0.05, (
+            f"cost tree total {total:.3f}s disagrees with measured wall "
+            f"{wall:.3f}s by {drift:.1%} (budget 5%)"
+        )
+
+        code = cli_main(["obs-report", str(estimate_trace)])
+        if code != 0:
+            print(f"obs-report exited with {code}", file=sys.stderr)
+            return 1
+        print(
+            f"smoke OK: {len(spans)} spans, cost tree {total * 1e3:.1f}ms "
+            f"vs wall {wall * 1e3:.1f}ms ({drift:.1%} apart)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

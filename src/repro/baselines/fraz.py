@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.compressors.base import Compressor
 from repro.errors import InvalidConfiguration, SearchError
 
@@ -135,6 +136,48 @@ class FRaZ:
                 repeated searches stay honest about FRaZ's cost while
                 the *experiment harness* avoids redundant real runs.
         """
+        sources: dict[str, int] = {}
+        with obs.span(
+            "fraz.search",
+            compressor=self.compressor.name,
+            target_ratio=float(target_ratio),
+            max_iterations=self.max_iterations,
+        ) as span:
+            result = self._search_body(
+                data, target_ratio, domain, cache, sources
+            )
+            span.set_attributes(
+                iterations=result.iterations,
+                measured_ratio=result.measured_ratio,
+                search_seconds=result.search_seconds,
+            )
+        registry = obs.get_registry()
+        if registry is not None:
+            # Counters are flushed once per search, not per probe, so
+            # the probe loop stays registry-free.
+            registry.counter(
+                "repro_fraz_searches_total", "FRaZ searches completed"
+            ).inc()
+            probes = registry.counter(
+                "repro_fraz_probes_total",
+                "FRaZ probes by source (run/memo/prefetch/cache)",
+            )
+            for source, count in sources.items():
+                probes.inc(count, source=source)
+            registry.counter(
+                "repro_fraz_compressor_seconds_total",
+                "compressor seconds charged to FRaZ searches",
+            ).inc(result.search_seconds)
+        return result
+
+    def _search_body(
+        self,
+        data: np.ndarray,
+        target_ratio: float,
+        domain: tuple[float, float] | None,
+        cache: dict[float, tuple[float, float]] | None,
+        sources: dict[str, int],
+    ) -> FRaZResult:
         if target_ratio <= 0:
             raise InvalidConfiguration("target ratio must be > 0")
         lo, hi = (
@@ -170,16 +213,20 @@ class FRaZ:
                     return True
             return False
 
-        def measure(config: float) -> tuple[float, float]:
-            """(ratio, seconds) for a normalized config, cheapest source."""
+        def measure(config: float) -> tuple[float, float, str]:
+            """(ratio, seconds, source) for a normalized config — the
+            cheapest source wins: harness cache, executor prefetch,
+            cross-path memo, then a real compressor run."""
             if cache is not None and config in cache:
-                return cache[config]
+                ratio, seconds = cache[config]
+                return ratio, seconds, "cache"
             if config in prefetched:
-                return prefetched[config]
+                ratio, seconds = prefetched[config]
+                return ratio, seconds, "prefetch"
             if memo is not None:
                 record = memo.get(memo.key(fingerprint, self.compressor, config))
                 if record is not None:
-                    return record.ratio, record.seconds
+                    return record.ratio, record.seconds, "memo"
             tick = time.perf_counter()
             ratio = self.compressor.compression_ratio(data, config)
             seconds = time.perf_counter() - tick
@@ -190,11 +237,16 @@ class FRaZ:
                     memo.key(fingerprint, self.compressor, config),
                     MemoRecord(ratio=ratio, seconds=seconds),
                 )
-            return ratio, seconds
+            return ratio, seconds, "run"
 
         def evaluate(config: float) -> float:
             config = self.compressor.normalize_config(config)
-            ratio, seconds = measure(config)
+            with obs.span("fraz.probe", eb=config) as span:
+                ratio, seconds, source = measure(config)
+                span.set_attributes(
+                    ratio=ratio, source=source, memo_hit=source != "run"
+                )
+            sources[source] = sources.get(source, 0) + 1
             if cache is not None:
                 cache[config] = (ratio, seconds)
             evaluations.append((config, ratio))

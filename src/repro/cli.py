@@ -12,7 +12,12 @@ whole fixed-ratio workflow on ``.npy`` files:
 * ``repro decompress``— reconstruct an array from a blob file.
 * ``repro search``    — run the FRaZ baseline for comparison.
 * ``repro dump``      — simulate a (optionally fault-injected) parallel dump.
+* ``repro obs-report``— render a recorded span trace as a per-phase cost tree.
 * ``repro datasets``  — list the built-in synthetic dataset catalog.
+
+``train``/``estimate``/``estimate-batch``/``compress``/``search`` accept
+``--trace PATH`` (JSONL span log of the run) and ``--metrics PATH``
+(Prometheus-style text exposition); see ``docs/OBSERVABILITY.md``.
 
 ``estimate`` and ``compress`` run through the guarded inference engine:
 ``--fallback`` picks the terminal rung of its degradation ladder
@@ -33,6 +38,7 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.fraz import FRaZ
 from repro.compressors import available_compressors, get_compressor
 from repro.compressors.base import CompressedBlob
@@ -109,7 +115,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         get_compressor(args.compressor), config=config, n_jobs=args.jobs
     )
     arrays = [_load_array(p) for p in args.inputs]
-    report = pipeline.fit(arrays)
+    with obs.profiled("training.fit", n_datasets=len(arrays)):
+        report = pipeline.fit(arrays)
     save_pipeline(pipeline, args.model)
     print(
         f"trained on {report.n_datasets} arrays "
@@ -365,6 +372,15 @@ def _cmd_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    spans = obs.load_trace(args.input)
+    print(obs.render_cost_tree(spans, min_fraction=args.min_fraction))
+    errors = sum(1 for span in spans if span.status == "error")
+    if errors:
+        print(f"({errors} span(s) recorded an error)")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:  # noqa: ARG001
     for name, entry in dataset_catalog().items():
         print(
@@ -402,6 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
             "(1 = serial, 0 = all CPUs; results are identical either way)",
         )
 
+    def add_obs_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--trace",
+            default="",
+            metavar="PATH",
+            help="record a span trace of the run to a JSONL file "
+            "(render it with 'repro obs-report PATH')",
+        )
+        cmd.add_argument(
+            "--metrics",
+            default="",
+            metavar="PATH",
+            help="write Prometheus-style metrics of the run to a text file",
+        )
+
     train = sub.add_parser("train", help="fit a pipeline on .npy arrays")
     train.add_argument("inputs", nargs="+", help="training .npy files")
     train.add_argument("--model", required=True, help="output model .npz")
@@ -411,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--augmented-samples", type=int, default=250)
     train.add_argument("--no-adjustment", action="store_true")
     add_jobs_flag(train)
+    add_obs_flags(train)
     train.set_defaults(func=_cmd_train)
 
     def add_guard_flags(cmd: argparse.ArgumentParser) -> None:
@@ -434,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--ratio", type=float, required=True)
     add_guard_flags(estimate)
     add_jobs_flag(estimate)
+    add_obs_flags(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
     batch = sub.add_parser(
@@ -476,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--stats", action="store_true", help="append the service metrics snapshot"
     )
+    add_obs_flags(batch)
     batch.set_defaults(func=_cmd_estimate_batch)
 
     compress = sub.add_parser("compress", help="fixed-ratio compress")
@@ -485,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--output", required=True, help="output blob file")
     add_guard_flags(compress)
     add_jobs_flag(compress)
+    add_obs_flags(compress)
     compress.set_defaults(func=_cmd_compress)
 
     decompress = sub.add_parser("decompress", help="reconstruct from a blob")
@@ -498,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--ratio", type=float, required=True)
     search.add_argument("--iterations", type=int, default=15)
     add_jobs_flag(search)
+    add_obs_flags(search)
     search.set_defaults(func=_cmd_search)
 
     dump = sub.add_parser(
@@ -521,6 +557,21 @@ def build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--base-delay", type=float, default=0.5)
     dump.set_defaults(func=_cmd_dump)
 
+    # The positional is named "input", not "trace": main() reads the
+    # --trace *flag* via getattr, and a positional named "trace" would
+    # make it install tracing and clobber the file it is reporting on.
+    obs_report = sub.add_parser(
+        "obs-report", help="render a recorded span trace as a cost tree"
+    )
+    obs_report.add_argument("input", help="JSONL trace from --trace")
+    obs_report.add_argument(
+        "--min-fraction",
+        type=float,
+        default=0.0,
+        help="hide phases below this share of total wall time (e.g. 0.01)",
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
+
     datasets = sub.add_parser("datasets", help="list the built-in catalog")
     datasets.set_defaults(func=_cmd_datasets)
 
@@ -534,14 +585,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Parser memo for :func:`main` — building the ~15-subcommand parser
+#: costs a few ms, which embedders calling ``main`` per request (the
+#: smoke examples, services wrapping the CLI) would otherwise pay every
+#: time. ``build_parser`` stays un-memoized for callers that customize.
+_PARSER: argparse.ArgumentParser | None = None
+
+
 def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    global _PARSER
+    if _PARSER is None:
+        _PARSER = build_parser()
+    args = _PARSER.parse_args(argv)
+    trace_path = getattr(args, "trace", "")
+    metrics_path = getattr(args, "metrics", "")
+    tracer = obs.Tracer() if trace_path else None
+    registry = obs.MetricsRegistry() if metrics_path else None
+    previous = (obs.get_tracer(), obs.get_registry())
+    if tracer is not None or registry is not None:
+        obs.install(tracer=tracer, registry=registry)
     try:
-        return args.func(args)
+        with obs.span(f"cli.{args.command}"):
+            return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            count = tracer.export_jsonl(trace_path)
+            print(f"wrote {count} span(s) to {trace_path}", file=sys.stderr)
+        if registry is not None:
+            pathlib.Path(metrics_path).write_text(registry.render_prometheus())
+            print(f"wrote metrics to {metrics_path}", file=sys.stderr)
+        if tracer is not None or registry is not None:
+            # Restore whatever was installed before: tests drive main()
+            # in-process and must get their own observability state back.
+            obs.install(*previous)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import (
     CompressionError,
     ErrorBoundViolation,
@@ -85,14 +86,21 @@ class Compressor(abc.ABC):
         """Compress ``array`` under error configuration ``config``."""
         array = self._validate_input(array)
         config = self.normalize_config(config)
-        payload = self._compress_payload(array, config)
-        return CompressedBlob(
-            data=payload,
-            original_shape=array.shape,
-            original_dtype=array.dtype.name,
-            compressor=self.name,
-            config=config,
-        )
+        with obs.span(
+            "compressor.compress", compressor=self.name, config=config
+        ) as span:
+            payload = self._compress_payload(array, config)
+            blob = CompressedBlob(
+                data=payload,
+                original_shape=array.shape,
+                original_dtype=array.dtype.name,
+                compressor=self.name,
+                config=config,
+            )
+            span.set_attributes(
+                ratio=blob.compression_ratio, nbytes=len(payload)
+            )
+        return blob
 
     def decompress(self, blob: CompressedBlob) -> np.ndarray:
         """Reconstruct the array stored in ``blob``."""
@@ -100,7 +108,10 @@ class Compressor(abc.ABC):
             raise CompressionError(
                 f"blob was produced by {blob.compressor!r}, not {self.name!r}"
             )
-        out = self._decompress_payload(blob)
+        with obs.span(
+            "compressor.decompress", compressor=self.name, config=blob.config
+        ):
+            out = self._decompress_payload(blob)
         return out.reshape(blob.original_shape)
 
     def compression_ratio(self, array: np.ndarray, config: float) -> float:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.compressors.base import Compressor
 from repro.errors import InvalidConfiguration
 
@@ -183,48 +184,56 @@ def build_curve(
     lower.
     """
     configs = stationary_configs(compressor, data, n_points, domain)
-    ratios = np.empty(configs.size, dtype=np.float64)
-    seconds = np.zeros(configs.size, dtype=np.float64)
-    pending: list[int] = []
-    keys: dict[int, tuple] = {}
-    if memo is not None:
-        if fingerprint is None:
-            fingerprint = memo.fingerprint(data)
-        for i, config in enumerate(configs):
-            key = memo.key(fingerprint, compressor, float(config))
-            record = memo.get(key)
-            if record is None:
-                pending.append(i)
-                keys[i] = key
-            else:
-                ratios[i], seconds[i] = record.ratio, record.seconds
-    else:
-        pending = list(range(configs.size))
-
-    if pending:
-        miss_configs = [float(configs[i]) for i in pending]
-        if executor is not None:
-            results = executor.map(
-                _sweep_task,
-                miss_configs,
-                shared={"data": np.asarray(data)},
-                context=compressor,
-            )
+    with obs.span(
+        "augmentation.build_curve",
+        compressor=compressor.name,
+        n_points=int(configs.size),
+    ) as span:
+        ratios = np.empty(configs.size, dtype=np.float64)
+        seconds = np.zeros(configs.size, dtype=np.float64)
+        pending: list[int] = []
+        keys: dict[int, tuple] = {}
+        if memo is not None:
+            if fingerprint is None:
+                fingerprint = memo.fingerprint(data)
+            for i, config in enumerate(configs):
+                key = memo.key(fingerprint, compressor, float(config))
+                record = memo.get(key)
+                if record is None:
+                    pending.append(i)
+                    keys[i] = key
+                else:
+                    ratios[i], seconds[i] = record.ratio, record.seconds
         else:
-            results = [
-                _sweep_task(config, {"data": data}, compressor)
-                for config in miss_configs
-            ]
-        for i, (ratio, elapsed) in zip(pending, results):
-            ratios[i], seconds[i] = ratio, elapsed
-            if memo is not None:
-                from repro.parallel.memo import MemoRecord
+            pending = list(range(configs.size))
+        span.set_attributes(
+            memo_hits=int(configs.size) - len(pending), evaluated=len(pending)
+        )
 
-                memo.put(keys[i], MemoRecord(ratio=ratio, seconds=elapsed))
+        if pending:
+            miss_configs = [float(configs[i]) for i in pending]
+            if executor is not None:
+                results = executor.map(
+                    _sweep_task,
+                    miss_configs,
+                    shared={"data": np.asarray(data)},
+                    context=compressor,
+                )
+            else:
+                results = [
+                    _sweep_task(config, {"data": data}, compressor)
+                    for config in miss_configs
+                ]
+            for i, (ratio, elapsed) in zip(pending, results):
+                ratios[i], seconds[i] = ratio, elapsed
+                if memo is not None:
+                    from repro.parallel.memo import MemoRecord
 
-    return CompressionCurve(
-        configs=configs,
-        ratios=ratios,
-        log_config=compressor.config_scale == "log",
-        build_seconds=float(seconds.sum()),
-    )
+                    memo.put(keys[i], MemoRecord(ratio=ratio, seconds=elapsed))
+
+        return CompressionCurve(
+            configs=configs,
+            ratios=ratios,
+            log_config=compressor.config_scale == "log",
+            build_seconds=float(seconds.sum()),
+        )

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.compressors.predictors import lorenzo_residuals
 from repro.errors import InvalidConfiguration
 
@@ -192,27 +193,29 @@ def extract_features(data: np.ndarray, stride: int = 1) -> FeatureVector:
     data = np.asarray(data)
     if data.size == 0:
         raise InvalidConfiguration("cannot extract features from empty data")
-    sampled = uniform_sample(np.asarray(data, dtype=np.float64), stride)
-    if not np.isfinite(sampled).all():
-        raise InvalidConfiguration(
-            "field contains non-finite values in its sampled view; "
-            "patch or reject it (repro.robustness.validate_field) "
-            "before extracting features"
+    with obs.span("features.extract", stride=int(stride)) as span:
+        sampled = uniform_sample(np.asarray(data, dtype=np.float64), stride)
+        span.set_attribute("points", int(sampled.size))
+        if not np.isfinite(sampled).all():
+            raise InvalidConfiguration(
+                "field contains non-finite values in its sampled view; "
+                "patch or reject it (repro.robustness.validate_field) "
+                "before extracting features"
+            )
+        if sampled.size == 1:
+            # A single point has no neighbors: every difference-based
+            # feature is degenerate. Report the well-defined zeros instead
+            # of dividing by an empty neighbor count.
+            value = float(sampled.reshape(()))
+            return FeatureVector(0.0, value, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        mnd, (mean_grad, min_grad, max_grad) = _difference_pass(sampled)
+        return FeatureVector(
+            value_range=float(np.ptp(sampled)),
+            mean_value=float(sampled.mean()),
+            mnd=mnd,
+            mld=_mean_lorenzo_difference(sampled),
+            msd=_mean_spline_difference(sampled),
+            mean_gradient=mean_grad,
+            min_gradient=min_grad,
+            max_gradient=max_grad,
         )
-    if sampled.size == 1:
-        # A single point has no neighbors: every difference-based
-        # feature is degenerate. Report the well-defined zeros instead
-        # of dividing by an empty neighbor count.
-        value = float(sampled.reshape(()))
-        return FeatureVector(0.0, value, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    mnd, (mean_grad, min_grad, max_grad) = _difference_pass(sampled)
-    return FeatureVector(
-        value_range=float(np.ptp(sampled)),
-        mean_value=float(sampled.mean()),
-        mnd=mnd,
-        mld=_mean_lorenzo_difference(sampled),
-        msd=_mean_spline_difference(sampled),
-        mean_gradient=mean_grad,
-        min_gradient=min_grad,
-        max_gradient=max_grad,
-    )

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.compressors.base import Compressor
 from repro.config import FXRZConfig
 from repro.core.adjustment import adjusted_ratio, nonconstant_fraction
@@ -130,22 +131,29 @@ class InferenceEngine:
         number of target ratios on the *same* dataset, skipping the
         feature/block passes each time.
         """
-        start = time.perf_counter()
-        features = extract_features(
-            data, stride=self.config.sampling_stride
-        ).selected()
-        nonconstant = (
-            nonconstant_fraction(
-                data, block_size=self.config.block_size, lam=self.config.lam
+        with obs.span("inference.analyze") as span:
+            start = time.perf_counter()
+            features = extract_features(
+                data, stride=self.config.sampling_stride
+            ).selected()
+            if self.config.use_adjustment:
+                with obs.span(
+                    "inference.adjustment",
+                    block_size=int(self.config.block_size),
+                ):
+                    nonconstant = nonconstant_fraction(
+                        data,
+                        block_size=self.config.block_size,
+                        lam=self.config.lam,
+                    )
+            else:
+                nonconstant = 1.0
+            span.set_attribute("nonconstant", nonconstant)
+            return DatasetAnalysis(
+                features=features,
+                nonconstant=nonconstant,
+                seconds=time.perf_counter() - start,
             )
-            if self.config.use_adjustment
-            else 1.0
-        )
-        return DatasetAnalysis(
-            features=features,
-            nonconstant=nonconstant,
-            seconds=time.perf_counter() - start,
-        )
 
     def estimate(
         self,
@@ -165,24 +173,29 @@ class InferenceEngine:
         """
         if target_ratio <= 0:
             raise InvalidConfiguration("target ratio must be > 0")
-        start = time.perf_counter()
-        if analysis is None:
-            analysis = self.analyze(data)
-        features = analysis.features
-        acr = adjusted_ratio(target_ratio, analysis.nonconstant)
-        row = np.concatenate((features, [acr]))[None, :]
-        raw = float(self.model.predict(row)[0])
-        if self.compressor.config_scale == "log":
-            # The model predicts the range-normalized bound; rescale by
-            # this dataset's own sampled value range.
-            raw = 10.0**raw * max(float(features[0]), 1e-30)
-        config = self.compressor.normalize_config(raw)
-        elapsed = time.perf_counter() - start
-        return Estimate(
-            config=config,
-            target_ratio=float(target_ratio),
-            adjusted_target=acr,
-            nonconstant=analysis.nonconstant,
-            features=features,
-            analysis_seconds=elapsed,
-        )
+        with obs.span(
+            "inference.estimate", target_ratio=float(target_ratio)
+        ) as span:
+            start = time.perf_counter()
+            if analysis is None:
+                analysis = self.analyze(data)
+            features = analysis.features
+            acr = adjusted_ratio(target_ratio, analysis.nonconstant)
+            with obs.span("inference.model_query"):
+                row = np.concatenate((features, [acr]))[None, :]
+                raw = float(self.model.predict(row)[0])
+            if self.compressor.config_scale == "log":
+                # The model predicts the range-normalized bound; rescale by
+                # this dataset's own sampled value range.
+                raw = 10.0**raw * max(float(features[0]), 1e-30)
+            config = self.compressor.normalize_config(raw)
+            elapsed = time.perf_counter() - start
+            span.set_attributes(adjusted_target=acr, config=config)
+            return Estimate(
+                config=config,
+                target_ratio=float(target_ratio),
+                adjusted_target=acr,
+                nonconstant=analysis.nonconstant,
+                features=features,
+                analysis_seconds=elapsed,
+            )

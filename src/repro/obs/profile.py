@@ -1,0 +1,94 @@
+"""Lightweight resource sampling for profiling hooks.
+
+:class:`Profiler` snapshots the process's resident-set size and (when a
+:mod:`tracemalloc` session is already running) the traced allocation
+level. It is deliberately passive — it never *starts* tracemalloc by
+itself because doing so slows every allocation in the process; callers
+opt in with :meth:`Profiler.tracing` or by running under
+``python -X tracemalloc``.
+
+Everything degrades to 0 on platforms without ``/proc`` or the
+``resource`` module, so the profiled numbers are best-effort, never a
+crash source.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+
+def _rss_from_proc() -> int:
+    """Resident set size in bytes via /proc/self/statm (Linux)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return 0
+
+
+def _rss_from_resource() -> int:
+    """Peak RSS via getrusage — the portable fallback (note: *peak*)."""
+    try:
+        import resource
+    except ImportError:
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    scale = 1 if os.uname().sysname == "Darwin" else 1024
+    return int(usage.ru_maxrss) * scale
+
+
+def rss_bytes() -> int:
+    """Current resident set size in bytes (0 when unavailable)."""
+    rss = _rss_from_proc()
+    if rss:
+        return rss
+    return _rss_from_resource()
+
+
+class Profiler:
+    """Samples RSS and traced allocations around hot sections.
+
+    Used by :func:`repro.obs.profiled`, which attaches a before/after
+    pair of samples to a span. Directly usable too::
+
+        prof = Profiler()
+        before = prof.sample()
+        run_hot_section()
+        after = prof.sample()
+        grew = after["rss_bytes"] - before["rss_bytes"]
+    """
+
+    def sample(self) -> dict:
+        """One snapshot: ``{"rss_bytes", "alloc_bytes", "alloc_peak_bytes"}``.
+
+        The alloc fields are 0 unless tracemalloc is running.
+        """
+        alloc = peak = 0
+        if tracemalloc.is_tracing():
+            alloc, peak = tracemalloc.get_traced_memory()
+        return {
+            "rss_bytes": rss_bytes(),
+            "alloc_bytes": alloc,
+            "alloc_peak_bytes": peak,
+        }
+
+    class tracing:
+        """Context manager running tracemalloc for its extent only.
+
+        Leaves tracemalloc untouched if it was already running (so an
+        outer ``python -X tracemalloc`` session is not clobbered).
+        """
+
+        def __enter__(self) -> "Profiler.tracing":
+            self._started = not tracemalloc.is_tracing()
+            if self._started:
+                tracemalloc.start()
+            return self
+
+        def __exit__(self, *exc_info) -> bool:
+            if self._started:
+                tracemalloc.stop()
+            return False

@@ -1,0 +1,162 @@
+"""Turning a span log into a per-phase cost table.
+
+This is the analytical half of the tracing story: given spans (live
+from a :class:`~repro.obs.trace.Tracer` or re-read from a JSONL export)
+it aggregates same-named siblings into one node per phase and renders
+the Table-8-style cost breakdown — where did the wall time of an
+estimate go, phase by phase, with call counts, CPU time and self time
+(wall minus children, i.e. time spent in the phase's own code).
+
+:func:`tree_shape` reduces a span list to a canonical nested tuple used
+by the parity tests: serial and process-pool runs of the same work must
+produce the same shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import Span
+
+
+def load_trace(path) -> list:
+    """Read spans back from a JSONL export (blank lines skipped)."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def _index(spans):
+    """children-by-parent-id map plus the set of root spans.
+
+    A span whose parent never finished into this log (e.g. the ambient
+    context of a worker whose driver span lives in another file) counts
+    as a root — the report must not silently drop orphans.
+    """
+    by_id = {span.span_id: span for span in spans}
+    children: dict = {}
+    roots = []
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    return children, roots
+
+
+def cost_tree(spans) -> dict:
+    """Aggregate spans into one node per (path, name) phase.
+
+    Returns the virtual root ``{"name": "total", ...}`` whose children
+    are the aggregated top-level phases. Node fields: ``name``,
+    ``count``, ``wall_seconds``, ``cpu_seconds``, ``self_seconds``
+    (wall minus aggregated children), ``errors``, ``children`` (list,
+    sorted by wall descending).
+    """
+    children_of, roots = _index(spans)
+
+    def aggregate(group, depth=0):
+        nodes: dict = {}
+        for span in group:
+            node = nodes.get(span.name)
+            if node is None:
+                node = {
+                    "name": span.name,
+                    "count": 0,
+                    "wall_seconds": 0.0,
+                    "cpu_seconds": 0.0,
+                    "errors": 0,
+                    "_children_spans": [],
+                }
+                nodes[span.name] = node
+            node["count"] += 1
+            node["wall_seconds"] += span.wall_seconds
+            node["cpu_seconds"] += span.cpu_seconds
+            if span.status == "error":
+                node["errors"] += 1
+            node["_children_spans"].extend(
+                children_of.get(span.span_id, ())
+            )
+        out = []
+        for node in nodes.values():
+            child_spans = node.pop("_children_spans")
+            node["children"] = aggregate(child_spans, depth + 1)
+            child_wall = sum(
+                c["wall_seconds"] for c in node["children"]
+            )
+            node["self_seconds"] = max(
+                node["wall_seconds"] - child_wall, 0.0
+            )
+            out.append(node)
+        out.sort(key=lambda n: (-n["wall_seconds"], n["name"]))
+        return out
+
+    top = aggregate(roots)
+    total_wall = sum(node["wall_seconds"] for node in top)
+    return {
+        "name": "total",
+        "count": len(roots),
+        "wall_seconds": total_wall,
+        "cpu_seconds": sum(node["cpu_seconds"] for node in top),
+        "self_seconds": 0.0,
+        "errors": sum(node["errors"] for node in top),
+        "children": top,
+    }
+
+
+def render_cost_tree(spans, min_fraction: float = 0.0) -> str:
+    """The human-readable per-phase cost table.
+
+    ``min_fraction`` hides phases below that share of the total wall
+    time (their time still counts toward their parent's total).
+    """
+    if not spans:
+        return "(no spans recorded)"
+    root = cost_tree(spans)
+    total = root["wall_seconds"] or 1e-12
+    header = (
+        f"{'phase':<44} {'count':>6} {'wall':>10} "
+        f"{'self':>10} {'cpu':>10} {'%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+
+    def emit(node, depth):
+        share = node["wall_seconds"] / total
+        if depth > 0 and share < min_fraction:
+            return
+        label = "  " * depth + node["name"]
+        errors = f"  [{node['errors']} error(s)]" if node["errors"] else ""
+        lines.append(
+            f"{label:<44} {node['count']:>6} "
+            f"{node['wall_seconds'] * 1e3:>8.1f}ms "
+            f"{node['self_seconds'] * 1e3:>8.1f}ms "
+            f"{node['cpu_seconds'] * 1e3:>8.1f}ms "
+            f"{share * 100:>5.1f}%" + errors
+        )
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)
+
+
+def tree_shape(spans) -> tuple:
+    """Canonical order-independent shape of a span forest.
+
+    Each node becomes ``(name, (sorted child shapes...))`` and siblings
+    are sorted, so two runs that did the same work in a different order
+    — or on a different number of workers — compare equal.
+    """
+    children_of, roots = _index(spans)
+
+    def shape(span) -> tuple:
+        kids = tuple(
+            sorted(shape(c) for c in children_of.get(span.span_id, ()))
+        )
+        return (span.name, kids)
+
+    return tuple(sorted(shape(root) for root in roots))

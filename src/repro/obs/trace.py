@@ -1,0 +1,316 @@
+"""Hierarchical tracing spans with contextvar propagation.
+
+A :class:`Span` is one timed section of work — wall clock, thread CPU
+time, free-form attributes, ok/error status — linked into a tree by
+``trace_id``/``span_id``/``parent_id``. The ambient parent travels in a
+:mod:`contextvars` variable, so nested ``with`` blocks build the tree
+without any explicit plumbing, worker threads can adopt a driver's
+context via :func:`attach`, and process workers receive a picklable
+:class:`SpanContext` so their spans re-parent under the driver span
+(see :meth:`repro.parallel.ParallelExecutor.map`).
+
+A :class:`Tracer` is the thread-safe sink finished spans land in. It is
+deliberately dumb — append, drain, absorb, export — because everything
+analytical lives in :mod:`repro.obs.report`. Nothing here imports the
+rest of the library, so any module can be instrumented without cycles.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+#: Ambient span context of the current execution context (task/thread).
+_CURRENT: contextvars.ContextVar["SpanContext | None"] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+#: Sentinel distinguishing "no parent given, use the ambient one" from an
+#: explicit ``parent=None`` (which forces a new root span).
+_AMBIENT = object()
+
+_IDS = itertools.count(1)
+
+#: Ids are ints — ``pid << 40 | counter`` — so minting one is a shift
+#: and an or, not an f-string. Linux pids fit in 22 bits and 2^40 spans
+#: per process is out of reach, so ids stay unique across a process
+#: pool. The pid base is refreshed after fork so fork-spawned pool
+#: workers — which inherit the counter state — still mint distinct ids.
+#: (Spawned workers re-import the module and pick theirs up at import.)
+_PID = os.getpid()
+_PID_BASE = _PID << 40
+
+
+def _refresh_pid() -> None:
+    global _PID, _PID_BASE
+    _PID = os.getpid()
+    _PID_BASE = _PID << 40
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython on POSIX
+    os.register_at_fork(after_in_child=_refresh_pid)
+
+
+def _new_id() -> int:
+    """A cheap id unique across processes (pid base + local counter)."""
+    return _PID_BASE | next(_IDS)
+
+
+class SpanContext(NamedTuple):
+    """The picklable (trace, span) coordinates used for parenting.
+
+    A NamedTuple rather than a dataclass: one is minted per span on the
+    hot path, and tuple construction is several times cheaper than a
+    frozen dataclass's ``object.__setattr__`` pair.
+    """
+
+    trace_id: int
+    span_id: int
+
+
+def current_context() -> SpanContext | None:
+    """The ambient span context, or None outside any span."""
+    return _CURRENT.get()
+
+
+def attach(context: SpanContext | None):
+    """Make ``context`` ambient; returns the token for :func:`detach`.
+
+    This is the explicit handoff used where contextvars do not flow by
+    themselves: thread-pool workers and process-pool workers re-parent
+    their spans under the driver's span by attaching its context.
+    """
+    return _CURRENT.set(context)
+
+
+def detach(token) -> None:
+    """Undo a matching :func:`attach`."""
+    _CURRENT.reset(token)
+
+
+def _json_value(value):
+    """Coerce an attribute value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return repr(value)
+
+
+@dataclass(slots=True)
+class Span:
+    """One finished (or in-flight) timed section of work.
+
+    Attributes:
+        name: dotted phase name, e.g. ``"fraz.probe"``.
+        trace_id: int id shared by every span of one logical operation.
+        span_id / parent_id: tree linkage (``parent_id`` None for roots).
+        start_unix: wall-clock start (``time.time()``).
+        wall_seconds: elapsed wall time.
+        cpu_seconds: elapsed CPU time of the owning thread.
+        status: ``"ok"`` or ``"error"`` (an exception escaped the block).
+        error: ``"ExcType: message"`` when status is ``"error"``.
+        pid: process the span was recorded in.
+        attributes: free-form key/value payload (kept JSON-friendly).
+    """
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    start_unix: float
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    status: str = "ok"
+    error: str = ""
+    pid: int = 0
+    attributes: dict = field(default_factory=dict)
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes) -> None:
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe payload (the JSONL exporter's line format)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+            "error": self.error,
+            "pid": self.pid,
+            "attributes": {
+                key: _json_value(value)
+                for key, value in self.attributes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        parent_id = payload.get("parent_id")
+        return cls(
+            name=str(payload["name"]),
+            trace_id=int(payload["trace_id"]),
+            span_id=int(payload["span_id"]),
+            parent_id=None if parent_id is None else int(parent_id),
+            start_unix=float(payload.get("start_unix", 0.0)),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            cpu_seconds=float(payload.get("cpu_seconds", 0.0)),
+            status=str(payload.get("status", "ok")),
+            error=str(payload.get("error", "")),
+            pid=int(payload.get("pid", 0)),
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+class NullSpan:
+    """The do-nothing span returned when no tracer is installed.
+
+    One shared stateless instance stands in for every disabled span, so
+    an uninstrumented run pays a single attribute lookup and context
+    enter/exit per ``obs.span(...)`` call site — nothing else.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value) -> None:
+        return None
+
+    def set_attributes(self, **attributes) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager timing one span and restoring the ambient context."""
+
+    __slots__ = ("_tracer", "_parent", "span", "_token", "_tick", "_cpu")
+
+    def __init__(self, tracer: "Tracer", name: str, parent, attributes: dict):
+        self._tracer = tracer
+        self._parent = parent
+        self.span = Span(name, 0, _new_id(), None, 0.0, attributes=attributes)
+
+    def __enter__(self) -> Span:
+        parent = (
+            _CURRENT.get() if self._parent is _AMBIENT else self._parent
+        )
+        span = self.span
+        if parent is not None:
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+        else:
+            span.trace_id = _new_id()
+        span.pid = _PID
+        span.start_unix = time.time()
+        self._token = _CURRENT.set(SpanContext(span.trace_id, span.span_id))
+        self._cpu = time.thread_time()
+        self._tick = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._tick
+        cpu = time.thread_time() - self._cpu
+        span = self.span
+        span.wall_seconds = wall
+        span.cpu_seconds = cpu
+        if exc_type is not None:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        _CURRENT.reset(self._token)
+        self._tracer._append(span)
+        return False
+
+
+class Tracer:
+    """Thread-safe sink for finished spans.
+
+    One tracer per process is the intended shape (installed via
+    :func:`repro.obs.install`); pool workers run their own short-lived
+    tracer whose spans are shipped back and :meth:`absorb`\\ ed by the
+    driver's.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    def span(self, name: str, *, parent=_AMBIENT, **attributes) -> _ActiveSpan:
+        """A context manager recording one span named ``name``.
+
+        ``parent`` defaults to the ambient context; pass an explicit
+        :class:`SpanContext` for cross-boundary parenting or ``None``
+        to force a new root.
+        """
+        return _ActiveSpan(self, name, parent, attributes)
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def spans(self) -> list[Span]:
+        """A snapshot copy of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def drain(self) -> list[Span]:
+        """Pop and return every finished span (the worker-side handoff)."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+    def absorb(self, payloads) -> None:
+        """Append spans recorded elsewhere (:meth:`Span.to_dict` payloads
+        from a process worker, or plain :class:`Span` objects)."""
+        spans = [
+            Span.from_dict(p) if isinstance(p, dict) else p for p in payloads
+        ]
+        with self._lock:
+            self._spans.extend(spans)
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON object per span to ``path``; returns the count."""
+        spans = self.spans
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_dict()) + "\n")
+        return len(spans)
+
+    def summary(self, min_fraction: float = 0.0) -> str:
+        """The human-readable per-phase cost tree of the recorded spans."""
+        from repro.obs.report import render_cost_tree
+
+        return render_cost_tree(self.spans, min_fraction=min_fraction)

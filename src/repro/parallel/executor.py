@@ -33,7 +33,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
+from repro import obs
 from repro.errors import InvalidConfiguration
+from repro.obs import trace as obs_trace
 from repro.parallel.shm import SharedNDArray
 
 _BACKENDS = ("auto", "serial", "thread", "process")
@@ -85,22 +87,46 @@ def derive_seeds(master_seed: int | None, n_tasks: int) -> list[int]:
 _WORKER_STATE: dict | None = None
 
 
-def _worker_init(descriptors, fn, context) -> None:
+def _worker_init(descriptors, fn, context, handoff=None) -> None:
     global _WORKER_STATE
     handles = {
         name: SharedNDArray.attach(desc) for name, desc in descriptors.items()
     }
+    # Observability handoff. With tracing active in the driver, each
+    # worker runs its own collecting Tracer and adopts the driver's
+    # span context, so worker spans re-parent under the driver's
+    # ``parallel.map`` span once shipped back. Without it, explicitly
+    # uninstall: a fork-spawned worker inherits the driver's module
+    # globals, and recording into an inherited tracer whose spans never
+    # travel back would be silent waste.
+    tracer = None
+    if handoff is None:
+        obs.uninstall()
+        obs_trace.attach(None)
+    else:
+        tracer = obs_trace.Tracer()
+        obs.install(tracer=tracer)
+        obs_trace.attach(
+            obs_trace.SpanContext(handoff["trace_id"], handoff["parent_id"])
+        )
     _WORKER_STATE = {
         "handles": handles,
         "arrays": {name: handle.asarray() for name, handle in handles.items()},
         "fn": fn,
         "context": context,
+        "tracer": tracer,
     }
 
 
 def _worker_call(task):
     state = _WORKER_STATE
-    return state["fn"](task, state["arrays"], state["context"])
+    result = state["fn"](task, state["arrays"], state["context"])
+    tracer = state["tracer"]
+    if tracer is None:
+        return result
+    # Ship this task's spans home with its result; the driver absorbs
+    # them into its tracer (same trace id, parented under the map span).
+    return result, [span.to_dict() for span in tracer.drain()]
 
 
 class ParallelExecutor:
@@ -154,17 +180,41 @@ class ParallelExecutor:
         if not tasks:
             return []
         arrays = dict(shared) if shared else {}
+        if obs.get_tracer() is None:
+            return self._dispatch(fn, tasks, arrays, context, None)
+        with obs.span(
+            "parallel.map",
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+            n_tasks=len(tasks),
+        ):
+            return self._dispatch(
+                fn, tasks, arrays, context, obs_trace.current_context()
+            )
+
+    def _dispatch(self, fn, tasks, arrays, context, span_ctx) -> list:
         if self.backend == "serial" or len(tasks) == 1:
             return [fn(task, arrays, context) for task in tasks]
         if self.backend == "thread":
             workers = min(self.n_jobs, len(tasks))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(
-                    pool.map(lambda task: fn(task, arrays, context), tasks)
-                )
-        return self._process_map(fn, tasks, arrays, context)
 
-    def _process_map(self, fn, tasks, arrays, context) -> list:
+            def call(task):
+                if span_ctx is None:
+                    return fn(task, arrays, context)
+                # contextvars do not flow into pool threads by
+                # themselves; adopt the driver's span context so the
+                # task's spans re-parent under the map span.
+                token = obs_trace.attach(span_ctx)
+                try:
+                    return fn(task, arrays, context)
+                finally:
+                    obs_trace.detach(token)
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(call, tasks))
+        return self._process_map(fn, tasks, arrays, context, span_ctx)
+
+    def _process_map(self, fn, tasks, arrays, context, span_ctx=None) -> list:
         handles = {
             name: SharedNDArray.from_array(array)
             for name, array in arrays.items()
@@ -173,15 +223,34 @@ class ParallelExecutor:
             name: handle.descriptor for name, handle in handles.items()
         }
         workers = min(self.n_jobs, len(tasks))
+        handoff = None
+        if span_ctx is not None:
+            handoff = {
+                "trace_id": span_ctx.trace_id,
+                "parent_id": span_ctx.span_id,
+            }
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_worker_init,
-                initargs=(descriptors, fn, context),
+                initargs=(descriptors, fn, context, handoff),
             ) as pool:
                 chunksize = max(1, len(tasks) // (workers * 4))
-                return list(pool.map(_worker_call, tasks, chunksize=chunksize))
+                results = list(
+                    pool.map(_worker_call, tasks, chunksize=chunksize)
+                )
         finally:
             for handle in handles.values():
                 handle.close()
                 handle.unlink()
+        if handoff is None:
+            return results
+        # Workers returned (result, spans) pairs; unwrap in task order
+        # and absorb the shipped spans into the driver's tracer.
+        tracer = obs.get_tracer()
+        out = []
+        for result, payloads in results:
+            out.append(result)
+            if tracer is not None:
+                tracer.absorb(payloads)
+        return out

@@ -117,6 +117,17 @@ class CompressionMemoCache:
                 "hit_ratio": self.hit_ratio,
             }
 
+    def register_metrics(self, registry, subsystem: str = "memo") -> None:
+        """Expose the counters as ``repro_<subsystem>_*`` gauges.
+
+        Pull-model (see :func:`repro.obs.bind_cache_gauges`): the
+        gauges refresh when the registry exports, so ``get``/``put``
+        stay untouched.
+        """
+        from repro.obs import bind_cache_gauges
+
+        bind_cache_gauges(registry, subsystem, self)
+
     # -- keying ---------------------------------------------------------------
 
     @staticmethod

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.fraz import FRaZ
 from repro.core.adjustment import adjusted_ratio, nonconstant_fraction
 from repro.core.features import extract_features
@@ -196,26 +197,34 @@ class GuardedInferenceEngine:
 
     def analyze(self, data: np.ndarray) -> GuardedAnalysis:
         """Validate ``data`` and run the target-independent analysis once."""
-        start = time.perf_counter()
-        report = validate_field(data)
-        features = extract_features(
-            report.data, stride=self.config.sampling_stride
-        ).selected()
-        nonconstant = (
-            nonconstant_fraction(
-                report.data,
-                block_size=self.config.block_size,
-                lam=self.config.lam,
+        with obs.span("guarded.analyze") as span:
+            start = time.perf_counter()
+            with obs.span("guarded.validate"):
+                report = validate_field(data)
+            span.set_attribute("issues", len(report.issues))
+            features = extract_features(
+                report.data, stride=self.config.sampling_stride
+            ).selected()
+            if self.config.use_adjustment:
+                # Named like the plain engine's phase so obs-report
+                # aggregates the adjustment cost across both paths.
+                with obs.span(
+                    "inference.adjustment",
+                    block_size=int(self.config.block_size),
+                ):
+                    nonconstant = nonconstant_fraction(
+                        report.data,
+                        block_size=self.config.block_size,
+                        lam=self.config.lam,
+                    )
+            else:
+                nonconstant = 1.0
+            return GuardedAnalysis(
+                report=report,
+                features=features,
+                nonconstant=nonconstant,
+                seconds=time.perf_counter() - start,
             )
-            if self.config.use_adjustment
-            else 1.0
-        )
-        return GuardedAnalysis(
-            report=report,
-            features=features,
-            nonconstant=nonconstant,
-            seconds=time.perf_counter() - start,
-        )
 
     def estimate(
         self,
@@ -243,6 +252,42 @@ class GuardedInferenceEngine:
         if not math.isfinite(target_ratio) or target_ratio <= 0:
             raise InvalidConfiguration("target ratio must be finite and > 0")
 
+        with obs.span(
+            "guarded.estimate", target_ratio=target_ratio
+        ) as span:
+            try:
+                estimate = self._estimate_body(data, target_ratio, analysis)
+            except (OutOfDistributionError, FallbackExhaustedError):
+                registry = obs.get_registry()
+                if registry is not None:
+                    registry.counter(
+                        "repro_guarded_exhausted_total",
+                        "guarded estimates whose ladder exhausted",
+                    ).inc()
+                raise
+            span.set_attributes(
+                tier=estimate.tier,
+                confidence=estimate.confidence,
+                config=estimate.config,
+            )
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_guarded_tier_total", "guarded answers by tier"
+            ).inc(tier=estimate.tier)
+            if estimate.tier != "model":
+                registry.counter(
+                    "repro_guarded_fallbacks_total",
+                    "guarded answers produced by a fallback tier",
+                ).inc()
+        return estimate
+
+    def _estimate_body(
+        self,
+        data: np.ndarray,
+        target_ratio: float,
+        analysis: GuardedAnalysis | None,
+    ) -> Estimate:
         start = time.perf_counter()
         if analysis is None:
             analysis = self.analyze(data)
@@ -251,9 +296,11 @@ class GuardedInferenceEngine:
         nonconstant = analysis.nonconstant
         acr = adjusted_ratio(float(target_ratio), nonconstant)
 
-        confidence_report = score_confidence(
-            self.model, self.envelope, np.concatenate((features, [acr]))
-        )
+        with obs.span("guarded.confidence") as conf_span:
+            confidence_report = score_confidence(
+                self.model, self.envelope, np.concatenate((features, [acr]))
+            )
+            conf_span.set_attribute("score", confidence_report.score)
         confidence = confidence_report.score
         if report.issues:
             # A patched or degenerate field is evidence the model never
@@ -275,43 +322,55 @@ class GuardedInferenceEngine:
         tier = ""
         fallback_reason = ""
         for rung in _LADDERS[self.fallback]:
-            if rung == "model":
-                if confidence < self.min_confidence:
-                    fallback_reason = (
-                        f"model confidence {confidence:.2f} < "
-                        f"{self.min_confidence:.2f} ({'; '.join(reasons)})"
-                    )
-                    continue
-                try:
-                    candidate = self._model_config(features, acr)
-                except InvalidConfiguration as exc:
-                    fallback_reason = f"model produced unusable config ({exc})"
-                    continue
-                if not _usable(candidate):
-                    fallback_reason = f"model produced unusable config {candidate!r}"
-                    continue
-                config, tier = candidate, "model"
-                break
-            if rung == "curve":
-                candidate = self._curve_config(features, acr)
-                if candidate is None:
-                    fallback_reason += (
-                        "; target outside every training curve's range"
-                    )
-                    continue
-                config, tier = candidate, "curve"
-                break
-            if rung == "fraz":
-                try:
-                    candidate = self._fraz_config(report.data, float(target_ratio))
-                except ReproError as exc:
-                    fallback_reason += f"; FRaZ search failed: {exc}"
-                    continue
-                if not _usable(candidate):
-                    fallback_reason += f"; FRaZ produced unusable config {candidate!r}"
-                    continue
-                config, tier = candidate, "fraz"
-                break
+            with obs.span(
+                "guarded.tier", tier=rung, accepted=False
+            ) as rung_span:
+                if rung == "model":
+                    if confidence < self.min_confidence:
+                        fallback_reason = (
+                            f"model confidence {confidence:.2f} < "
+                            f"{self.min_confidence:.2f} ({'; '.join(reasons)})"
+                        )
+                        continue
+                    try:
+                        candidate = self._model_config(features, acr)
+                    except InvalidConfiguration as exc:
+                        fallback_reason = f"model produced unusable config ({exc})"
+                        continue
+                    if not _usable(candidate):
+                        fallback_reason = (
+                            f"model produced unusable config {candidate!r}"
+                        )
+                        continue
+                    config, tier = candidate, "model"
+                    rung_span.set_attribute("accepted", True)
+                    break
+                if rung == "curve":
+                    candidate = self._curve_config(features, acr)
+                    if candidate is None:
+                        fallback_reason += (
+                            "; target outside every training curve's range"
+                        )
+                        continue
+                    config, tier = candidate, "curve"
+                    rung_span.set_attribute("accepted", True)
+                    break
+                if rung == "fraz":
+                    try:
+                        candidate = self._fraz_config(
+                            report.data, float(target_ratio)
+                        )
+                    except ReproError as exc:
+                        fallback_reason += f"; FRaZ search failed: {exc}"
+                        continue
+                    if not _usable(candidate):
+                        fallback_reason += (
+                            f"; FRaZ produced unusable config {candidate!r}"
+                        )
+                        continue
+                    config, tier = candidate, "fraz"
+                    rung_span.set_attribute("accepted", True)
+                    break
 
         if config is None:
             detail = fallback_reason.lstrip("; ") or "no tier produced a config"

@@ -6,6 +6,25 @@ current state into an immutable :class:`MetricsSnapshot` that the CLI
 ``--stats`` view and the throughput benchmark render. Latencies keep a
 bounded window (the most recent ``latency_window`` requests) so a
 long-lived service never grows without bound.
+
+Two representation rules worth spelling out:
+
+* **No data is not zero.** The latency aggregates are ``None`` (and
+  render as ``n/a``) when the window is empty — a service that has only
+  ever failed requests must not report a 0.00 ms p95.
+* **Failures are labeled, not folded in.** A failed request counts
+  toward ``requests_total``/``requests_failed`` only; its latency never
+  enters the window, so the percentiles describe successful service
+  latency exclusively.
+
+When a process-wide :class:`repro.obs.MetricsRegistry` is installed
+(or passed as ``registry=``), the recorder mirrors every event into
+namespaced metrics — ``repro_serving_requests_total{outcome=}``,
+``repro_serving_latency_seconds{outcome=}`` (histogram),
+``repro_serving_batches_total``, ``repro_serving_batched_requests_total``,
+``repro_serving_tier_total{tier=}``,
+``repro_serving_analysis_seconds_total`` — so the serving numbers
+export alongside the rest of the pipeline's.
 """
 
 from __future__ import annotations
@@ -13,12 +32,18 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 #: Ladder tiers a request can be answered from (plus "error").
 TIERS = ("model", "curve", "fraz")
+
+
+def _ms(value: "float | None") -> str:
+    return "n/a" if value is None else f"{value:.2f}ms"
 
 
 @dataclass(frozen=True)
@@ -37,9 +62,12 @@ class MetricsSnapshot:
         fallback_count: requests the model tier did *not* answer
             (degraded to curve/fraz) — the guarded ladder's degradation
             counter.
-        latency_count: requests inside the retained latency window.
+        latency_count: successful requests inside the retained latency
+            window (failures never enter it).
         latency_mean_ms / latency_p50_ms / latency_p95_ms /
-        latency_max_ms: submit-to-completion latency over that window.
+        latency_max_ms: submit-to-completion latency over that window,
+            or ``None`` when no successful request has been recorded —
+            "no data" is distinct from a true 0 ms.
         analysis_seconds_total: engine-reported per-request analysis
             time, summed (the amortized-cost numerator).
         uptime_seconds: service age at snapshot time.
@@ -56,10 +84,10 @@ class MetricsSnapshot:
     tier_counts: dict[str, int]
     fallback_count: int
     latency_count: int
-    latency_mean_ms: float
-    latency_p50_ms: float
-    latency_p95_ms: float
-    latency_max_ms: float
+    latency_mean_ms: float | None
+    latency_p50_ms: float | None
+    latency_p95_ms: float | None
+    latency_max_ms: float | None
     analysis_seconds_total: float
     uptime_seconds: float
 
@@ -78,18 +106,28 @@ class MetricsSnapshot:
             f"(hit ratio {self.cache_hit_ratio:.0%}, "
             f"{self.cache_evictions} evicted)",
             f"tiers           {tiers} (fallbacks {self.fallback_count})",
-            f"latency         mean {self.latency_mean_ms:.2f}ms, "
-            f"p50 {self.latency_p50_ms:.2f}ms, p95 {self.latency_p95_ms:.2f}ms, "
-            f"max {self.latency_max_ms:.2f}ms over {self.latency_count} requests",
+            f"latency         mean {_ms(self.latency_mean_ms)}, "
+            f"p50 {_ms(self.latency_p50_ms)}, p95 {_ms(self.latency_p95_ms)}, "
+            f"max {_ms(self.latency_max_ms)} over {self.latency_count} requests",
             f"analysis time   {self.analysis_seconds_total * 1e3:.1f}ms total",
             f"uptime          {self.uptime_seconds:.1f}s",
         ]
 
 
 class MetricsRecorder:
-    """Thread-safe accumulator behind a service's ``metrics`` property."""
+    """Thread-safe accumulator behind a service's ``metrics`` property.
 
-    def __init__(self, latency_window: int = 4096) -> None:
+    Args:
+        latency_window: successful-request latencies retained for the
+            percentile view.
+        registry: a :class:`repro.obs.MetricsRegistry` to mirror events
+            into; defaults to the process-wide installed registry (or
+            no mirroring when none is installed).
+    """
+
+    def __init__(
+        self, latency_window: int = 4096, registry=None
+    ) -> None:
         self._lock = threading.Lock()
         self._start = time.perf_counter()
         self._requests_total = 0
@@ -100,11 +138,57 @@ class MetricsRecorder:
         self._fallbacks = 0
         self._latencies: deque[float] = deque(maxlen=int(latency_window))
         self._analysis_seconds = 0.0
+        if registry is None:
+            registry = obs.get_registry()
+        self._requests_metric = self._latency_metric = None
+        self._batches_metric = self._batched_metric = None
+        self._tier_metric = self._analysis_metric = None
+        if registry is not None:
+            self._requests_metric = registry.counter(
+                "repro_serving_requests_total",
+                "estimation requests by outcome",
+            )
+            self._latency_metric = registry.histogram(
+                "repro_serving_latency_seconds",
+                "request submit-to-completion latency",
+            )
+            self._batches_metric = registry.counter(
+                "repro_serving_batches_total",
+                "dataset-coalesced batches processed",
+            )
+            self._batched_metric = registry.counter(
+                "repro_serving_batched_requests_total",
+                "requests processed through batches",
+            )
+            self._tier_metric = registry.counter(
+                "repro_serving_tier_total",
+                "successful requests by answering tier",
+            )
+            self._analysis_metric = registry.counter(
+                "repro_serving_analysis_seconds_total",
+                "engine-reported analysis seconds, summed",
+            )
+            # Pre-bound series handles: the per-request mirror runs on
+            # the serving hot path, so the label keys are resolved once
+            # here instead of on every event.
+            self._requests_ok = self._requests_metric.bind(outcome="ok")
+            self._requests_error = self._requests_metric.bind(outcome="error")
+            self._latency_ok = self._latency_metric.bind(outcome="ok")
+            self._latency_error = self._latency_metric.bind(outcome="error")
+            self._tier_bound = {
+                tier: self._tier_metric.bind(tier=tier) for tier in TIERS
+            }
+            self._analysis_bound = self._analysis_metric.bind()
+            self._batches_bound = self._batches_metric.bind()
+            self._batched_bound = self._batched_metric.bind()
 
     def record_batch(self, size: int) -> None:
         with self._lock:
             self._batches += 1
             self._batched_requests += int(size)
+        if self._batches_metric is not None:
+            self._batches_bound.inc()
+            self._batched_bound.inc(int(size))
 
     def record_request(
         self,
@@ -115,15 +199,32 @@ class MetricsRecorder:
     ) -> None:
         with self._lock:
             self._requests_total += 1
-            self._latencies.append(float(latency_seconds))
             if failed:
+                # Failures are counted, not timed: folding their
+                # latency into the window would let errors skew (or
+                # fabricate) the service's latency percentiles.
                 self._requests_failed += 1
-                return
-            self._analysis_seconds += float(analysis_seconds)
-            if tier:
-                self._tier_counts[tier] += 1
-                if tier != "model":
-                    self._fallbacks += 1
+            else:
+                self._latencies.append(float(latency_seconds))
+                self._analysis_seconds += float(analysis_seconds)
+                if tier:
+                    self._tier_counts[tier] += 1
+                    if tier != "model":
+                        self._fallbacks += 1
+        if self._requests_metric is not None:
+            if failed:
+                self._requests_error.inc()
+                self._latency_error.observe(float(latency_seconds))
+            else:
+                self._requests_ok.inc()
+                self._latency_ok.observe(float(latency_seconds))
+                if tier:
+                    bound = self._tier_bound.get(tier)
+                    if bound is not None:
+                        bound.inc()
+                    else:
+                        self._tier_metric.inc(tier=tier)
+                self._analysis_bound.inc(float(analysis_seconds))
 
     def snapshot(self, cache=None) -> MetricsSnapshot:
         """Freeze the counters; ``cache`` supplies hit/miss/eviction."""
@@ -154,14 +255,14 @@ class MetricsRecorder:
             tier_counts=tier_counts,
             fallback_count=fallbacks,
             latency_count=int(latencies.size),
-            latency_mean_ms=float(latencies.mean() * 1e3) if has_latency else 0.0,
+            latency_mean_ms=float(latencies.mean() * 1e3) if has_latency else None,
             latency_p50_ms=(
-                float(np.percentile(latencies, 50) * 1e3) if has_latency else 0.0
+                float(np.percentile(latencies, 50) * 1e3) if has_latency else None
             ),
             latency_p95_ms=(
-                float(np.percentile(latencies, 95) * 1e3) if has_latency else 0.0
+                float(np.percentile(latencies, 95) * 1e3) if has_latency else None
             ),
-            latency_max_ms=float(latencies.max() * 1e3) if has_latency else 0.0,
+            latency_max_ms=float(latencies.max() * 1e3) if has_latency else None,
             analysis_seconds_total=analysis_seconds,
             uptime_seconds=uptime,
         )

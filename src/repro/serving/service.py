@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.inference import Estimate, InferenceEngine
 from repro.core.pipeline import FXRZ
 from repro.errors import InvalidConfiguration, NotFittedError, ReproError
@@ -107,6 +108,9 @@ class EstimationService:
         self.max_batch = int(max_batch)
         self.cache = FeatureCache(max_entries=cache_entries)
         self._metrics = MetricsRecorder(latency_window=latency_window)
+        registry = obs.get_registry()
+        if registry is not None:
+            obs.bind_cache_gauges(registry, "serving_feature_cache", self.cache)
         self._pending: OrderedDict[str, deque[_Pending]] = OrderedDict()
         self._cond = threading.Condition()
         self._closed = False
@@ -257,11 +261,20 @@ class EstimationService:
 
     def _serve_batch(self, key: str, batch: list[_Pending]) -> None:
         self._metrics.record_batch(len(batch))
-        for item in batch:
+        with obs.span("serving.batch", batch_size=len(batch)):
+            for item in batch:
+                self._serve_one(key, item, len(batch))
+
+    def _serve_one(self, key: str, item: _Pending, batch_size: int) -> None:
+        with obs.span(
+            "serving.request",
+            target_ratio=float(item.request.target_ratio),
+        ) as span:
             try:
                 analysis, hit = self.cache.get_or_compute(
                     key, lambda: self.engine.analyze(item.request.data)
                 )
+                span.set_attribute("cache_hit", hit)
                 estimate = self.engine.estimate(
                     item.request.data,
                     float(item.request.target_ratio),
@@ -271,7 +284,8 @@ class EstimationService:
                 latency = time.perf_counter() - item.submitted
                 self._metrics.record_request(latency, failed=True)
                 item.future.set_exception(exc)
-                continue
+                return
+            span.set_attribute("tier", estimate.tier)
             latency = time.perf_counter() - item.submitted
             self._metrics.record_request(
                 latency,
@@ -285,6 +299,6 @@ class EstimationService:
                     estimate=estimate,
                     latency_seconds=latency,
                     cache_hit=hit,
-                    batch_size=len(batch),
+                    batch_size=batch_size,
                 )
             )

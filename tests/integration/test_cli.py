@@ -109,3 +109,100 @@ class TestCommands:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.mark.obs
+class TestObservabilityFlags:
+    @pytest.fixture(scope="class")
+    def model(self, npy_files):
+        train_paths, _, root = npy_files
+        model = str(root / "obs-model.npz")
+        assert main(
+            ["train", *train_paths, "--model", model,
+             "--stationary-points", "8", "--augmented-samples", "50"]
+        ) == 0
+        return model
+
+    def test_estimate_trace_and_metrics(self, npy_files, model, tmp_path, capsys):
+        from repro import obs
+
+        _, test_path, _ = npy_files
+        trace = str(tmp_path / "trace.jsonl")
+        metrics = str(tmp_path / "metrics.txt")
+        assert main(
+            ["estimate", test_path, "--model", model, "--ratio", "6",
+             "--trace", trace, "--metrics", metrics]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "estimated config" in captured.out
+        assert f"wrote" in captured.err and trace in captured.err
+        # main() must restore the disabled state for in-process callers.
+        assert obs.get_tracer() is None and obs.get_registry() is None
+
+        spans = obs.load_trace(trace)
+        names = {s.name for s in spans}
+        for phase in (
+            "cli.estimate",
+            "guarded.estimate",
+            "guarded.analyze",
+            "features.extract",
+            "guarded.confidence",
+            "guarded.tier",
+        ):
+            assert phase in names
+        # Every phase hangs off the single command-root span.
+        [root_span] = [s for s in spans if s.parent_id is None]
+        assert root_span.name == "cli.estimate"
+
+        text = open(metrics).read()
+        assert "repro_guarded_tier_total" in text
+
+    def test_obs_report_renders_cost_tree(self, npy_files, model, tmp_path, capsys):
+        _, test_path, _ = npy_files
+        trace = str(tmp_path / "report-trace.jsonl")
+        assert main(
+            ["estimate", test_path, "--model", model, "--ratio", "6",
+             "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs-report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "wall" in out
+        assert "cli.estimate" in out
+        assert "features.extract" in out
+
+    def test_trace_flag_on_search(self, npy_files, tmp_path, capsys):
+        from repro import obs
+
+        _, test_path, _ = npy_files
+        trace = str(tmp_path / "search-trace.jsonl")
+        metrics = str(tmp_path / "search-metrics.txt")
+        assert main(
+            ["search", test_path, "--ratio", "5", "--iterations", "6",
+             "--trace", trace, "--metrics", metrics]
+        ) == 0
+        capsys.readouterr()
+        names = {s.name for s in obs.load_trace(trace)}
+        assert "fraz.search" in names and "fraz.probe" in names
+        text = open(metrics).read()
+        assert "repro_fraz_searches_total 1" in text
+        assert 'repro_fraz_probes_total{source="run"}' in text
+
+    def test_train_trace_records_profiled_fit(self, npy_files, tmp_path, capsys):
+        from repro import obs
+
+        train_paths, _, _ = npy_files
+        model = str(tmp_path / "m.npz")
+        trace = str(tmp_path / "train-trace.jsonl")
+        assert main(
+            ["train", *train_paths, "--model", model,
+             "--stationary-points", "6", "--augmented-samples", "40",
+             "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+        spans = obs.load_trace(trace)
+        [fit] = [s for s in spans if s.name == "training.fit"]
+        assert fit.attributes["n_datasets"] == 2
+        assert "rss_after_bytes" in fit.attributes
+        assert any(s.name == "augmentation.build_curve" for s in spans)
+        assert any(s.name == "compressor.compress" for s in spans)

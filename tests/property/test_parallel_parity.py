@@ -116,3 +116,61 @@ class TestTiledParity:
             assert par.blob.config == ser.blob.config
             assert par.blob.data == ser.blob.data
         assert parallel.measured_ratio == serial.measured_ratio
+
+
+def _explode(task, arrays, context):  # pragma: no cover - runs in workers
+    raise RuntimeError(f"task {task} failed")
+
+
+@pytest.mark.obs
+class TestSpanTreeParity:
+    """Cross-process span re-parenting: the trace must not depend on n_jobs.
+
+    A process-pool sweep records its per-task compressor spans in the
+    workers, ships them back with the results, and re-parents them under
+    the driver's ``parallel.map`` span — so serial and 4-worker runs of
+    the same sweep must produce the same span tree *shape* (sibling
+    order aside, which worker scheduling legitimately permutes).
+    """
+
+    def _sweep_shape(self, field, jobs):
+        from repro import obs
+
+        sz = get_compressor("sz")
+        with obs.session() as (tracer, _registry):
+            executor = ParallelExecutor(n_jobs=jobs, backend="process")
+            build_curve(sz, field, n_points=6, executor=executor)
+            spans = tracer.spans
+        return spans, obs.tree_shape(spans)
+
+    def test_process_pool_sweep_matches_serial_shape(self, field):
+        serial_spans, serial_shape = self._sweep_shape(field, 1)
+        pool_spans, pool_shape = self._sweep_shape(field, 4)
+        assert pool_shape == serial_shape
+        # Same span population too, not just a coincidentally equal tree.
+        assert len(pool_spans) == len(serial_spans)
+        compress_spans = [
+            s for s in pool_spans if s.name == "compressor.compress"
+        ]
+        assert len(compress_spans) == 6
+        # The pool run's compressor spans really came from workers and
+        # were re-parented into the driver's trace.
+        driver_pid = next(
+            s.pid for s in pool_spans if s.name == "parallel.map"
+        )
+        assert any(s.pid != driver_pid for s in compress_spans)
+        # One logical operation, one trace id — worker spans included.
+        assert len({s.trace_id for s in pool_spans}) == 1
+
+    def test_worker_failure_marks_map_span(self, field):
+        from repro import obs
+
+        with obs.session() as (tracer, _registry):
+            executor = ParallelExecutor(n_jobs=4, backend="process")
+            with pytest.raises(RuntimeError):
+                executor.map(_explode, [1, 2, 3, 4])
+            [map_span] = [
+                s for s in tracer.spans if s.name == "parallel.map"
+            ]
+        assert map_span.status == "error"
+        assert "RuntimeError" in map_span.error
