@@ -1,7 +1,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness parallel obs bench bench-parallel serve-smoke trace-smoke
+.PHONY: test robustness parallel obs runtime runtime-smoke bench bench-parallel serve-smoke trace-smoke
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
@@ -34,6 +34,19 @@ obs:
 # rendered cost tree accounts for the measured wall time within 5%.
 trace-smoke:
 	PYTHONPATH=src $(PY) examples/trace_smoke.py
+
+# Runtime gate: the runtime-marked tests (config layering, context
+# lifecycle, ctx parity, CLI teardown) with DeprecationWarnings promoted
+# to errors — the ctx= paths must never trip a legacy shim, and shims
+# must warn exactly once where the tests expect them to.
+runtime:
+	$(PYTEST) -x -q -W error::DeprecationWarning -m runtime
+
+# Runtime smoke: one RuntimeContext drives train + serve + search end
+# to end, then the teardown contract is asserted (trace/metrics files
+# written, pool gone, closed context refuses work).
+runtime-smoke:
+	PYTHONPATH=src $(PY) examples/runtime_smoke.py
 
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q

@@ -38,7 +38,8 @@ from repro.core.augmentation import build_curve
 from repro.baselines.fraz import FRaZ
 from repro.experiments.tables import render_table
 from repro.ml.forest import RandomForestRegressor
-from repro.parallel import CompressionMemoCache, ParallelExecutor, available_cpus
+from repro.parallel import CompressionMemoCache, available_cpus
+from repro.runtime import RuntimeContext
 
 FULL = os.environ.get("FXRZ_BENCH_PARALLEL_FULL", "") not in ("", "0")
 GRID = 256 if FULL else 64
@@ -66,21 +67,24 @@ def test_parallel_scaling(benchmark, report):
     reference = None
     serial_cold = None
     for jobs in JOBS_LEVELS:
-        memo = CompressionMemoCache()
-        executor = (
-            ParallelExecutor(n_jobs=jobs, backend="process") if jobs > 1 else None
-        )
+        cold_ctx = RuntimeContext(env={}, jobs=jobs)
         tick = time.perf_counter()
         cold_curve = build_curve(
-            sz, data, n_points=N_POINTS, executor=executor,
-            memo=memo, fingerprint=fingerprint,
+            sz, data, n_points=N_POINTS, ctx=cold_ctx, fingerprint=fingerprint
         )
         cold = time.perf_counter() - tick
+        # The warm pass answers from the memo alone: a serial context
+        # borrowing the cold session's memo keeps the pool out of the
+        # timing (and out of the memo path — hits resolve in-driver).
+        memo = cold_ctx.memo
+        warm_ctx = RuntimeContext(env={}, memo=memo)
         tick = time.perf_counter()
         warm_curve = build_curve(
-            sz, data, n_points=N_POINTS, memo=memo, fingerprint=fingerprint
+            sz, data, n_points=N_POINTS, ctx=warm_ctx, fingerprint=fingerprint
         )
         warm = time.perf_counter() - tick
+        cold_ctx.close()
+        warm_ctx.close()
 
         if reference is None:
             reference = cold_curve
@@ -136,24 +140,22 @@ def test_parallel_scaling(benchmark, report):
     )
 
     # -- 3. FRaZ memo reuse: the second search must hit -----------------------
-    # Run with a live metrics registry: the memo publishes its counters
-    # as repro_memo_* gauges and FRaZ flushes per-source probe counts.
-    memo = CompressionMemoCache()
+    # Run under a RuntimeContext carrying a live metrics registry: the
+    # session memo registers its repro_memo_* gauges on first use, the
+    # context makes the registry ambient for FRaZ's probe counters, and
+    # both searches draw the same memo from the session.
     registry = obs.MetricsRegistry()
-    memo.register_metrics(registry)
     curve = reference
     target = float(np.sqrt(np.prod(curve.ratio_range)))
-    obs.install(registry=registry)
-    try:
+    with RuntimeContext(env={}, registry=registry) as ctx:
+        memo = ctx.memo
         tick = time.perf_counter()
-        first = FRaZ(sz, max_iterations=6, memo=memo).search(data, target)
+        first = FRaZ(sz, max_iterations=6, ctx=ctx).search(data, target)
         fraz_first = time.perf_counter() - tick
         hits_before = memo.hits
         tick = time.perf_counter()
-        second = FRaZ(sz, max_iterations=6, memo=memo).search(data, target)
+        second = FRaZ(sz, max_iterations=6, ctx=ctx).search(data, target)
         fraz_second = time.perf_counter() - tick
-    finally:
-        obs.uninstall()
     fraz_hits = memo.hits - hits_before
     assert fraz_hits >= 1, "repeat FRaZ search must hit the shared memo"
     assert second.evaluations == first.evaluations
@@ -243,10 +245,12 @@ def test_parallel_scaling(benchmark, report):
     )
 
     # The steady-state op the layer optimizes for: a fully memo-warm sweep.
-    warm_memo = CompressionMemoCache()
-    build_curve(sz, data, n_points=N_POINTS, memo=warm_memo, fingerprint=fingerprint)
-    benchmark(
-        lambda: build_curve(
-            sz, data, n_points=N_POINTS, memo=warm_memo, fingerprint=fingerprint
+    with RuntimeContext(env={}) as steady_ctx:
+        build_curve(
+            sz, data, n_points=N_POINTS, ctx=steady_ctx, fingerprint=fingerprint
         )
-    )
+        benchmark(
+            lambda: build_curve(
+                sz, data, n_points=N_POINTS, ctx=steady_ctx, fingerprint=fingerprint
+            )
+        )

@@ -38,6 +38,25 @@ _OVERHEAD_JSON = (
 )
 
 
+def _merge_overhead_json(update: dict) -> None:
+    """Merge ``update`` into the repo-root overhead report.
+
+    The tracing guard and the context guard each own a top-level key;
+    merging (instead of rewriting) lets either bench run alone without
+    clobbering the other's most recent numbers.
+    """
+    existing: dict = {}
+    if _OVERHEAD_JSON.is_file():
+        try:
+            existing = json.loads(_OVERHEAD_JSON.read_text())
+        except ValueError:
+            existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    existing.update(update)
+    _OVERHEAD_JSON.write_text(json.dumps(existing, indent=2) + "\n")
+
+
 def test_serving_throughput(benchmark, report):
     pipeline = get_trained_fxrz("hurricane", "TC", "sz", config=BENCH_CONFIG)
     snapshot = held_out_snapshots("hurricane", "TC")[0]
@@ -247,9 +266,9 @@ def test_tracing_overhead_guard(report):
         )
     )
 
-    _OVERHEAD_JSON.write_text(
-        json.dumps(
-            {
+    _merge_overhead_json(
+        {
+            "tracing_overhead": {
                 "batch_size": batch_size,
                 "rounds_per_trial": rounds,
                 "trials": trials,
@@ -264,14 +283,127 @@ def test_tracing_overhead_guard(report):
                     "min over trials of aggregate overhead <= 5% "
                     "(rps_traced >= 0.95 * rps_plain)"
                 ),
-            },
-            indent=2,
-        )
-        + "\n"
+            }
+        }
     )
 
     assert overhead <= 0.05, (
         f"tracing overhead {overhead * 100:.1f}% in the best of {trials} "
         f"trials ({rounds} alternating rounds each) exceeds the 5% "
         "req/s budget"
+    )
+
+
+def test_context_overhead_guard(report):
+    """A context-per-request anti-pattern must stay cheap to forgive.
+
+    The runtime layer's sales pitch is one shared session per process,
+    but embedders will inevitably build a fresh ``RuntimeContext`` per
+    request (web handlers, notebook cells). This guard pins that the
+    build + engine wiring + close cycle costs at most ~15% of a ~2 ms
+    guarded estimate — i.e. construction stays allocation-cheap with no
+    hidden pool spin-up or file I/O on the serial path. The same
+    alternating best-of-trials design as the tracing guard absorbs
+    shared-host load drift: per round, one side serves a 16-request
+    burst drawing every engine from one shared session while the other
+    builds (and closes) a context per request, order alternating; the
+    minimum trial overhead is guarded.
+    """
+    from repro.robustness import GuardedInferenceEngine
+    from repro.runtime import RuntimeContext
+
+    pipeline = get_trained_fxrz("hurricane", "TC", "sz", config=BENCH_CONFIG)
+    snapshot = held_out_snapshots("hurricane", "TC")[0]
+    lo, hi = pipeline.trained_ratio_range(snapshot.data)
+    burst, rounds, trials = 16, 40, 3
+    targets = [float(t) for t in np.linspace(lo * 1.05, hi * 0.95, burst)]
+    analysis = pipeline.estimate_config(snapshot.data, targets[0])  # warm features
+    del analysis
+
+    shared_ctx = RuntimeContext(env={})
+
+    def run_shared() -> float:
+        tick = time.perf_counter()
+        for target in targets:
+            engine = GuardedInferenceEngine(pipeline, ctx=shared_ctx)
+            engine.estimate(snapshot.data, target)
+        return time.perf_counter() - tick
+
+    def run_per_request() -> float:
+        tick = time.perf_counter()
+        for target in targets:
+            with RuntimeContext(env={}) as ctx:
+                engine = GuardedInferenceEngine(pipeline, ctx=ctx)
+                engine.estimate(snapshot.data, target)
+        return time.perf_counter() - tick
+
+    def run_trial() -> tuple[float, float]:
+        shared_seconds = fresh_seconds = 0.0
+        for round_index in range(rounds):
+            if round_index % 2 == 0:
+                shared_seconds += run_shared()
+                fresh_seconds += run_per_request()
+            else:
+                fresh_seconds += run_per_request()
+                shared_seconds += run_shared()
+        return shared_seconds, fresh_seconds
+
+    try:
+        run_shared()  # warm both code paths
+        run_per_request()
+        trial_seconds = [run_trial() for _ in range(trials)]
+    finally:
+        shared_ctx.close()
+
+    total_requests = rounds * burst
+    ratios = [shared / fresh for shared, fresh in trial_seconds]
+    best = max(range(trials), key=lambda index: ratios[index])
+    shared_seconds, fresh_seconds = trial_seconds[best]
+    rps_shared = total_requests / shared_seconds
+    rps_fresh = total_requests / fresh_seconds
+    ratio = ratios[best]
+
+    report(
+        render_table(
+            ["variant", "req/s (best trial)", "rounds/trial"],
+            [
+                ["shared context", f"{rps_shared:.0f}", str(rounds)],
+                ["context per request", f"{rps_fresh:.0f}", str(rounds)],
+                [
+                    "throughput ratio per trial",
+                    " / ".join(f"{r:.3f}" for r in ratios),
+                    "",
+                ],
+            ],
+            title=(
+                "RuntimeContext construction overhead - per-request "
+                "build/close vs one shared session"
+            ),
+        )
+    )
+
+    _merge_overhead_json(
+        {
+            "context_overhead": {
+                "burst_size": burst,
+                "rounds_per_trial": rounds,
+                "trials": trials,
+                "requests_per_side_per_trial": total_requests,
+                "trial_seconds": [list(pair) for pair in trial_seconds],
+                "throughput_ratios": ratios,
+                "throughput_ratio_best": ratio,
+                "rps_shared_best_trial": rps_shared,
+                "rps_context_per_request_best_trial": rps_fresh,
+                "guard": (
+                    "max over trials of (context-per-request req/s / "
+                    "shared-context req/s) >= 0.85"
+                ),
+            }
+        }
+    )
+
+    assert ratio >= 0.85, (
+        f"context-per-request throughput is {ratio:.3f} of the shared-"
+        f"session throughput in the best of {trials} trials; context "
+        "construction must stay under ~15% of a guarded estimate"
     )

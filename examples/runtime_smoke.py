@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Runtime-session smoke test: one context drives train + serve + search.
+
+The end-to-end path ``make runtime-smoke`` exercises:
+
+1. build one ``RuntimeContext`` (2 workers, trace + metrics export);
+2. under it, train an FXRZ pipeline, serve a small batch through the
+   estimation service, and run a FRaZ baseline search — all drawing
+   their executor/memo/tracer/registry from the same session;
+3. exit the context and assert the teardown contract: the trace and
+   metrics files exist and are non-empty, the worker pool is gone, and
+   the closed context refuses further work.
+
+Run:
+    python examples/runtime_smoke.py
+"""
+
+import multiprocessing
+import pathlib
+import sys
+import tempfile
+
+import numpy as np
+
+import repro
+from repro import obs
+from repro.baselines.fraz import FRaZ
+from repro.compressors import get_compressor
+from repro.errors import InvalidConfiguration
+from repro.serving import EstimateRequest, EstimationService
+
+
+def main(argv=None) -> int:
+    rng = np.random.default_rng(0)
+    lin = np.linspace(0, 4 * np.pi, 20)
+    x, y, _ = np.meshgrid(lin, lin, lin, indexing="ij")
+    fields = [
+        (
+            np.sin(x + 0.4 * i) * np.cos(y)
+            + (0.02 + 0.01 * i) * rng.standard_normal((20,) * 3)
+        ).astype(np.float32)
+        for i in range(4)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="fxrz-runtime-") as tmp:
+        root = pathlib.Path(tmp)
+        trace = root / "trace.jsonl"
+        metrics = root / "metrics.txt"
+        ctx = repro.RuntimeContext(
+            env={}, jobs=2, trace=str(trace), metrics=str(metrics)
+        )
+        with ctx:
+            config = repro.FXRZConfig(stationary_points=8, augmented_samples=60)
+            pipeline = repro.FXRZ(get_compressor("sz"), config=config, ctx=ctx)
+            pipeline.fit(fields[:3])
+            print(f"trained under ctx (jobs={ctx.config.jobs})")
+
+            with EstimationService.for_pipeline(
+                pipeline, guarded=True, workers=2
+            ) as service:
+                served = service.run_batch(
+                    [
+                        EstimateRequest(data=fields[3], target_ratio=ratio)
+                        for ratio in (4.0, 6.0, 9.0)
+                    ]
+                )
+            assert len(served) == 3
+            assert all(s.estimate.config > 0 for s in served)
+            print(f"served {len(served)} requests through the session")
+
+            result = FRaZ(get_compressor("sz"), max_iterations=6, ctx=ctx).search(
+                fields[3], 8.0
+            )
+            assert result.config > 0
+            print(
+                f"FRaZ search done ({result.iterations} iterations, "
+                f"{ctx.memo.hits} memo hits so far)"
+            )
+
+        # -- teardown contract ------------------------------------------------
+        assert ctx.closed, "context must close on exit"
+        assert trace.is_file() and trace.stat().st_size > 0, "empty trace"
+        assert metrics.is_file() and metrics.stat().st_size > 0, "empty metrics"
+        assert ctx.exported_spans > 0
+        assert multiprocessing.active_children() == [], "leaked workers"
+        assert obs.get_tracer() is None, "ambient tracer not restored"
+        try:
+            ctx.executor
+        except InvalidConfiguration:
+            pass
+        else:
+            raise AssertionError("closed context handed out its executor")
+        spans = obs.load_trace(trace)
+        names = {s.name for s in spans}
+        for phase in ("augmentation.build_curve", "serving.request", "fraz.search"):
+            assert phase in names, f"missing {phase} in exported trace"
+        print(
+            f"smoke OK: {len(spans)} spans exported, clean teardown "
+            f"({len(ctx.teardown_notes)} teardown notes)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,10 @@ from repro.errors import (
     SearchError,
 )
 
+# Imported last: repro.runtime pulls in repro.parallel and repro.obs,
+# which import repro.errors/config above.
+from repro.runtime import RuntimeConfig, RuntimeContext
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -51,6 +55,8 @@ __all__ = [
     "TrainingReport",
     "FRaZ",
     "FRaZResult",
+    "RuntimeConfig",
+    "RuntimeContext",
     "ReproError",
     "EncodingError",
     "CorruptStreamError",

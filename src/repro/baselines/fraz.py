@@ -35,6 +35,7 @@ import numpy as np
 from repro import obs
 from repro.compressors.base import Compressor
 from repro.errors import InvalidConfiguration, SearchError
+from repro.runtime.compat import UNSET, legacy
 
 
 @dataclass(frozen=True)
@@ -83,16 +84,17 @@ class FRaZ:
             paper uses 3); the budget is divided evenly among them.
         search_scale: ``"linear"`` (default, the agnostic behavior) or
             ``"log"`` (an informed ablation variant).
-        executor: optional :class:`~repro.parallel.ParallelExecutor`.
-            The window edge probes every bin opens with are known
-            upfront and independent, so they are evaluated concurrently
-            before the (inherently sequential) bisections start. The
-            recorded search is bit-identical to the serial one — only
-            the wall clock changes.
-        memo: optional :class:`~repro.parallel.CompressionMemoCache`
-            shared across searches/paths; hits are charged their
-            recorded compressor time, exactly like the legacy ``cache``
-            dict, so FRaZ's cost accounting stays honest.
+        ctx: a :class:`~repro.runtime.RuntimeContext`. Its executor
+            evaluates the window edge probes every bin opens with
+            concurrently (they are known upfront and independent)
+            before the inherently sequential bisections start — the
+            recorded search is bit-identical to the serial one, only
+            the wall clock changes. Its memo is shared across
+            searches/paths; hits are charged their recorded compressor
+            time, exactly like the legacy ``cache`` dict, so FRaZ's
+            cost accounting stays honest.
+        executor: deprecated — pass ``ctx=RuntimeContext(jobs=...)``.
+        memo: deprecated — contexts share their memo automatically.
     """
 
     def __init__(
@@ -101,8 +103,10 @@ class FRaZ:
         max_iterations: int = 15,
         n_bins: int = 3,
         search_scale: str = "linear",
-        executor=None,
-        memo=None,
+        executor=UNSET,
+        memo=UNSET,
+        *,
+        ctx=None,
     ) -> None:
         if max_iterations < 2:
             raise InvalidConfiguration("max_iterations must be >= 2")
@@ -114,8 +118,17 @@ class FRaZ:
         self.max_iterations = max_iterations
         self.n_bins = n_bins
         self.search_scale = search_scale
-        self.executor = executor
-        self.memo = memo
+        self.ctx = ctx
+        executor = legacy("FRaZ", "executor", executor)
+        memo = legacy("FRaZ", "memo", memo)
+        self.executor = (
+            executor
+            if executor is not None
+            else (ctx.executor if ctx is not None else None)
+        )
+        self.memo = (
+            memo if memo is not None else (ctx.memo if ctx is not None else None)
+        )
 
     def search(
         self,

@@ -15,9 +15,15 @@ whole fixed-ratio workflow on ``.npy`` files:
 * ``repro obs-report``— render a recorded span trace as a per-phase cost tree.
 * ``repro datasets``  — list the built-in synthetic dataset catalog.
 
-``train``/``estimate``/``estimate-batch``/``compress``/``search`` accept
-``--trace PATH`` (JSONL span log of the run) and ``--metrics PATH``
-(Prometheus-style text exposition); see ``docs/OBSERVABILITY.md``.
+``train``/``estimate``/``estimate-batch``/``compress``/``search`` share
+the runtime session flags (``--jobs``, ``--trace``, ``--metrics``,
+``--fallback``, ``--min-confidence``, ``--runtime-profile``) from
+:mod:`repro.runtime`; ``main`` builds one
+:class:`~repro.runtime.RuntimeContext` per invocation and every
+subcommand draws its executor/memo/tracer/registry from it, so teardown
+(pool shutdown, trace export, metrics flush) is deterministic even when
+the command fails. See ``docs/RUNTIME.md`` and
+``docs/OBSERVABILITY.md``.
 
 ``estimate`` and ``compress`` run through the guarded inference engine:
 ``--fallback`` picks the terminal rung of its degradation ladder
@@ -49,19 +55,10 @@ from repro.datasets.registry import dataset_catalog
 from repro.errors import ReproError
 from repro.hpc.iosim import DumpScenario, simulate_dump, simulate_faulty_dump
 from repro.robustness import FaultSpec, GuardedInferenceEngine, RetryPolicy
+from repro.runtime import RuntimeContext, runtime_parent_parser
 from repro.serving import EstimateRequest, EstimationService, ModelRegistry
 
 _MAGIC = b"FXRZBLOB"
-
-
-def _executor_for(jobs: int | None):
-    """A process executor for ``--jobs``, or None when serial."""
-    if jobs is None or jobs == 1:
-        return None
-    from repro.parallel import ParallelExecutor
-
-    executor = ParallelExecutor(n_jobs=jobs, backend="process")
-    return executor if executor.backend != "serial" else None
 
 
 def _load_array(path: str) -> np.ndarray:
@@ -104,16 +101,14 @@ def read_blob(path: str | pathlib.Path) -> CompressedBlob:
     )
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
+def _cmd_train(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     config = FXRZConfig(
         sampling_stride=args.stride,
         stationary_points=args.stationary_points,
         augmented_samples=args.augmented_samples,
         use_adjustment=not args.no_adjustment,
     )
-    pipeline = FXRZ(
-        get_compressor(args.compressor), config=config, n_jobs=args.jobs
-    )
+    pipeline = FXRZ(get_compressor(args.compressor), config=config, ctx=ctx)
     arrays = [_load_array(p) for p in args.inputs]
     with obs.profiled("training.fit", n_datasets=len(arrays)):
         report = pipeline.fit(arrays)
@@ -126,16 +121,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _guarded_estimate(args: argparse.Namespace):
+def _guarded_estimate(args: argparse.Namespace, ctx: RuntimeContext):
     """Shared guarded-inference path of ``estimate`` and ``compress``."""
     pipeline = load_pipeline(args.model)
     data = _load_array(args.input)
-    engine = GuardedInferenceEngine(
-        pipeline,
-        fallback=args.fallback,
-        min_confidence=args.min_confidence,
-        executor=_executor_for(args.jobs),
-    )
+    engine = GuardedInferenceEngine(pipeline, ctx=ctx)
     return pipeline, data, engine.estimate(data, args.ratio)
 
 
@@ -146,8 +136,8 @@ def _tier_note(estimate) -> str:
     return note
 
 
-def _cmd_estimate(args: argparse.Namespace) -> int:
-    _, _, estimate = _guarded_estimate(args)
+def _cmd_estimate(args: argparse.Namespace, ctx: RuntimeContext) -> int:
+    _, _, estimate = _guarded_estimate(args, ctx)
     print(
         f"estimated config: {estimate.config:.6g} "
         f"(ACR {estimate.adjusted_target:.2f}, R {estimate.nonconstant:.2f}, "
@@ -192,7 +182,7 @@ def _read_batch_requests(path: str) -> list[dict]:
     return specs
 
 
-def _cmd_estimate_batch(args: argparse.Namespace) -> int:
+def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     pipeline = _load_batch_pipeline(args)
     specs = _read_batch_requests(args.requests)
     arrays: dict[str, np.ndarray] = {}
@@ -202,24 +192,10 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> int:
             arrays[path] = _load_array(path)
 
     guarded = args.engine == "guarded"
-    memo = None
-    if guarded:
-        from repro.parallel import CompressionMemoCache
-
-        memo = CompressionMemoCache()
     service = EstimationService.for_pipeline(
         pipeline,
         guarded=guarded,
-        guard_options=(
-            {
-                "fallback": args.fallback,
-                "min_confidence": args.min_confidence,
-                "executor": _executor_for(args.jobs),
-            }
-            if guarded
-            else None
-        ),
-        memo=memo,
+        ctx=ctx,
         workers=args.workers,
         max_batch=args.max_batch,
     )
@@ -283,8 +259,8 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compress(args: argparse.Namespace) -> int:
-    pipeline, data, estimate = _guarded_estimate(args)
+def _cmd_compress(args: argparse.Namespace, ctx: RuntimeContext) -> int:
+    pipeline, data, estimate = _guarded_estimate(args, ctx)
     blob = pipeline.compressor.compress(data, estimate.config)
     write_blob(blob, args.output)
     measured = blob.compression_ratio
@@ -297,7 +273,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_decompress(args: argparse.Namespace) -> int:
+def _cmd_decompress(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     blob = read_blob(args.input)
     kwargs = {}
     compressor = get_compressor(blob.compressor, **kwargs)
@@ -310,14 +286,10 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_search(args: argparse.Namespace) -> int:
+def _cmd_search(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     comp = get_compressor(args.compressor)
     data = _load_array(args.input)
-    searcher = FRaZ(
-        comp,
-        max_iterations=args.iterations,
-        executor=_executor_for(args.jobs),
-    )
+    searcher = FRaZ(comp, max_iterations=args.iterations, ctx=ctx)
     result = searcher.search(data, args.ratio)
     print(
         f"FRaZ({args.iterations}): config {result.config:.6g} -> "
@@ -327,7 +299,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_dump(args: argparse.Namespace) -> int:
+def _cmd_dump(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     scenario = DumpScenario(
         n_ranks=args.ranks,
         bytes_per_rank=args.bytes_per_rank,
@@ -372,7 +344,7 @@ def _cmd_dump(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs_report(args: argparse.Namespace) -> int:
+def _cmd_obs_report(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     spans = obs.load_trace(args.input)
     print(obs.render_cost_tree(spans, min_fraction=args.min_fraction))
     errors = sum(1 for span in spans if span.status == "error")
@@ -381,7 +353,7 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_datasets(args: argparse.Namespace) -> int:  # noqa: ARG001
+def _cmd_datasets(args: argparse.Namespace, ctx: RuntimeContext) -> int:  # noqa: ARG001
     for name, entry in dataset_catalog().items():
         print(
             f"{name:12} {entry['domain']:18} fields={','.join(entry['fields'])} "
@@ -390,7 +362,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:  # noqa: ARG001
     return 0
 
 
-def _cmd_export(args: argparse.Namespace) -> int:
+def _cmd_export(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     from repro.datasets.registry import load_series
 
     series = load_series(args.dataset, args.field)
@@ -409,31 +381,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_jobs_flag(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            help="worker processes for compressor runs "
-            "(1 = serial, 0 = all CPUs; results are identical either way)",
-        )
+    # One shared parent parser supplies --jobs/--trace/--metrics/
+    # --fallback/--min-confidence/--runtime-profile to every subcommand
+    # that does real work; main() turns them into a RuntimeContext.
+    runtime = runtime_parent_parser()
 
-    def add_obs_flags(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument(
-            "--trace",
-            default="",
-            metavar="PATH",
-            help="record a span trace of the run to a JSONL file "
-            "(render it with 'repro obs-report PATH')",
-        )
-        cmd.add_argument(
-            "--metrics",
-            default="",
-            metavar="PATH",
-            help="write Prometheus-style metrics of the run to a text file",
-        )
-
-    train = sub.add_parser("train", help="fit a pipeline on .npy arrays")
+    train = sub.add_parser(
+        "train", parents=[runtime], help="fit a pipeline on .npy arrays"
+    )
     train.add_argument("inputs", nargs="+", help="training .npy files")
     train.add_argument("--model", required=True, help="output model .npz")
     train.add_argument("--compressor", default="sz", choices=available_compressors())
@@ -441,37 +396,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--stationary-points", type=int, default=25)
     train.add_argument("--augmented-samples", type=int, default=250)
     train.add_argument("--no-adjustment", action="store_true")
-    add_jobs_flag(train)
-    add_obs_flags(train)
     train.set_defaults(func=_cmd_train)
 
-    def add_guard_flags(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument(
-            "--fallback",
-            choices=("none", "curve", "fraz"),
-            default="fraz",
-            help="terminal rung of the guarded-inference ladder "
-            "(none = raise on out-of-distribution input)",
-        )
-        cmd.add_argument(
-            "--min-confidence",
-            type=float,
-            default=0.5,
-            help="model-tier acceptance threshold in [0, 1]",
-        )
-
-    estimate = sub.add_parser("estimate", help="predict config for a ratio")
+    estimate = sub.add_parser(
+        "estimate", parents=[runtime], help="predict config for a ratio"
+    )
     estimate.add_argument("input", help="data .npy file")
     estimate.add_argument("--model", required=True)
     estimate.add_argument("--ratio", type=float, required=True)
-    add_guard_flags(estimate)
-    add_jobs_flag(estimate)
-    add_obs_flags(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
     batch = sub.add_parser(
         "estimate-batch",
         aliases=["serve"],
+        parents=[runtime],
         help="serve a JSONL batch of estimation requests",
     )
     batch.add_argument(
@@ -502,24 +440,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="guarded",
         help="serve through the guarded ladder or the plain model",
     )
-    add_guard_flags(batch)
-    add_jobs_flag(batch)
     batch.add_argument("--workers", type=int, default=4)
     batch.add_argument("--max-batch", type=int, default=32)
     batch.add_argument(
         "--stats", action="store_true", help="append the service metrics snapshot"
     )
-    add_obs_flags(batch)
     batch.set_defaults(func=_cmd_estimate_batch)
 
-    compress = sub.add_parser("compress", help="fixed-ratio compress")
+    compress = sub.add_parser(
+        "compress", parents=[runtime], help="fixed-ratio compress"
+    )
     compress.add_argument("input", help="data .npy file")
     compress.add_argument("--model", required=True)
     compress.add_argument("--ratio", type=float, required=True)
     compress.add_argument("--output", required=True, help="output blob file")
-    add_guard_flags(compress)
-    add_jobs_flag(compress)
-    add_obs_flags(compress)
     compress.set_defaults(func=_cmd_compress)
 
     decompress = sub.add_parser("decompress", help="reconstruct from a blob")
@@ -527,13 +461,13 @@ def build_parser() -> argparse.ArgumentParser:
     decompress.add_argument("--output", required=True, help="output .npy file")
     decompress.set_defaults(func=_cmd_decompress)
 
-    search = sub.add_parser("search", help="run the FRaZ baseline")
+    search = sub.add_parser(
+        "search", parents=[runtime], help="run the FRaZ baseline"
+    )
     search.add_argument("input", help="data .npy file")
     search.add_argument("--compressor", default="sz", choices=available_compressors())
     search.add_argument("--ratio", type=float, required=True)
     search.add_argument("--iterations", type=int, default=15)
-    add_jobs_flag(search)
-    add_obs_flags(search)
     search.set_defaults(func=_cmd_search)
 
     dump = sub.add_parser(
@@ -557,9 +491,10 @@ def build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--base-delay", type=float, default=0.5)
     dump.set_defaults(func=_cmd_dump)
 
-    # The positional is named "input", not "trace": main() reads the
-    # --trace *flag* via getattr, and a positional named "trace" would
-    # make it install tracing and clobber the file it is reporting on.
+    # The positional is named "input", not "trace": the runtime context
+    # reads the --trace *flag* via getattr, and a positional named
+    # "trace" would make it install tracing and clobber the file it is
+    # reporting on.
     obs_report = sub.add_parser(
         "obs-report", help="render a recorded span trace as a cost tree"
     )
@@ -591,36 +526,34 @@ def build_parser() -> argparse.ArgumentParser:
 #: time. ``build_parser`` stays un-memoized for callers that customize.
 _PARSER: argparse.ArgumentParser | None = None
 
+#: The runtime context of the most recent :func:`main` invocation.
+#: Tests assert on it to pin the teardown contract: after main()
+#: returns — success or failure — the context is closed, its worker
+#: pool is gone and its shared-memory segments are unlinked.
+_LAST_CONTEXT: RuntimeContext | None = None
+
 
 def main(argv: list[str] | None = None) -> int:
-    global _PARSER
+    global _PARSER, _LAST_CONTEXT
     if _PARSER is None:
         _PARSER = build_parser()
     args = _PARSER.parse_args(argv)
-    trace_path = getattr(args, "trace", "")
-    metrics_path = getattr(args, "metrics", "")
-    tracer = obs.Tracer() if trace_path else None
-    registry = obs.MetricsRegistry() if metrics_path else None
-    previous = (obs.get_tracer(), obs.get_registry())
-    if tracer is not None or registry is not None:
-        obs.install(tracer=tracer, registry=registry)
+    ctx = RuntimeContext.from_args(args)
+    _LAST_CONTEXT = ctx
     try:
-        with obs.span(f"cli.{args.command}"):
-            return args.func(args)
+        with ctx:
+            with obs.span(f"cli.{args.command}"):
+                return args.func(args, ctx)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
-        if tracer is not None:
-            count = tracer.export_jsonl(trace_path)
-            print(f"wrote {count} span(s) to {trace_path}", file=sys.stderr)
-        if registry is not None:
-            pathlib.Path(metrics_path).write_text(registry.render_prometheus())
-            print(f"wrote metrics to {metrics_path}", file=sys.stderr)
-        if tracer is not None or registry is not None:
-            # Restore whatever was installed before: tests drive main()
-            # in-process and must get their own observability state back.
-            obs.install(*previous)
+        # ``with ctx`` already closed it on the happy path; this makes
+        # teardown unconditional for exits that never entered the
+        # block (argparse quirks) and keeps close() idempotent.
+        ctx.close()
+        for note in ctx.teardown_notes:
+            print(note, file=sys.stderr)
 
 
 if __name__ == "__main__":

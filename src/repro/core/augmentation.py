@@ -21,6 +21,7 @@ import numpy as np
 from repro import obs
 from repro.compressors.base import Compressor
 from repro.errors import InvalidConfiguration
+from repro.runtime.compat import UNSET, legacy
 
 
 @dataclass(frozen=True)
@@ -158,31 +159,42 @@ def build_curve(
     n_points: int = 25,
     domain: tuple[float, float] | None = None,
     *,
-    executor=None,
-    memo=None,
+    ctx=None,
+    executor=UNSET,
+    memo=UNSET,
     fingerprint: str | None = None,
 ) -> CompressionCurve:
     """Run the compressor at the stationary configs and anchor a curve.
 
     The sweep is the only place the whole framework pays for compressor
     runs (Table VI's dominant offline cost), and its ~25 evaluations are
-    independent, so two accelerations apply:
+    independent, so two accelerations apply through ``ctx`` (a
+    :class:`~repro.runtime.RuntimeContext`):
 
-    * ``executor``: a :class:`~repro.parallel.ParallelExecutor` fans the
-      evaluations over workers; the field ships to process workers once
-      via shared memory. Results are assembled in config order, so the
-      curve is bit-identical to the serial one.
-    * ``memo``: a :class:`~repro.parallel.CompressionMemoCache` resolves
-      already-paid evaluations before anything is submitted and records
-      the rest, so repeated sweeps (re-training, benchmarks) skip the
-      compressor entirely. ``fingerprint`` optionally supplies the
-      precomputed content hash of ``data``.
+    * the context's executor fans the evaluations over workers; the
+      field ships to process workers once via shared memory. Results
+      are assembled in config order, so the curve is bit-identical to
+      the serial one.
+    * the context's memo resolves already-paid evaluations before
+      anything is submitted and records the rest, so repeated sweeps
+      (re-training, benchmarks) skip the compressor entirely.
+      ``fingerprint`` optionally supplies the precomputed content hash
+      of ``data``.
+
+    ``executor=``/``memo=`` are deprecated; pass ``ctx=`` instead.
 
     ``build_seconds`` totals the *compressor* time of the evaluations
     (memo hits charge their recorded time), which is the quantity
     Table VI accounts — under a parallel executor the wall clock is
     lower.
     """
+    executor = legacy("build_curve", "executor", executor)
+    memo = legacy("build_curve", "memo", memo)
+    if ctx is not None:
+        if executor is None:
+            executor = ctx.executor
+        if memo is None:
+            memo = ctx.memo
     configs = stationary_configs(compressor, data, n_points, domain)
     with obs.span(
         "augmentation.build_curve",

@@ -112,17 +112,25 @@ class Estimate:
 
 
 class InferenceEngine:
-    """Maps (dataset, target ratio) -> error configuration."""
+    """Maps (dataset, target ratio) -> error configuration.
+
+    ``ctx`` (a :class:`~repro.runtime.RuntimeContext`) is carried for
+    API uniformity — inference itself is compression-free, but engines
+    hand the context on to the guarded ladder and serving layers.
+    """
 
     def __init__(
         self,
         model,
         compressor: Compressor,
         config: FXRZConfig | None = None,
+        *,
+        ctx=None,
     ) -> None:
         self.model = model
         self.compressor = compressor
         self.config = config or FXRZConfig()
+        self.ctx = ctx
 
     def analyze(self, data: np.ndarray) -> DatasetAnalysis:
         """Run the target-independent dataset analysis once.

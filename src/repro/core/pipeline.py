@@ -22,6 +22,7 @@ from repro.config import FXRZConfig
 from repro.core.inference import Estimate, InferenceEngine
 from repro.core.training import TrainingEngine, TrainingReport
 from repro.errors import InvalidConfiguration, NotFittedError
+from repro.runtime.compat import UNSET, legacy, legacy_context
 
 
 @dataclass(frozen=True)
@@ -56,12 +57,12 @@ class FXRZ:
         config: framework knobs (sampling stride, CA lambda, ...).
         model_factory: ``seed -> model`` override for the Table III
             model comparison; defaults to the random forest.
-        n_jobs: worker count for training-time parallelism (stationary
-            sweeps + forest fit); ``None``/1 = serial. Results are
-            bit-identical at any worker count.
-        memo: a :class:`~repro.parallel.CompressionMemoCache` shared
-            across pipelines/paths; the training sweeps reuse and feed
-            it.
+        ctx: a :class:`~repro.runtime.RuntimeContext`; supplies the
+            training-time executor, the shared compression memo and the
+            forest worker count. Results are bit-identical at any
+            worker count.
+        n_jobs: deprecated — pass ``ctx=RuntimeContext(jobs=...)``.
+        memo: deprecated — contexts share their memo automatically.
     """
 
     def __init__(
@@ -69,19 +70,26 @@ class FXRZ:
         compressor: Compressor,
         config: FXRZConfig | None = None,
         model_factory=None,
-        n_jobs: int | None = None,
-        memo=None,
+        n_jobs=UNSET,
+        memo=UNSET,
+        *,
+        ctx=None,
     ) -> None:
         self.compressor = compressor
         self.config = config or FXRZConfig()
-        self.n_jobs = n_jobs
-        self.memo = memo
+        ctx = legacy_context(
+            ctx,
+            n_jobs=legacy("FXRZ", "n_jobs", n_jobs),
+            memo=legacy("FXRZ", "memo", memo),
+        )
+        self.ctx = ctx
+        self.memo = ctx.memo if ctx is not None else None
+        self.n_jobs = ctx.config.jobs if ctx is not None else None
         self._training = TrainingEngine(
             compressor,
             config=self.config,
             model_factory=model_factory,
-            n_jobs=n_jobs,
-            memo=memo,
+            ctx=ctx,
         )
         self._inference: InferenceEngine | None = None
 
@@ -103,7 +111,7 @@ class FXRZ:
             self._training.add_dataset(data, domain=domain)
         model = self._training.fit()
         self._inference = InferenceEngine(
-            model, self.compressor, config=self.config
+            model, self.compressor, config=self.config, ctx=self.ctx
         )
         return self._training.report
 
@@ -162,15 +170,16 @@ class FXRZ:
             raise NotFittedError("FXRZ.fit must be called first")
         return self._inference.estimate(data, target_ratio)
 
-    def guarded(self, fallback: str = "fraz", **kwargs):
+    def guarded(self, fallback: str | None = None, **kwargs):
         """A hardened inference engine over this fitted pipeline.
 
         Returns a
         :class:`~repro.robustness.guarded.GuardedInferenceEngine` whose
         ``estimate`` validates inputs, scores model confidence, and
         degrades through curve interpolation down to a bounded FRaZ
-        search instead of returning a wild extrapolation. See
-        :mod:`repro.robustness` for the knobs.
+        search instead of returning a wild extrapolation. ``fallback``
+        defaults to the runtime context's policy ("fraz" without one).
+        See :mod:`repro.robustness` for the knobs.
         """
         from repro.robustness.guarded import GuardedInferenceEngine
 

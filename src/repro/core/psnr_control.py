@@ -52,6 +52,8 @@ def calibrated_bound_for_psnr(
     target_psnr: float,
     probes: int = 2,
     memo=None,
+    *,
+    ctx=None,
 ) -> float:
     """Analytic estimate refined by measuring the compressor's PSNR.
 
@@ -67,6 +69,8 @@ def calibrated_bound_for_psnr(
             probes whose PSNR an earlier caller already measured are
             answered from it, and fresh probes record both the ratio
             and the PSNR for everyone downstream.
+        ctx: a :class:`~repro.runtime.RuntimeContext` whose shared memo
+            is used when ``memo`` is not given.
     """
     if compressor.error_mode != "abs":
         raise InvalidConfiguration(
@@ -74,6 +78,8 @@ def calibrated_bound_for_psnr(
         )
     if probes < 0:
         raise InvalidConfiguration("probes must be >= 0")
+    if memo is None and ctx is not None:
+        memo = ctx.memo
     bound = analytic_bound_for_psnr(data, target_psnr)
     lo, hi = compressor.config_domain(data)
     bound = float(np.clip(bound, lo, hi))

@@ -22,6 +22,7 @@ from repro.compressors.base import CompressedBlob
 from repro.core.adjustment import nonconstant_fraction
 from repro.core.pipeline import FXRZ
 from repro.errors import InvalidConfiguration, NotFittedError
+from repro.runtime.compat import UNSET, executor_for_jobs, legacy
 
 
 @dataclass(frozen=True)
@@ -132,32 +133,37 @@ class TiledFixedRatio:
     Args:
         pipeline: a fitted :class:`~repro.core.pipeline.FXRZ`.
         tile_shape: chunk dimensions (HDF5-chunk style).
-        n_jobs: tile-level parallelism (``None``/1 = serial). Tiles are
-            independent by construction, so results are identical at
-            any worker count; the full field ships to process workers
-            once via shared memory.
-        executor: a preconfigured
-            :class:`~repro.parallel.ParallelExecutor` (overrides
-            ``n_jobs``).
+        ctx: a :class:`~repro.runtime.RuntimeContext` supplying the
+            tile-level executor; defaults to the pipeline's own
+            context. Tiles are independent by construction, so results
+            are identical at any worker count; the full field ships to
+            process workers once via shared memory.
+        n_jobs: deprecated — pass ``ctx=RuntimeContext(jobs=...)``.
+        executor: deprecated — pass a context whose config builds one.
     """
 
     def __init__(
         self,
         pipeline: FXRZ,
         tile_shape: tuple[int, ...],
-        n_jobs: int | None = None,
-        executor=None,
+        n_jobs=UNSET,
+        executor=UNSET,
+        *,
+        ctx=None,
     ) -> None:
         if not pipeline.is_fitted:
             raise NotFittedError("pipeline must be fitted before tiling")
         self.pipeline = pipeline
         self.tile_shape = tuple(int(t) for t in tile_shape)
-        if executor is None and n_jobs is not None and n_jobs != 1:
-            from repro.parallel.executor import ParallelExecutor
-
-            executor = ParallelExecutor(n_jobs=n_jobs, backend="process")
-            if executor.backend == "serial":
-                executor = None
+        if ctx is None:
+            ctx = getattr(pipeline, "ctx", None)
+        n_jobs = legacy("TiledFixedRatio", "n_jobs", n_jobs)
+        executor = legacy("TiledFixedRatio", "executor", executor)
+        if executor is None and n_jobs is not None:
+            executor = executor_for_jobs(n_jobs)
+        if executor is None and ctx is not None:
+            executor = ctx.executor
+        self.ctx = ctx
         self.executor = executor
 
     def compress(self, data: np.ndarray, target_ratio: float) -> TiledResult:

@@ -28,6 +28,7 @@ from repro.core.augmentation import CompressionCurve, build_curve
 from repro.core.features import extract_features
 from repro.errors import InvalidConfiguration, NotFittedError
 from repro.ml.forest import RandomForestRegressor
+from repro.runtime.compat import UNSET, legacy, legacy_context
 
 
 @dataclass
@@ -72,14 +73,12 @@ class TrainingEngine:
         compressor: the error-controlled compressor being modeled.
         config: framework knobs.
         model_factory: ``seed -> model`` override.
-        n_jobs: worker count for the stationary sweeps and (when the
-            model supports it) the forest fit; ``None``/1 = serial.
-        executor: a preconfigured
-            :class:`~repro.parallel.ParallelExecutor` (overrides
-            ``n_jobs`` for the sweeps).
-        memo: a :class:`~repro.parallel.CompressionMemoCache`; sweeps
-            resolve already-paid compressor runs from it and record the
-            rest.
+        ctx: a :class:`~repro.runtime.RuntimeContext`; supplies the
+            sweep executor, the shared compression memo and the forest
+            worker count.
+        n_jobs: deprecated — pass ``ctx=RuntimeContext(jobs=...)``.
+        executor: deprecated — pass a context whose config builds one.
+        memo: deprecated — contexts share their memo automatically.
     """
 
     def __init__(
@@ -87,22 +86,25 @@ class TrainingEngine:
         compressor: Compressor,
         config: FXRZConfig | None = None,
         model_factory=None,
-        n_jobs: int | None = None,
-        executor=None,
-        memo=None,
+        n_jobs=UNSET,
+        executor=UNSET,
+        memo=UNSET,
+        *,
+        ctx=None,
     ) -> None:
         self.compressor = compressor
         self.config = config or FXRZConfig()
         self.model_factory = model_factory or default_model_factory
-        self.n_jobs = n_jobs
-        if executor is None and n_jobs is not None and n_jobs != 1:
-            from repro.parallel.executor import ParallelExecutor
-
-            executor = ParallelExecutor(n_jobs=n_jobs, backend="process")
-            if executor.backend == "serial":
-                executor = None
-        self.executor = executor
-        self.memo = memo
+        ctx = legacy_context(
+            ctx,
+            n_jobs=legacy("TrainingEngine", "n_jobs", n_jobs),
+            executor=legacy("TrainingEngine", "executor", executor),
+            memo=legacy("TrainingEngine", "memo", memo),
+        )
+        self.ctx = ctx
+        self.executor = ctx.executor if ctx is not None else None
+        self.memo = ctx.memo if ctx is not None else None
+        self.n_jobs = ctx.config.jobs if ctx is not None else None
         self.records: list[_DatasetRecord] = []
         self.report = TrainingReport()
         self._model = None
@@ -128,8 +130,7 @@ class TrainingEngine:
             data,
             n_points=self.config.stationary_points,
             domain=domain,
-            executor=self.executor,
-            memo=self.memo,
+            ctx=self.ctx,
         )
         self.records.append(
             _DatasetRecord(features=features, nonconstant=nonconstant, curve=curve)

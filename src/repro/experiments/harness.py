@@ -27,21 +27,31 @@ from repro.core.pipeline import FXRZ
 from repro.datasets.base import FieldSnapshot
 from repro.experiments.corpus import held_out_snapshots, training_arrays
 from repro.parallel import CompressionMemoCache
+from repro.runtime import RuntimeContext
 from repro.serving import EstimateRequest, EstimationService, MetricsSnapshot
 
 _FXRZ_CACHE: dict[tuple, FXRZ] = {}
 _RANGE_CACHE: dict[tuple, tuple[float, float]] = {}
 _SERVICE_CACHE: dict[tuple, EstimationService] = {}
-# One content-addressed memo for every compression the suite triggers:
+# One runtime session for the whole bench suite. Its memo is the
+# content-addressed cache every compression the suite triggers shares:
 # training sweeps, FRaZ searches at every budget, guarded fallbacks and
-# repeated bench rounds all share it (superseding the old per-snapshot
-# FRaZ eval dict, which only FRaZ could read).
-_COMPRESSION_MEMO = CompressionMemoCache()
+# repeated bench rounds (superseding the old per-snapshot FRaZ eval
+# dict, which only FRaZ could read).
+_RUNTIME: RuntimeContext | None = None
+
+
+def get_runtime_context() -> RuntimeContext:
+    """The suite-wide runtime session (rebuilt after :func:`clear_caches`)."""
+    global _RUNTIME
+    if _RUNTIME is None or _RUNTIME.closed:
+        _RUNTIME = RuntimeContext(env={})
+    return _RUNTIME
 
 
 def get_compression_memo() -> CompressionMemoCache:
     """The suite-wide compression memo (cleared by :func:`clear_caches`)."""
-    return _COMPRESSION_MEMO
+    return get_runtime_context().memo
 
 
 @dataclass(frozen=True)
@@ -88,12 +98,16 @@ def get_trained_fxrz(
     cfg = config or FXRZConfig()
     key = (application, fld, compressor_name, cfg, id(model_factory))
     if key not in _FXRZ_CACHE:
+        ctx = get_runtime_context()
+        if n_jobs is not None and n_jobs != 1:
+            # A jobs override still shares the suite memo; the extra
+            # context only carries the executor configuration.
+            ctx = RuntimeContext(env={}, jobs=n_jobs, memo=ctx.memo)
         pipeline = FXRZ(
             get_compressor(compressor_name),
             config=cfg,
             model_factory=model_factory,
-            n_jobs=n_jobs,
-            memo=_COMPRESSION_MEMO,
+            ctx=ctx,
         )
         pipeline.fit(training_arrays(application, fld))
         _FXRZ_CACHE[key] = pipeline
@@ -121,7 +135,7 @@ def get_estimation_service(
         _SERVICE_CACHE[key] = EstimationService.for_pipeline(
             pipeline,
             guarded=guarded,
-            memo=_COMPRESSION_MEMO,
+            ctx=get_runtime_context(),
             workers=workers,
             max_batch=max_batch,
         )
@@ -276,7 +290,9 @@ def accuracy_records(
                 # the training sweeps, at the same honest-cost
                 # accounting (hits charge their recorded seconds).
                 searcher = FRaZ(
-                    compressor, max_iterations=budget, memo=_COMPRESSION_MEMO
+                    compressor,
+                    max_iterations=budget,
+                    ctx=get_runtime_context(),
                 )
                 outcome = searcher.search(snapshot.data, float(tcr))
                 fraz_outcomes[budget] = FRaZSummary(
@@ -318,9 +334,12 @@ def summarize_errors(records: list[AccuracyRecord]) -> dict[str, float]:
 
 def clear_caches() -> None:
     """Drop all memoized pipelines/ranges (tests use this for isolation)."""
+    global _RUNTIME
     _FXRZ_CACHE.clear()
     _RANGE_CACHE.clear()
-    _COMPRESSION_MEMO.clear()
     for service in _SERVICE_CACHE.values():
         service.close()
     _SERVICE_CACHE.clear()
+    if _RUNTIME is not None:
+        _RUNTIME.close()
+        _RUNTIME = None

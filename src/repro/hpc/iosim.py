@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import InvalidConfiguration, RetryExhausted
 from repro.robustness.faults import FaultSpec, RetryPolicy, backoff_schedule
+from repro.runtime.compat import UNSET
 
 
 @dataclass(frozen=True)
@@ -78,12 +79,14 @@ class DumpBreakdown:
         return self.analysis + self.compression + self.write
 
 
-def simulate_dump(scenario: DumpScenario) -> DumpBreakdown:
+def simulate_dump(scenario: DumpScenario, *, ctx=None) -> DumpBreakdown:
     """End-to-end wall time of one parallel dump.
 
     Analysis and compression are perfectly parallel (each rank works on
     its own data); the write stage shares the filesystem: each rank's
     effective write bandwidth is ``min(per_rank, shared / n_ranks)``.
+    The simulation is pure arithmetic; ``ctx`` is accepted for API
+    uniformity with :func:`simulate_faulty_dump`.
     """
     analysis = scenario.analysis_seconds
     compression = scenario.bytes_per_rank / scenario.compress_throughput
@@ -151,7 +154,9 @@ class FaultyDumpReport:
 def simulate_faulty_dump(
     scenario: DumpScenario,
     faults: FaultSpec,
-    retry: RetryPolicy | None = None,
+    retry: RetryPolicy | None | object = UNSET,
+    *,
+    ctx=None,
 ) -> FaultyDumpReport:
     """Wall time of a parallel dump under seeded, injectable faults.
 
@@ -174,8 +179,12 @@ def simulate_faulty_dump(
     Args:
         scenario: the happy-path dump description.
         faults: seeded fault probabilities.
-        retry: backoff/budget policy; ``None`` disables retries (any
-            fault is terminal).
+        retry: backoff/budget policy; an explicit ``None`` disables
+            retries (any fault is terminal). Left unset, the policy
+            comes from ``ctx`` when one is given, else retries are
+            disabled.
+        ctx: a :class:`~repro.runtime.RuntimeContext`; supplies
+            ``ctx.retry_policy`` when ``retry`` is left unset.
 
     Returns:
         A :class:`FaultyDumpReport` with per-rank attempt counts.
@@ -185,6 +194,8 @@ def simulate_faulty_dump(
             faulted on every attempt in its budget; carries ``attempts``
             and ``last_cause``.
     """
+    if retry is UNSET:
+        retry = ctx.retry_policy if ctx is not None else None
     policy = retry if retry is not None else RetryPolicy(
         max_attempts=1, base_delay=0.0, jitter=0.0
     )

@@ -249,10 +249,10 @@ class _ActiveSpan:
 class Tracer:
     """Thread-safe sink for finished spans.
 
-    One tracer per process is the intended shape (installed via
-    :func:`repro.obs.install`); pool workers run their own short-lived
-    tracer whose spans are shipped back and :meth:`absorb`\\ ed by the
-    driver's.
+    One tracer per process is the intended shape (made ambient by a
+    :class:`~repro.runtime.RuntimeContext` on entry); pool workers run
+    their own short-lived tracer whose spans are shipped back and
+    :meth:`absorb`\\ ed by the driver's.
     """
 
     def __init__(self) -> None:

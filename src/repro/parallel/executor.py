@@ -92,23 +92,12 @@ def _worker_init(descriptors, fn, context, handoff=None) -> None:
     handles = {
         name: SharedNDArray.attach(desc) for name, desc in descriptors.items()
     }
-    # Observability handoff. With tracing active in the driver, each
-    # worker runs its own collecting Tracer and adopts the driver's
-    # span context, so worker spans re-parent under the driver's
-    # ``parallel.map`` span once shipped back. Without it, explicitly
-    # uninstall: a fork-spawned worker inherits the driver's module
-    # globals, and recording into an inherited tracer whose spans never
-    # travel back would be silent waste.
-    tracer = None
-    if handoff is None:
-        obs.uninstall()
-        obs_trace.attach(None)
-    else:
-        tracer = obs_trace.Tracer()
-        obs.install(tracer=tracer)
-        obs_trace.attach(
-            obs_trace.SpanContext(handoff["trace_id"], handoff["parent_id"])
-        )
+    # Runtime handoff: span re-parenting and the driver context's child
+    # spec both attach here (imported lazily — repro.runtime imports
+    # this module for ParallelExecutor).
+    from repro.runtime.worker import attach_worker_runtime
+
+    tracer = attach_worker_runtime(handoff)
     _WORKER_STATE = {
         "handles": handles,
         "arrays": {name: handle.asarray() for name, handle in handles.items()},
@@ -156,9 +145,36 @@ class ParallelExecutor:
             # reference path so n_jobs=1 is exactly the serial code.
             backend = "serial"
         self.backend = backend
+        # Set by an owning RuntimeContext; its spec travels to process
+        # workers so they can rebuild a child context.
+        self._ctx = None
+        self._live_handles: list[SharedNDArray] = []
+        self._closed = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelExecutor(n_jobs={self.n_jobs}, backend={self.backend!r})"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(self) -> None:
+        """Refuse further maps and release any leftover shared memory.
+
+        Pools already live only per-``map``, so the work here is
+        unlinking ``SharedNDArray`` segments a failed map left behind;
+        idempotent and safe after errors.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        leftovers, self._live_handles = self._live_handles, []
+        for handle in leftovers:
+            try:
+                handle.close()
+                handle.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
 
     def map(
         self,
@@ -176,6 +192,10 @@ class ParallelExecutor:
         memory), not per task; serial/thread backends pass them through
         zero-copy.
         """
+        if self._closed:
+            raise InvalidConfiguration(
+                "cannot map on a shut-down ParallelExecutor"
+            )
         tasks = list(tasks)
         if not tasks:
             return []
@@ -223,12 +243,15 @@ class ParallelExecutor:
             name: handle.descriptor for name, handle in handles.items()
         }
         workers = min(self.n_jobs, len(tasks))
+        spec = self._ctx.spec() if self._ctx is not None else None
         handoff = None
-        if span_ctx is not None:
+        if span_ctx is not None or spec is not None:
             handoff = {
-                "trace_id": span_ctx.trace_id,
-                "parent_id": span_ctx.span_id,
+                "trace_id": span_ctx.trace_id if span_ctx else None,
+                "parent_id": span_ctx.span_id if span_ctx else None,
+                "runtime": spec,
             }
+        self._live_handles.extend(handles.values())
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
@@ -243,7 +266,8 @@ class ParallelExecutor:
             for handle in handles.values():
                 handle.close()
                 handle.unlink()
-        if handoff is None:
+                self._live_handles.remove(handle)
+        if handoff is None or handoff["trace_id"] is None:
             return results
         # Workers returned (result, spans) pairs; unwrap in task order
         # and absorb the shipped spans into the driver's tracer.

@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.robustness.confidence import FeatureEnvelope, score_confidence
 from repro.robustness.validation import validate_field
+from repro.runtime.compat import UNSET, legacy
 
 #: Ladder tiers each ``fallback`` setting may use, in order.
 _LADDERS = {
@@ -79,28 +80,38 @@ class GuardedInferenceEngine:
         pipeline: a fitted :class:`~repro.core.pipeline.FXRZ`.
         fallback: terminal rung of the ladder — ``"none"`` (model only;
             raises :class:`OutOfDistributionError` on low confidence),
-            ``"curve"``, or ``"fraz"`` (default, always answers).
-        min_confidence: model-tier acceptance threshold in [0, 1].
+            ``"curve"``, or ``"fraz"`` (always answers). ``None``
+            defers to the runtime context's policy ("fraz" without
+            one).
+        min_confidence: model-tier acceptance threshold in [0, 1];
+            ``None`` defers to the context's policy (0.5 without one).
         envelope_margin: fractional margin of the training envelope.
         fraz_iterations: compressor-run budget of the FRaZ rung.
-        memo: optional :class:`~repro.parallel.CompressionMemoCache`
-            handed to the FRaZ rung, so repeated fallback searches over
-            the same field (a fleet of targets, a retried request)
-            reuse each other's compressor runs.
-        executor: optional :class:`~repro.parallel.ParallelExecutor`
-            for the FRaZ rung's window edge probes.
+        ctx: a :class:`~repro.runtime.RuntimeContext` supplying the
+            fallback policy plus the memo/executor of the FRaZ rung;
+            defaults to the pipeline's own context.
+        memo: deprecated — contexts share their memo automatically.
+        executor: deprecated — pass ``ctx=RuntimeContext(jobs=...)``.
     """
 
     def __init__(
         self,
         pipeline,
-        fallback: str = "fraz",
-        min_confidence: float = 0.5,
+        fallback: str | None = None,
+        min_confidence: float | None = None,
         envelope_margin: float = 0.05,
         fraz_iterations: int = 6,
-        memo=None,
-        executor=None,
+        memo=UNSET,
+        executor=UNSET,
+        *,
+        ctx=None,
     ) -> None:
+        if ctx is None:
+            ctx = getattr(pipeline, "ctx", None)
+        if fallback is None:
+            fallback = ctx.config.fallback if ctx is not None else "fraz"
+        if min_confidence is None:
+            min_confidence = ctx.config.min_confidence if ctx is not None else 0.5
         if fallback not in _LADDERS:
             raise InvalidConfiguration(
                 f"fallback must be one of {sorted(_LADDERS)}, got {fallback!r}"
@@ -110,10 +121,17 @@ class GuardedInferenceEngine:
         if not pipeline.is_fitted:
             raise NotFittedError("guarded inference needs a fitted pipeline")
         self.pipeline = pipeline
+        self.ctx = ctx
         self.fallback = fallback
         self.min_confidence = min_confidence
         self.fraz_iterations = fraz_iterations
-        self.memo = memo if memo is not None else getattr(pipeline, "memo", None)
+        memo = legacy("GuardedInferenceEngine", "memo", memo)
+        executor = legacy("GuardedInferenceEngine", "executor", executor)
+        if memo is None:
+            memo = ctx.memo if ctx is not None else getattr(pipeline, "memo", None)
+        if executor is None and ctx is not None:
+            executor = ctx.executor
+        self.memo = memo
         self.executor = executor
         self.compressor = pipeline.compressor
         self.config = pipeline.config
@@ -185,12 +203,13 @@ class GuardedInferenceEngine:
         return config if _usable(config) else None
 
     def _fraz_config(self, data: np.ndarray, target_ratio: float) -> float:
-        searcher = FRaZ(
-            self.compressor,
-            max_iterations=self.fraz_iterations,
-            executor=self.executor,
-            memo=self.memo,
-        )
+        # Hand over the already-resolved resources directly: routing
+        # them back through the constructor keywords would trip the
+        # deprecation shims the caller never used.
+        searcher = FRaZ(self.compressor, max_iterations=self.fraz_iterations)
+        searcher.ctx = self.ctx
+        searcher.executor = self.executor
+        searcher.memo = self.memo
         return float(searcher.search(data, target_ratio).config)
 
     # -- public API ------------------------------------------------------------

@@ -1,0 +1,117 @@
+"""Deprecation shims bridging legacy per-layer kwargs to the runtime.
+
+The pre-runtime API threaded ``executor=``, ``memo=`` and ``n_jobs=``
+keywords through every layer. Those keywords keep working, but each
+public entry point now funnels them through :func:`legacy` (which emits
+a :class:`DeprecationWarning` exactly once per process per
+``(owner, kwarg)`` pair) and :func:`legacy_context` (which wraps the
+legacy resources into a borrowed :class:`~repro.runtime.context.RuntimeContext`
+so the inner layers only ever see ``ctx=``).
+
+Internal forwarding between layers never warns: only the boundary the
+caller actually touched does.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNSET = _Unset()
+
+_WARNED: set[tuple[str, str]] = set()
+_LOCK = threading.Lock()
+
+
+def warn_deprecated(owner: str, name: str) -> None:
+    """Emit the once-per-process DeprecationWarning for ``owner(name=)``."""
+    key = (owner, name)
+    with _LOCK:
+        if key in _WARNED:
+            return
+        _WARNED.add(key)
+    warnings.warn(
+        f"{owner}: the {name}= keyword is deprecated; pass "
+        f"ctx=RuntimeContext(...) instead (see docs/RUNTIME.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims already warned (test isolation helper)."""
+    with _LOCK:
+        _WARNED.clear()
+
+
+def legacy(owner: str, name: str, value):
+    """Normalize a legacy kwarg value, warning when it was actually used.
+
+    Returns ``None`` for :data:`UNSET` and for an explicit ``None``
+    (both mean "not provided" to the legacy API); any other value warns
+    once and passes through.
+    """
+    if value is UNSET or value is None:
+        return None
+    warn_deprecated(owner, name)
+    return value
+
+
+def executor_for_jobs(n_jobs, backend: str = "process"):
+    """A ParallelExecutor for a legacy ``n_jobs`` value, or ``None``.
+
+    ``None``/1 mean serial, matching the historical per-layer blocks;
+    executors that collapse to serial are discarded.
+    """
+    from repro.parallel.executor import ParallelExecutor
+
+    if n_jobs is None or n_jobs == 1:
+        return None
+    executor = ParallelExecutor(n_jobs=n_jobs, backend=backend)
+    if executor.backend == "serial":
+        return None
+    return executor
+
+
+def legacy_context(base, *, n_jobs=None, memo=None, executor=None):
+    """Bridge already-normalized legacy resources into a context.
+
+    ``base`` is the caller's ``ctx`` (possibly ``None``). When no legacy
+    value survives normalization the base is returned unchanged; else a
+    fresh context is built around the legacy resources, borrowing the
+    base's memo/executor where the legacy call did not override them.
+    The returned context never reads the environment — legacy callers
+    never opted into env/profile resolution.
+    """
+    if n_jobs is None and memo is None and executor is None:
+        return base
+    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.context import RuntimeContext
+
+    if base is not None:
+        jobs = n_jobs if n_jobs is not None else base.config.jobs
+        config = base.config.replace(jobs=jobs)
+        tracer = base.tracer
+        registry = base.registry
+        if memo is None:
+            memo = base.memo
+    else:
+        config = RuntimeConfig(jobs=n_jobs if n_jobs is not None else 1)
+        tracer = None
+        registry = None
+    return RuntimeContext(
+        config, tracer=tracer, registry=registry, executor=executor, memo=memo
+    )

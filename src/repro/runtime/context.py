@@ -1,0 +1,278 @@
+"""The runtime session object owning every cross-cutting resource.
+
+A :class:`RuntimeContext` is the single seam through which parallelism,
+memoization, tracing, metrics, seeding and robustness policy flow into
+the library. Resources are built lazily from the resolved
+:class:`~repro.runtime.config.RuntimeConfig` (or injected pre-built),
+and the context-manager lifecycle guarantees deterministic teardown:
+on exit the executor shuts down (unlinking any stray shared-memory
+segments), the trace exports to JSONL, the metrics flush to Prometheus
+text, and any process-wide observability install is restored.
+
+Process workers reconstruct a *child* context from the driver's pickled
+:meth:`RuntimeContext.spec` (see :mod:`repro.runtime.worker`); inside a
+worker :func:`current_context` returns that child, so worker code can
+derive seeds and read policy exactly as the driver would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.errors import InvalidConfiguration
+from repro.runtime.config import RuntimeConfig
+
+
+class RuntimeContext:
+    """One session owning the five cross-cutting resources.
+
+    Args:
+        config: a pre-resolved :class:`RuntimeConfig`. Mutually
+            exclusive with ``profile``/``env``/field overrides.
+        tracer: a pre-built :class:`repro.obs.Tracer` to adopt instead
+            of building one from ``config.trace``.
+        registry: a pre-built :class:`repro.obs.MetricsRegistry` to
+            adopt instead of building one from ``config.metrics``.
+        executor: a pre-built :class:`repro.parallel.ParallelExecutor`
+            to borrow; borrowed executors are not shut down on close.
+        memo: a pre-built :class:`repro.parallel.CompressionMemoCache`
+            to share instead of lazily creating one.
+        profile: TOML profile path forwarded to
+            :meth:`RuntimeConfig.resolve`.
+        env: environment mapping forwarded to
+            :meth:`RuntimeConfig.resolve` (tests inject a dict).
+        **overrides: explicit :class:`RuntimeConfig` field values
+            (``jobs=4``, ``seed=7``, ...); ``None`` means unset.
+    """
+
+    def __init__(
+        self,
+        config: RuntimeConfig | None = None,
+        *,
+        tracer=None,
+        registry=None,
+        executor=None,
+        memo=None,
+        profile=None,
+        env=None,
+        **overrides,
+    ) -> None:
+        if config is not None:
+            if overrides or profile is not None or env is not None:
+                raise InvalidConfiguration(
+                    "pass either a pre-resolved config or "
+                    "profile/env/overrides, not both"
+                )
+            self.config = config
+        else:
+            self.config = RuntimeConfig.resolve(profile=profile, env=env, **overrides)
+        self._tracer = tracer
+        self._registry = registry
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._executor_built = executor is not None
+        self._memo = memo
+        self._entered = 0
+        self._closed = False
+        self._previous_obs = None
+        self.exported_spans = 0
+        self.teardown_notes: list[str] = []
+
+    # ------------------------------------------------------------------
+    # resources
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The session tracer (lazy when ``config.trace`` is set)."""
+        if self._tracer is None and self.config.trace:
+            self._tracer = obs.Tracer()
+        return self._tracer
+
+    @property
+    def registry(self):
+        """The session metrics registry (lazy when ``config.metrics`` is set)."""
+        if self._registry is None and self.config.metrics:
+            self._registry = obs.MetricsRegistry()
+        return self._registry
+
+    @property
+    def executor(self):
+        """The session executor, or ``None`` when the config is serial."""
+        self._ensure_open("executor")
+        if not self._executor_built:
+            self._executor_built = True
+            if self.config.jobs not in (None, 1):
+                from repro.parallel.executor import ParallelExecutor
+
+                executor = ParallelExecutor(
+                    n_jobs=self.config.jobs, backend=self.config.backend
+                )
+                if executor.backend != "serial":
+                    executor._ctx = self
+                    self._executor = executor
+        return self._executor
+
+    @property
+    def memo(self):
+        """The shared compression memo cache (lazily created once)."""
+        self._ensure_open("memo")
+        if self._memo is None:
+            from repro.parallel.memo import CompressionMemoCache
+
+            self._memo = CompressionMemoCache()
+            registry = self.registry
+            if registry is not None:
+                self._memo.register_metrics(registry)
+        return self._memo
+
+    @property
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """A fresh root ``SeedSequence`` over ``config.seed``."""
+        return np.random.SeedSequence(self.config.seed)
+
+    def derive_seeds(self, n: int) -> list[int]:
+        """``n`` deterministic child seeds of the session master seed."""
+        from repro.parallel.executor import derive_seeds
+
+        return derive_seeds(self.config.seed, n)
+
+    @property
+    def retry_policy(self):
+        """The robustness retry policy built from the config knobs."""
+        from repro.robustness.faults import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.config.retry_attempts,
+            base_delay=self.config.retry_base_delay,
+        )
+
+    @property
+    def guard_options(self) -> dict:
+        """Guarded-inference knobs as keyword arguments."""
+        return {
+            "fallback": self.config.fallback,
+            "min_confidence": self.config.min_confidence,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self, what: str) -> None:
+        if self._closed:
+            raise InvalidConfiguration(
+                f"cannot use {what} of a closed RuntimeContext"
+            )
+
+    def __enter__(self) -> "RuntimeContext":
+        self._ensure_open("context")
+        if self._entered == 0 and (
+            self.tracer is not None or self.registry is not None
+        ):
+            self._previous_obs = (obs.get_tracer(), obs.get_registry())
+            obs.install(tracer=self.tracer, registry=self.registry)
+        self._entered += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear down deterministically; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._owns_executor and self._executor is not None:
+                self._executor.shutdown()
+            if self._tracer is not None and self.config.trace:
+                count = self._tracer.export_jsonl(self.config.trace)
+                self.exported_spans = count
+                self.teardown_notes.append(
+                    f"wrote {count} span(s) to {self.config.trace}"
+                )
+            if self._registry is not None and self.config.metrics:
+                with open(self.config.metrics, "w", encoding="utf-8") as handle:
+                    handle.write(self._registry.render_prometheus())
+                self.teardown_notes.append(
+                    f"wrote metrics to {self.config.metrics}"
+                )
+        finally:
+            if self._previous_obs is not None:
+                obs.install(*self._previous_obs)
+                self._previous_obs = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_args(cls, args, env=None) -> "RuntimeContext":
+        """Build a context from argparse ``args`` (see ``add_runtime_args``).
+
+        Parser defaults are ``None`` so env/profile values from the
+        lower layers still apply when a flag is not given on the
+        command line.
+        """
+
+        def pick(name):
+            value = getattr(args, name, None)
+            return value if value != "" else None
+
+        return cls(
+            profile=pick("runtime_profile"),
+            env=env,
+            jobs=pick("jobs"),
+            trace=pick("trace"),
+            metrics=pick("metrics"),
+            seed=pick("seed"),
+            fallback=pick("fallback"),
+            min_confidence=pick("min_confidence"),
+        )
+
+    # ------------------------------------------------------------------
+    # worker propagation
+    # ------------------------------------------------------------------
+
+    def spec(self) -> dict:
+        """A picklable spec workers rebuild a child context from.
+
+        The child is forced serial (workers never nest pools) and
+        carries no export paths — worker spans ship back to the driver
+        through the executor instead of writing files.
+        """
+        return {
+            "jobs": 1,
+            "backend": "serial",
+            "trace": "",
+            "metrics": "",
+            "seed": self.config.seed,
+            "fallback": self.config.fallback,
+            "min_confidence": self.config.min_confidence,
+            "retry_attempts": self.config.retry_attempts,
+            "retry_base_delay": self.config.retry_base_delay,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "RuntimeContext":
+        """Reconstruct the child context a worker runs under."""
+        return cls(RuntimeConfig(**spec))
+
+
+_WORKER_CONTEXT: RuntimeContext | None = None
+
+
+def current_context() -> RuntimeContext | None:
+    """The child context of the current process worker, if any."""
+    return _WORKER_CONTEXT
+
+
+def _set_worker_context(ctx: RuntimeContext | None) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = ctx

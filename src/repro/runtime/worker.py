@@ -1,0 +1,48 @@
+"""Process-worker side of RuntimeContext propagation.
+
+The driver's executor ships one ``handoff`` dict to each pool worker
+(through the pool initializer). It carries two independent pieces:
+
+* ``trace_id``/``parent_id`` — when the driver traced the map, the
+  worker runs a local collecting :class:`~repro.obs.Tracer` and adopts
+  the driver's span context, so its spans re-parent under the driver's
+  ``parallel.map`` span once shipped back with the results.
+* ``runtime`` — the driver context's pickled
+  :meth:`~repro.runtime.context.RuntimeContext.spec`, from which the
+  worker rebuilds a serial *child* context. Worker code reaches it via
+  :func:`repro.runtime.current_context` and derives seeds / reads
+  policy exactly as the driver would.
+
+Without a handoff the worker explicitly uninstalls observability: a
+fork-spawned worker inherits the driver's module globals, and
+recording into an inherited tracer whose spans never travel back would
+be silent waste.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import trace as obs_trace
+from repro.runtime.context import RuntimeContext, _set_worker_context
+
+
+def attach_worker_runtime(handoff: dict | None):
+    """Configure this worker process from the driver's handoff.
+
+    Returns the worker-local tracer when tracing is active, else
+    ``None`` (the executor uses this to decide whether task results
+    carry span payloads).
+    """
+    tracer = None
+    if handoff is not None and handoff.get("trace_id") is not None:
+        tracer = obs_trace.Tracer()
+        obs.install(tracer=tracer)
+        obs_trace.attach(
+            obs_trace.SpanContext(handoff["trace_id"], handoff["parent_id"])
+        )
+    else:
+        obs.uninstall()
+        obs_trace.attach(None)
+    spec = handoff.get("runtime") if handoff is not None else None
+    _set_worker_context(RuntimeContext.from_spec(spec) if spec else None)
+    return tracer

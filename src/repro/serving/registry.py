@@ -64,18 +64,43 @@ class ModelRegistry:
         root: registry directory (created on first publish).
         max_loaded: how many deserialized pipelines to keep in memory;
             the least recently used is evicted past this.
+        ctx: a :class:`~repro.runtime.RuntimeContext`; when it carries
+            a metrics registry the LRU hit/miss/eviction gauges are
+            bound there.
     """
 
-    def __init__(self, root: str | pathlib.Path, max_loaded: int = 4) -> None:
+    def __init__(
+        self, root: str | pathlib.Path, max_loaded: int = 4, *, ctx=None
+    ) -> None:
         if max_loaded < 1:
             raise InvalidConfiguration("max_loaded must be >= 1")
         self.root = pathlib.Path(root)
         self.max_loaded = int(max_loaded)
+        self.ctx = ctx
         self._loaded: OrderedDict[tuple[str, str, int], FXRZ] = OrderedDict()
         self._lock = threading.Lock()
         self.load_hits = 0
         self.load_misses = 0
         self.evictions = 0
+        if ctx is not None and ctx.registry is not None:
+            metrics = ctx.registry
+            hits = metrics.gauge(
+                "repro_model_registry_load_hits", "in-memory model LRU hits"
+            )
+            misses = metrics.gauge(
+                "repro_model_registry_load_misses",
+                "in-memory model LRU misses (disk loads)",
+            )
+            evictions = metrics.gauge(
+                "repro_model_registry_evictions", "in-memory model LRU evictions"
+            )
+
+            def collect() -> None:
+                hits.set(self.load_hits)
+                misses.set(self.load_misses)
+                evictions.set(self.evictions)
+
+            metrics.register_collector(collect)
 
     # -- publishing ------------------------------------------------------------
 

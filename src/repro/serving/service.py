@@ -32,6 +32,7 @@ from repro import obs
 from repro.core.inference import Estimate, InferenceEngine
 from repro.core.pipeline import FXRZ
 from repro.errors import InvalidConfiguration, NotFittedError, ReproError
+from repro.runtime.compat import UNSET, legacy, legacy_context
 from repro.serving.cache import FeatureCache, dataset_fingerprint
 from repro.serving.metrics import MetricsRecorder, MetricsSnapshot
 
@@ -89,6 +90,9 @@ class EstimationService:
         cache_entries: LRU capacity of the per-dataset analysis cache.
         latency_window: how many recent request latencies the metrics
             retain for percentile reporting.
+        ctx: a :class:`~repro.runtime.RuntimeContext`; its registry (or
+            the ambient installed one when no context is given) gets
+            the feature-cache gauges bound.
     """
 
     def __init__(
@@ -99,18 +103,23 @@ class EstimationService:
         max_batch: int = 32,
         cache_entries: int = 128,
         latency_window: int = 4096,
+        ctx=None,
     ) -> None:
         if workers < 1:
             raise InvalidConfiguration("service needs at least one worker")
         if max_batch < 1:
             raise InvalidConfiguration("max_batch must be >= 1")
         self.engine = engine
+        self.ctx = ctx
         self.max_batch = int(max_batch)
-        self.cache = FeatureCache(max_entries=cache_entries)
+        self.cache = FeatureCache(max_entries=cache_entries, ctx=ctx)
         self._metrics = MetricsRecorder(latency_window=latency_window)
-        registry = obs.get_registry()
-        if registry is not None:
-            obs.bind_cache_gauges(registry, "serving_feature_cache", self.cache)
+        if ctx is None:
+            registry = obs.get_registry()
+            if registry is not None:
+                obs.bind_cache_gauges(
+                    registry, "serving_feature_cache", self.cache
+                )
         self._pending: OrderedDict[str, deque[_Pending]] = OrderedDict()
         self._cond = threading.Condition()
         self._closed = False
@@ -132,7 +141,9 @@ class EstimationService:
         pipeline: FXRZ,
         guarded: bool = False,
         guard_options: dict | None = None,
-        memo=None,
+        memo=UNSET,
+        *,
+        ctx=None,
         **service_options,
     ) -> "EstimationService":
         """A service over a fitted pipeline.
@@ -141,22 +152,26 @@ class EstimationService:
         identical to ``pipeline.estimate_config``); ``guarded=True``
         builds the robustness ladder with ``guard_options`` forwarded to
         :meth:`FXRZ.guarded`, so degradations show up in the metrics.
-        ``memo`` (a :class:`~repro.parallel.CompressionMemoCache`) is
-        forwarded to the guarded engine's FRaZ rung so fallback searches
-        across requests share compressor runs.
+        ``ctx`` (a :class:`~repro.runtime.RuntimeContext`, defaulting
+        to the pipeline's own) supplies the shared memo of the guarded
+        engine's FRaZ rung, so fallback searches across requests share
+        compressor runs. ``memo=`` is deprecated.
         """
         if not pipeline.is_fitted:
             raise NotFittedError("serve needs a fitted pipeline")
+        if ctx is None:
+            ctx = getattr(pipeline, "ctx", None)
+        ctx = legacy_context(ctx, memo=legacy("for_pipeline", "memo", memo))
         if guarded:
             options = dict(guard_options or {})
-            if memo is not None:
-                options.setdefault("memo", memo)
+            options.setdefault("ctx", ctx)
             engine = pipeline.guarded(**options)
         else:
             engine = InferenceEngine(
-                pipeline.model, pipeline.compressor, config=pipeline.config
+                pipeline.model, pipeline.compressor, config=pipeline.config,
+                ctx=ctx,
             )
-        return cls(engine, **service_options)
+        return cls(engine, ctx=ctx, **service_options)
 
     # -- client API ------------------------------------------------------------
 

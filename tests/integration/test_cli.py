@@ -111,6 +111,72 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+@pytest.mark.runtime
+class TestRuntimeTeardown:
+    """A failing subcommand must not leak workers or shared memory.
+
+    The pre-runtime CLI built its ParallelExecutor per subcommand with
+    no teardown path: an exception between pool creation and the end of
+    the command left worker processes (and any shared-memory segments a
+    map was using) alive. main() now funnels every command through one
+    RuntimeContext whose close() runs in a finally, so failure paths
+    tear down exactly like successes.
+    """
+
+    @staticmethod
+    def _shm_segments():
+        import pathlib
+
+        shm = pathlib.Path("/dev/shm")
+        if not shm.is_dir():  # pragma: no cover - non-Linux fallback
+            return set()
+        return {p.name for p in shm.glob("psm_*")}
+
+    def test_failing_command_tears_down_runtime(self, npy_files, capsys):
+        import multiprocessing
+
+        from repro import cli
+        from repro.errors import InvalidConfiguration
+
+        _, test_path, root = npy_files
+        bogus_model = str(root / "leak-model.npz")
+        np.savez(bogus_model, junk=np.arange(3))
+        before = self._shm_segments()
+        code = main(
+            ["estimate", test_path, "--model", bogus_model, "--ratio", "5",
+             "--jobs", "2"]
+        )
+        capsys.readouterr()
+        assert code == 2
+        ctx = cli._LAST_CONTEXT
+        assert ctx is not None and ctx.closed
+        # The pool the context would have used is gone, not orphaned.
+        assert multiprocessing.active_children() == []
+        assert self._shm_segments() <= before
+        # And the context refuses to hand out resources post-mortem.
+        with pytest.raises(InvalidConfiguration, match="closed RuntimeContext"):
+            ctx.executor
+
+    def test_successful_parallel_command_tears_down(self, npy_files, capsys):
+        import multiprocessing
+
+        from repro import cli
+
+        _, test_path, _ = npy_files
+        before = self._shm_segments()
+        assert main(
+            ["search", test_path, "--ratio", "5", "--iterations", "6",
+             "--jobs", "2"]
+        ) == 0
+        capsys.readouterr()
+        ctx = cli._LAST_CONTEXT
+        assert ctx is not None and ctx.closed
+        executor = ctx._executor
+        assert executor is not None and executor.closed
+        assert multiprocessing.active_children() == []
+        assert self._shm_segments() <= before
+
+
 @pytest.mark.obs
 class TestObservabilityFlags:
     @pytest.fixture(scope="class")

@@ -122,6 +122,119 @@ def _explode(task, arrays, context):  # pragma: no cover - runs in workers
     raise RuntimeError(f"task {task} failed")
 
 
+def _report_worker_runtime(task, arrays, context):  # pragma: no cover - workers
+    from repro.runtime import current_context
+
+    ctx = current_context()
+    if ctx is None:
+        return None
+    return (ctx.config.seed, ctx.config.jobs, tuple(ctx.derive_seeds(3)))
+
+
+@pytest.mark.runtime
+class TestRuntimeContextParity:
+    """The ctx= path must honor the same bit-identity contract.
+
+    A RuntimeContext only *routes* the executor/memo into the layers;
+    it must not perturb a single number relative to the serial
+    reference, and its spec must hand workers the exact seed the driver
+    derives from.
+    """
+
+    def test_curve_identical_through_context(self, field):
+        from repro.runtime import RuntimeContext
+
+        sz = get_compressor("sz")
+        serial = build_curve(sz, field, n_points=6)
+        with RuntimeContext(env={}, jobs=4) as ctx:
+            parallel = build_curve(sz, field, n_points=6, ctx=ctx)
+        np.testing.assert_array_equal(parallel.configs, serial.configs)
+        np.testing.assert_array_equal(parallel.ratios, serial.ratios)
+        assert parallel.log_config == serial.log_config
+
+    def test_forest_identical_through_context(self, field):
+        from repro.runtime import RuntimeContext
+
+        config = FXRZConfig(stationary_points=6, augmented_samples=40)
+
+        def fit(ctx):
+            fxrz = FXRZ(
+                get_compressor("sz"),
+                config=config,
+                model_factory=small_forest_factory,
+                ctx=ctx,
+            )
+            fxrz.fit([field])
+            return fxrz
+
+        with RuntimeContext(env={}, jobs=1) as serial_ctx:
+            serial = fit(serial_ctx)
+        with RuntimeContext(env={}, jobs=4) as parallel_ctx:
+            parallel = fit(parallel_ctx)
+        estimate_s = serial.estimate_config(field, 15.0)
+        estimate_p = parallel.estimate_config(field, 15.0)
+        assert estimate_p.config == estimate_s.config
+        assert estimate_p.adjusted_target == estimate_s.adjusted_target
+
+    def test_fraz_identical_through_context(self, field):
+        from repro.runtime import RuntimeContext
+
+        sz = get_compressor("sz")
+        serial = FRaZ(sz, max_iterations=6).search(field, 20.0)
+        with RuntimeContext(env={}, jobs=4) as ctx:
+            parallel = FRaZ(sz, max_iterations=6, ctx=ctx).search(field, 20.0)
+        assert parallel.evaluations == serial.evaluations
+        assert parallel.config == serial.config
+        assert parallel.measured_ratio == serial.measured_ratio
+
+    def test_workers_see_child_context_with_driver_seed(self, field):
+        from repro.runtime import RuntimeContext, current_context
+
+        assert current_context() is None  # drivers have no worker context
+        with RuntimeContext(env={}, jobs=2, seed=987) as ctx:
+            expected = tuple(ctx.derive_seeds(3))
+            reports = ctx.executor.map(_report_worker_runtime, [0, 1])
+        assert reports == [(987, 1, expected)] * 2
+        assert current_context() is None  # nothing leaked into the driver
+
+
+@pytest.mark.runtime
+@pytest.mark.obs
+class TestRuntimeSpanParity:
+    """Worker spans re-parent identically when the tracer rides a ctx."""
+
+    def test_ctx_driven_sweep_matches_serial_shape(self, field):
+        from repro import obs
+        from repro.runtime import RuntimeContext
+
+        sz = get_compressor("sz")
+
+        def sweep(jobs):
+            # A ctx with jobs=1 has no executor (sweeps run inline with
+            # no parallel.map span), so the serial reference borrows an
+            # n_jobs=1 executor to keep the tree shapes comparable.
+            tracer = obs.Tracer()
+            if jobs == 1:
+                extra = {"executor": ParallelExecutor(n_jobs=1, backend="process")}
+            else:
+                extra = {"jobs": jobs}
+            with RuntimeContext(env={}, tracer=tracer, **extra) as ctx:
+                build_curve(sz, field, n_points=6, ctx=ctx)
+            return tracer.spans
+
+        serial_spans = sweep(1)
+        pool_spans = sweep(4)
+        assert obs.tree_shape(pool_spans) == obs.tree_shape(serial_spans)
+        assert len(pool_spans) == len(serial_spans)
+        compress_spans = [
+            s for s in pool_spans if s.name == "compressor.compress"
+        ]
+        assert len(compress_spans) == 6
+        driver_pid = next(s.pid for s in pool_spans if s.name == "parallel.map")
+        assert any(s.pid != driver_pid for s in compress_spans)
+        assert len({s.trace_id for s in pool_spans}) == 1
+
+
 @pytest.mark.obs
 class TestSpanTreeParity:
     """Cross-process span re-parenting: the trace must not depend on n_jobs.

@@ -73,11 +73,19 @@ class TestParser:
 @pytest.mark.robustness
 class TestGuardFlags:
     def test_estimate_defaults(self, parser):
+        # Parser defaults are None so env/TOML-profile layers can apply;
+        # the resolved policy defaults live in RuntimeConfig.
         args = parser.parse_args(
             ["estimate", "a.npy", "--model", "m.npz", "--ratio", "10"]
         )
-        assert args.fallback == "fraz"
-        assert args.min_confidence == 0.5
+        assert args.fallback is None
+        assert args.min_confidence is None
+        from repro.runtime import RuntimeContext
+
+        ctx = RuntimeContext.from_args(args, env={})
+        assert ctx.config.fallback == "fraz"
+        assert ctx.config.min_confidence == 0.5
+        ctx.close()
 
     def test_fallback_choices(self, parser):
         for choice in ("none", "curve", "fraz"):
