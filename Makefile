@@ -1,7 +1,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness parallel obs runtime runtime-smoke bench bench-parallel serve-smoke trace-smoke
+.PHONY: test robustness parallel obs runtime runtime-smoke bench bench-parallel bench-resilience serve-smoke trace-smoke chaos
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
@@ -42,6 +42,14 @@ trace-smoke:
 runtime:
 	$(PYTEST) -x -q -W error::DeprecationWarning -m runtime
 
+# Chaos gate: the chaos-marked sharded-serving tests — seeded worker
+# crashes, hangs, poison requests and supervisor kills — with
+# RuntimeWarnings promoted to errors. The invariant under test: every
+# admitted request's future resolves (result, typed error or deadline),
+# whatever dies.
+chaos:
+	$(PYTEST) -x -q -W error::RuntimeWarning -m chaos
+
 # Runtime smoke: one RuntimeContext drives train + serve + search end
 # to end, then the teardown contract is asserted (trace/metrics files
 # written, pool gone, closed context refuses work).
@@ -56,3 +64,10 @@ bench:
 # 8-way configuration).
 bench-parallel:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q bench_parallel_scaling.py
+
+# Serving-resilience bench: overload (shedding) + chaos (shard kills
+# under load) phases against the sharded service; writes
+# BENCH_serving_resilience.json at the repo root with p50/p99 latency
+# and the admitted-request loss rate (must be 0).
+bench-resilience:
+	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q bench_serving_resilience.py

@@ -7,7 +7,10 @@ whole fixed-ratio workflow on ``.npy`` files:
 * ``repro estimate``  — predict the error config for a target ratio.
 * ``repro estimate-batch`` (alias ``serve``) — push a JSONL request
   batch through the estimation service (batched, cached, concurrent);
-  ``--stats`` appends the service metrics snapshot.
+  ``--stats`` appends the service metrics snapshot. ``--shards N``
+  serves through the fault-tolerant multi-process supervisor instead
+  (``--queue-depth`` bounds admission, ``--deadline-ms`` sets the
+  per-request deadline; see ``docs/ROBUSTNESS.md``).
 * ``repro compress``  — fixed-ratio compress one array to a blob file.
 * ``repro decompress``— reconstruct an array from a blob file.
 * ``repro search``    — run the FRaZ baseline for comparison.
@@ -41,6 +44,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 
 import numpy as np
 
@@ -52,11 +56,16 @@ from repro.config import FXRZConfig
 from repro.core.persistence import load_pipeline, save_pipeline
 from repro.core.pipeline import FXRZ
 from repro.datasets.registry import dataset_catalog
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceOverloadedError
 from repro.hpc.iosim import DumpScenario, simulate_dump, simulate_faulty_dump
 from repro.robustness import FaultSpec, GuardedInferenceEngine, RetryPolicy
 from repro.runtime import RuntimeContext, runtime_parent_parser
-from repro.serving import EstimateRequest, EstimationService, ModelRegistry
+from repro.serving import (
+    EstimateRequest,
+    EstimationService,
+    ModelRegistry,
+    ShardedEstimationService,
+)
 
 _MAGIC = b"FXRZBLOB"
 
@@ -182,6 +191,20 @@ def _read_batch_requests(path: str) -> list[dict]:
     return specs
 
 
+def _submit_with_backpressure(service, request: EstimateRequest):
+    """Submit, honoring the service's shed/retry-after backpressure.
+
+    A CLI batch is a cooperative client: when the sharded service sheds
+    a request it waits the suggested ``retry_after`` and resubmits
+    instead of dropping work on the floor.
+    """
+    while True:
+        try:
+            return service.submit(request)
+        except ServiceOverloadedError as exc:
+            time.sleep(max(exc.retry_after, 0.01))
+
+
 def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     pipeline = _load_batch_pipeline(args)
     specs = _read_batch_requests(args.requests)
@@ -192,25 +215,38 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
             arrays[path] = _load_array(path)
 
     guarded = args.engine == "guarded"
-    service = EstimationService.for_pipeline(
-        pipeline,
-        guarded=guarded,
-        ctx=ctx,
-        workers=args.workers,
-        max_batch=args.max_batch,
-    )
+    deadline = (args.deadline_ms / 1e3) if args.deadline_ms else None
+    if args.shards > 0:
+        service = ShardedEstimationService.for_pipeline(
+            pipeline,
+            guarded=guarded,
+            ctx=ctx,
+            shards=args.shards,
+            queue_depth=args.queue_depth,
+            default_deadline=deadline,
+        )
+    else:
+        service = EstimationService.for_pipeline(
+            pipeline,
+            guarded=guarded,
+            ctx=ctx,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            default_deadline=deadline,
+        )
     try:
-        futures = service.submit_many(
-            [
+        futures = [
+            _submit_with_backpressure(
+                service,
                 EstimateRequest(
                     data=arrays[str(spec["input"])],
                     target_ratio=float(spec["ratio"]),
                     request_id=str(spec.get("id", "")),
                     dataset_id=str(spec["input"]),
-                )
-                for spec in specs
-            ]
-        )
+                ),
+            )
+            for spec in specs
+        ]
         records = []
         failures = 0
         for spec, future in zip(specs, futures):
@@ -240,6 +276,7 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
                 )
             records.append(json.dumps(record))
         snapshot = service.metrics
+        supervision = getattr(service, "stats", None)
     finally:
         service.close()
 
@@ -256,6 +293,14 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
         print("-- service stats --")
         for line in snapshot.lines():
             print(line)
+        if supervision is not None:
+            print(
+                f"supervision     admitted {supervision.admitted}, "
+                f"shed {supervision.shed}, expired {supervision.expired}, "
+                f"redelivered {supervision.redelivered}, "
+                f"fallbacks {supervision.fallbacks}, "
+                f"respawns {supervision.respawns}, kills {supervision.kills}"
+            )
     return 0
 
 
@@ -442,6 +487,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--workers", type=int, default=4)
     batch.add_argument("--max-batch", type=int, default=32)
+    batch.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve through N supervised worker-process shards "
+        "(0 = in-process thread service)",
+    )
+    batch.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="sharded admission-queue bound; beyond it requests shed "
+        "with a retry-after hint",
+    )
+    batch.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="per-request deadline in milliseconds (0 = none)",
+    )
     batch.add_argument(
         "--stats", action="store_true", help="append the service metrics snapshot"
     )

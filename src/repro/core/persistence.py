@@ -174,6 +174,11 @@ def _read_payload(raw: bytes, path: pathlib.Path) -> bytes:
     if raw[:2] == b"PK":  # legacy bare-npz archive
         return raw
     if raw[: len(_MAGIC)] != _MAGIC:
+        if len(raw) < len(_MAGIC) and _MAGIC.startswith(raw):
+            # A prefix of the magic is a truncated archive, not a
+            # foreign file — every truncation point must raise
+            # CorruptStreamError, never misreport the file's type.
+            raise CorruptStreamError(f"{path}: truncated archive header")
         raise InvalidConfiguration(f"{path} is not an FXRZ pipeline archive")
     if len(raw) < _HEADER_LEN:
         raise CorruptStreamError(f"{path}: truncated archive header")

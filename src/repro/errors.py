@@ -60,6 +60,50 @@ class FallbackExhaustedError(ReproError):
     """Every rung of the guarded-inference degradation ladder failed."""
 
 
+class ServiceOverloadedError(ReproError):
+    """The serving admission queue is full; the request was shed.
+
+    Attributes:
+        retry_after: suggested seconds to wait before resubmitting,
+            derived from the current queue depth and recent latency.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline passed before a result was produced."""
+
+
+class ServiceClosedError(InvalidConfiguration):
+    """The service is closed: new submissions are refused and, on a
+    non-draining close, queued requests are rejected with this error
+    instead of leaving their callers hanging.
+
+    Subclasses :class:`InvalidConfiguration` so pre-existing callers
+    catching that on submit-after-close keep working.
+    """
+
+
+class ShardFailedError(ReproError):
+    """A worker shard died (or was killed) and the request could not be
+    completed by redelivery or the degradation-ladder fallback.
+
+    Attributes:
+        shard: index of the shard that last held the request.
+        redeliveries: how many times the request was redistributed.
+    """
+
+    def __init__(
+        self, message: str, shard: int = -1, redeliveries: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.shard = int(shard)
+        self.redeliveries = int(redeliveries)
+
+
 class RetryExhausted(ReproError):
     """A retried operation ran out of attempts.
 

@@ -252,6 +252,13 @@ class ParallelExecutor:
                 "runtime": spec,
             }
         self._live_handles.extend(handles.values())
+        if self._ctx is not None:
+            # Custody chain for abnormal exits: a borrowed executor is
+            # never shut down by the context, so the context adopts the
+            # segments directly — close() reclaims them even when the
+            # owning map died mid-flight.
+            for handle in handles.values():
+                self._ctx.adopt_shm(handle)
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
@@ -267,6 +274,8 @@ class ParallelExecutor:
                 handle.close()
                 handle.unlink()
                 self._live_handles.remove(handle)
+                if self._ctx is not None:
+                    self._ctx.release_shm(handle)
         if handoff is None or handoff["trace_id"] is None:
             return results
         # Workers returned (result, spans) pairs; unwrap in task order

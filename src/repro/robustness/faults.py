@@ -8,6 +8,7 @@ order, and the backoff jitter is part of that same stream.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,25 @@ class FaultSpec:
         checkpoint_fraction: fraction of the progress made before a
             rank failure that the checkpoint preserves (0 = restart
             from scratch, 1 = perfect checkpointing).
+        worker_crash_prob: serving fault — per-request probability the
+            shard process exits abruptly mid-request (node OOM-kill,
+            segfault). The supervisor detects the death, respawns the
+            shard and redistributes its in-flight requests.
+        worker_hang_prob: serving fault — per-request probability the
+            shard wedges (sleeps ``hang_seconds``) instead of replying;
+            exercised against the supervisor's hang detection.
+        slow_reply_prob: serving fault — per-request probability the
+            shard delays its reply by ``slow_reply_seconds`` (straggler
+            shard, contended node).
+        slow_reply_seconds: the injected straggler delay.
+        hang_seconds: how long an injected hang sleeps (long enough
+            that the supervisor must kill the shard, short enough that
+            an undetected hang still ends a test run).
+        poison_request_prob: serving fault — probability that a given
+            *request* is poison, keyed on its request id: a poison
+            request crashes **every** shard it is delivered to, so only
+            a redelivery cap plus degradation-ladder fallback can
+            complete it.
     """
 
     seed: int = 0
@@ -40,12 +60,30 @@ class FaultSpec:
     straggler_slowdown: float = 4.0
     write_error_prob: float = 0.0
     checkpoint_fraction: float = 0.5
+    worker_crash_prob: float = 0.0
+    worker_hang_prob: float = 0.0
+    slow_reply_prob: float = 0.0
+    slow_reply_seconds: float = 0.05
+    hang_seconds: float = 60.0
+    poison_request_prob: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("rank_failure_prob", "straggler_prob", "write_error_prob"):
+        for name in (
+            "rank_failure_prob",
+            "straggler_prob",
+            "write_error_prob",
+            "worker_crash_prob",
+            "worker_hang_prob",
+            "slow_reply_prob",
+            "poison_request_prob",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value < 1.0:
                 raise InvalidConfiguration(f"{name} must be in [0, 1)")
+        if self.slow_reply_seconds < 0.0:
+            raise InvalidConfiguration("slow_reply_seconds must be >= 0")
+        if self.hang_seconds <= 0.0:
+            raise InvalidConfiguration("hang_seconds must be > 0")
         if self.rank_failure_prob + self.write_error_prob >= 1.0:
             raise InvalidConfiguration(
                 "rank_failure_prob + write_error_prob must be < 1"
@@ -58,6 +96,44 @@ class FaultSpec:
     def rank_rng(self, rank: int) -> np.random.Generator:
         """The deterministic random stream owned by ``rank``."""
         return np.random.default_rng([self.seed & 0x7FFFFFFF, rank])
+
+    @property
+    def has_serving_faults(self) -> bool:
+        """Whether any serving-side fault is enabled."""
+        return any(
+            (
+                self.worker_crash_prob,
+                self.worker_hang_prob,
+                self.slow_reply_prob,
+                self.poison_request_prob,
+            )
+        )
+
+    def serving_rng(self, shard: int, generation: int = 0) -> np.random.Generator:
+        """The fault stream of one shard *incarnation*.
+
+        Folding the respawn generation into the key keeps a respawned
+        shard from replaying the exact draws that just killed it —
+        otherwise a crash-prone seed would loop the same shard to
+        death forever.
+        """
+        return np.random.default_rng(
+            [self.seed & 0x7FFFFFFF, 0x5EED + shard, generation]
+        )
+
+    def is_poison(self, request_id: str) -> bool:
+        """Whether ``request_id`` names a poison request.
+
+        Keyed on the request id (not the shard stream) so the same
+        request is poison on *every* shard it is redelivered to — the
+        defining property of a poison message.
+        """
+        if self.poison_request_prob <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            [self.seed & 0x7FFFFFFF, zlib.crc32(request_id.encode("utf-8"))]
+        )
+        return bool(rng.uniform() < self.poison_request_prob)
 
 
 @dataclass(frozen=True)

@@ -53,8 +53,15 @@ class RuntimeConfig:
             worker child contexts derive per-task seeds from it.
         fallback: terminal rung of the guarded-inference ladder.
         min_confidence: model-tier acceptance threshold in [0, 1].
-        retry_attempts: attempt budget of the context retry policy.
+        retry_attempts: attempt budget of the context retry policy
+            (also the shard respawn budget of the sharded service).
         retry_base_delay: base backoff delay of the retry policy.
+        breaker_failures: consecutive shard failures that trip a
+            serving circuit breaker from closed to open.
+        breaker_reset: seconds an open breaker waits before letting a
+            half-open probe request through.
+        deadline: default per-request deadline in seconds for the
+            serving layer (0 = no deadline).
         provenance: ``field -> layer`` map ("default"/"env"/"profile"/
             "override"); informational, excluded from equality.
     """
@@ -68,6 +75,9 @@ class RuntimeConfig:
     min_confidence: float = 0.5
     retry_attempts: int = 4
     retry_base_delay: float = 0.5
+    breaker_failures: int = 5
+    breaker_reset: float = 30.0
+    deadline: float = 0.0
     provenance: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -85,6 +95,12 @@ class RuntimeConfig:
             raise InvalidConfiguration("retry_attempts must be >= 1")
         if self.retry_base_delay < 0:
             raise InvalidConfiguration("retry_base_delay must be >= 0")
+        if self.breaker_failures < 1:
+            raise InvalidConfiguration("breaker_failures must be >= 1")
+        if self.breaker_reset < 0:
+            raise InvalidConfiguration("breaker_reset must be >= 0")
+        if self.deadline < 0:
+            raise InvalidConfiguration("deadline must be >= 0")
 
     def replace(self, **changes) -> "RuntimeConfig":
         """A copy with ``changes`` applied (provenance marks them)."""
@@ -155,6 +171,9 @@ def _coerce(name: str, value, source: str):
         "min_confidence": float,
         "retry_attempts": int,
         "retry_base_delay": float,
+        "breaker_failures": int,
+        "breaker_reset": float,
+        "deadline": float,
     }[name]
     try:
         if target is str:

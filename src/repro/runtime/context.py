@@ -17,6 +17,8 @@ derive seeds and read policy exactly as the driver would.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro import obs
@@ -76,6 +78,8 @@ class RuntimeContext:
         self._entered = 0
         self._closed = False
         self._previous_obs = None
+        self._shm_lock = threading.Lock()
+        self._shm_handles: list = []
         self.exported_spans = 0
         self.teardown_notes: list[str] = []
 
@@ -156,6 +160,42 @@ class RuntimeContext:
             "min_confidence": self.config.min_confidence,
         }
 
+    @property
+    def breaker_options(self) -> dict:
+        """Circuit-breaker knobs as keyword arguments."""
+        return {
+            "failure_threshold": self.config.breaker_failures,
+            "reset_seconds": self.config.breaker_reset,
+        }
+
+    # ------------------------------------------------------------------
+    # shared-memory custody
+    # ------------------------------------------------------------------
+
+    def adopt_shm(self, handle) -> None:
+        """Register an owned :class:`~repro.parallel.SharedNDArray`.
+
+        Adopted segments are unlinked during :meth:`close`, so a
+        segment whose owning map or shard died mid-flight is still
+        reclaimed at session teardown instead of leaking in
+        ``/dev/shm``. A segment adopted after close is unlinked
+        immediately.
+        """
+        with self._shm_lock:
+            if not self._closed:
+                self._shm_handles.append(handle)
+                return
+        handle.close()
+        handle.unlink()
+
+    def release_shm(self, handle) -> None:
+        """Drop custody of ``handle`` (its owner unlinked it itself)."""
+        with self._shm_lock:
+            try:
+                self._shm_handles.remove(handle)
+            except ValueError:
+                pass
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -191,6 +231,19 @@ class RuntimeContext:
         try:
             if self._owns_executor and self._executor is not None:
                 self._executor.shutdown()
+            with self._shm_lock:
+                leftovers, self._shm_handles = self._shm_handles, []
+            for handle in leftovers:
+                try:
+                    handle.close()
+                    handle.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            if leftovers:
+                self.teardown_notes.append(
+                    f"unlinked {len(leftovers)} leftover shared-memory "
+                    "segment(s)"
+                )
             if self._tracer is not None and self.config.trace:
                 count = self._tracer.export_jsonl(self.config.trace)
                 self.exported_spans = count
@@ -257,6 +310,9 @@ class RuntimeContext:
             "min_confidence": self.config.min_confidence,
             "retry_attempts": self.config.retry_attempts,
             "retry_base_delay": self.config.retry_base_delay,
+            "breaker_failures": self.config.breaker_failures,
+            "breaker_reset": self.config.breaker_reset,
+            "deadline": self.config.deadline,
         }
 
     @classmethod

@@ -14,7 +14,12 @@ request lifecycle:
   individually, a worker pool coalesces same-dataset requests so the
   analysis runs once per batch, results come back as futures;
 * :class:`MetricsSnapshot` — per-request latency, cache hit/miss
-  counters, and tier/fallback counts from the guarded engine.
+  counters, and tier/fallback counts from the guarded engine;
+* :class:`ShardedEstimationService` — the fault-tolerant multi-process
+  front-end: supervised worker shards with circuit breakers, bounded
+  admission (load shedding), per-request deadlines, crash/hang
+  detection with respawn, and a degradation-ladder fallback (see
+  ``docs/ROBUSTNESS.md``).
 
 See ``docs/API.md`` ("Estimation serving") for the on-disk registry
 layout and cache keying semantics.
@@ -28,8 +33,14 @@ from repro.serving.service import (
     EstimationService,
     ServedEstimate,
 )
+from repro.serving.supervisor import (
+    CircuitBreaker,
+    ShardedEstimationService,
+    SupervisorStats,
+)
 
 __all__ = [
+    "CircuitBreaker",
     "EstimateRequest",
     "EstimationService",
     "FeatureCache",
@@ -39,5 +50,7 @@ __all__ = [
     "ModelRegistry",
     "ModelVersion",
     "ServedEstimate",
+    "ShardedEstimationService",
+    "SupervisorStats",
     "dataset_fingerprint",
 ]

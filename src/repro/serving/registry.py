@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import pathlib
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -34,7 +35,7 @@ from repro.core.persistence import (
     save_pipeline,
 )
 from repro.core.pipeline import FXRZ
-from repro.errors import InvalidConfiguration
+from repro.errors import CorruptStreamError, InvalidConfiguration
 
 _MANIFEST = "manifest.json"
 _SUFFIX = ".fxrz"
@@ -116,7 +117,19 @@ class ModelRegistry:
         entry_dir = self.root / pipeline.compressor.name / fingerprint
         entry_dir.mkdir(parents=True, exist_ok=True)
         manifest = self._read_manifest(entry_dir)
-        version = int(manifest.get("latest", 0)) + 1
+        try:
+            latest = int(manifest.get("latest", 0))
+        except (TypeError, ValueError):
+            latest = 0
+        on_disk = [
+            int(p.stem[1:])
+            for p in entry_dir.glob(f"v*{_SUFFIX}")
+            if p.stem[1:].isdigit()
+        ]
+        # A corrupt manifest must not reset the version counter and
+        # silently overwrite published artifacts; the on-disk files are
+        # the ground truth for "next version".
+        version = max([latest, *on_disk], default=0) + 1
         path = entry_dir / f"v{version}{_SUFFIX}"
         tmp = entry_dir / f".v{version}{_SUFFIX}.tmp"
         save_pipeline(pipeline, tmp)
@@ -199,8 +212,11 @@ class ModelRegistry:
                 f"registry has no entry {compressor}/{fingerprint}"
             )
         if version == LATEST:
-            manifest = self._read_manifest(entry_dir)
-            resolved = int(manifest.get("latest", 0))
+            manifest = self._read_manifest(entry_dir, warn=True)
+            try:
+                resolved = int(manifest.get("latest", 0))
+            except (TypeError, ValueError):
+                resolved = 0
             if resolved < 1:
                 versions = sorted(
                     int(p.stem[1:])
@@ -210,6 +226,15 @@ class ModelRegistry:
                 if not versions:
                     raise InvalidConfiguration(
                         f"entry {compressor}/{fingerprint} has no versions"
+                    )
+                if (entry_dir / _MANIFEST).is_file():
+                    warnings.warn(
+                        f"registry entry {compressor}/{fingerprint}: "
+                        f"manifest carries no usable 'latest' alias; "
+                        f"falling back to newest on-disk version "
+                        f"v{versions[-1]}",
+                        RuntimeWarning,
+                        stacklevel=3,
                     )
                 resolved = versions[-1]
         else:
@@ -238,7 +263,14 @@ class ModelRegistry:
         fingerprint: str | None = None,
         version: int | str = LATEST,
     ) -> FXRZ:
-        """A deserialized pipeline, through the in-memory LRU."""
+        """A deserialized pipeline, through the in-memory LRU.
+
+        A ``latest`` load whose resolved archive turns out corrupt
+        (truncated, bit-flipped) degrades to the newest *readable*
+        older version with a :class:`RuntimeWarning` instead of taking
+        the serving process down; explicit integer versions still fail
+        loudly — the caller asked for that exact artifact.
+        """
         coordinate = self.resolve(compressor, fingerprint, version)
         with self._lock:
             cached = self._loaded.get(coordinate.key)
@@ -247,10 +279,55 @@ class ModelRegistry:
                 self.load_hits += 1
                 return cached
             self.load_misses += 1
-        pipeline = load_pipeline(coordinate.path)
+        try:
+            pipeline = load_pipeline(coordinate.path)
+        except CorruptStreamError as exc:
+            if version != LATEST:
+                raise
+            pipeline, coordinate = self._load_newest_readable(
+                compressor, coordinate.fingerprint, coordinate.version, exc
+            )
         with self._lock:
             self._cache_locked(coordinate.key, pipeline)
         return pipeline
+
+    def _load_newest_readable(
+        self,
+        compressor: str,
+        fingerprint: str,
+        bad_version: int,
+        cause: CorruptStreamError,
+    ) -> tuple[FXRZ, ModelVersion]:
+        """Walk versions below ``bad_version`` until one deserializes."""
+        entry_dir = self.root / compressor / fingerprint
+        older = sorted(
+            (
+                int(p.stem[1:])
+                for p in entry_dir.glob(f"v*{_SUFFIX}")
+                if p.stem[1:].isdigit() and int(p.stem[1:]) < bad_version
+            ),
+            reverse=True,
+        )
+        for candidate in older:
+            path = entry_dir / f"v{candidate}{_SUFFIX}"
+            try:
+                pipeline = load_pipeline(path)
+            except CorruptStreamError:
+                continue
+            warnings.warn(
+                f"registry entry {compressor}/{fingerprint}: latest "
+                f"version v{bad_version} is corrupt ({cause}); serving "
+                f"older readable version v{candidate}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return pipeline, ModelVersion(
+                compressor=compressor,
+                fingerprint=fingerprint,
+                version=candidate,
+                path=path,
+            )
+        raise cause
 
     # -- internals -------------------------------------------------------------
 
@@ -262,12 +339,19 @@ class ModelRegistry:
             self.evictions += 1
 
     @staticmethod
-    def _read_manifest(entry_dir: pathlib.Path) -> dict:
+    def _read_manifest(entry_dir: pathlib.Path, warn: bool = False) -> dict:
         path = entry_dir / _MANIFEST
         if not path.is_file():
             return {}
         try:
             manifest = json.loads(path.read_text())
-        except (ValueError, OSError):
+        except (ValueError, OSError) as exc:
+            if warn:
+                warnings.warn(
+                    f"registry manifest {path} is unreadable ({exc}); "
+                    "treating the entry as alias-less",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
             return {}
         return manifest if isinstance(manifest, dict) else {}

@@ -24,6 +24,7 @@ import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +32,13 @@ import numpy as np
 from repro import obs
 from repro.core.inference import Estimate, InferenceEngine
 from repro.core.pipeline import FXRZ
-from repro.errors import InvalidConfiguration, NotFittedError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidConfiguration,
+    NotFittedError,
+    ReproError,
+    ServiceClosedError,
+)
 from repro.runtime.compat import UNSET, legacy, legacy_context
 from repro.serving.cache import FeatureCache, dataset_fingerprint
 from repro.serving.metrics import MetricsRecorder, MetricsSnapshot
@@ -49,12 +56,18 @@ class EstimateRequest:
         dataset_id: optional explicit dataset key; requests sharing it
             are coalesced without content-hashing the array. Leave empty
             to let the service fingerprint the sampled view.
+        deadline_seconds: per-request deadline relative to submission;
+            a request still unserved past it fails with
+            :class:`~repro.errors.DeadlineExceededError` instead of
+            waiting forever. ``None`` falls back to the service's
+            ``default_deadline``.
     """
 
     data: np.ndarray
     target_ratio: float
     request_id: str = ""
     dataset_id: str = ""
+    deadline_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -75,6 +88,7 @@ class _Pending:
     future: Future
     submitted: float
     request_id: str
+    deadline: float | None = None  # absolute, on the ``submitted`` clock
 
 
 class EstimationService:
@@ -90,6 +104,12 @@ class EstimationService:
         cache_entries: LRU capacity of the per-dataset analysis cache.
         latency_window: how many recent request latencies the metrics
             retain for percentile reporting.
+        default_deadline: deadline (seconds) applied to requests that do
+            not carry their own ``deadline_seconds``. ``None`` resolves
+            from the context's :attr:`RuntimeConfig.deadline` (0 there
+            means "no deadline"); an expired request fails with
+            :class:`~repro.errors.DeadlineExceededError` instead of
+            being served late or waited on forever.
         ctx: a :class:`~repro.runtime.RuntimeContext`; its registry (or
             the ambient installed one when no context is given) gets
             the feature-cache gauges bound.
@@ -103,6 +123,7 @@ class EstimationService:
         max_batch: int = 32,
         cache_entries: int = 128,
         latency_window: int = 4096,
+        default_deadline: float | None = None,
         ctx=None,
     ) -> None:
         if workers < 1:
@@ -111,6 +132,12 @@ class EstimationService:
             raise InvalidConfiguration("max_batch must be >= 1")
         self.engine = engine
         self.ctx = ctx
+        if default_deadline is None and ctx is not None:
+            configured = float(getattr(ctx.config, "deadline", 0.0))
+            default_deadline = configured if configured > 0 else None
+        if default_deadline is not None and default_deadline <= 0:
+            raise InvalidConfiguration("default_deadline must be positive")
+        self.default_deadline = default_deadline
         self.max_batch = int(max_batch)
         self.cache = FeatureCache(max_entries=cache_entries, ctx=ctx)
         self._metrics = MetricsRecorder(latency_window=latency_window)
@@ -196,11 +223,22 @@ class EstimationService:
     def run_batch(
         self, requests: list[EstimateRequest], timeout: float | None = None
     ) -> list[ServedEstimate]:
-        """Submit ``requests`` and wait for every result, in order."""
-        return [
-            future.result(timeout=timeout)
-            for future in self.submit_many(requests)
-        ]
+        """Submit ``requests`` and wait for every result, in order.
+
+        ``timeout`` bounds the wait for *each* future; a wait that runs
+        out raises :class:`~repro.errors.DeadlineExceededError` rather
+        than the bare :class:`concurrent.futures.TimeoutError`, keeping
+        every timeout surface of the service under one exception type.
+        """
+        results = []
+        for future in self.submit_many(requests):
+            try:
+                results.append(future.result(timeout=timeout))
+            except FuturesTimeoutError as exc:
+                raise DeadlineExceededError(
+                    f"no result within {timeout:.3f}s wait budget"
+                ) from exc
+        return results
 
     def estimate(self, data: np.ndarray, target_ratio: float) -> ServedEstimate:
         """Synchronous single-request convenience."""
@@ -213,15 +251,42 @@ class EstimationService:
         """A frozen snapshot of the service counters."""
         return self._metrics.snapshot(cache=self.cache)
 
-    def close(self) -> None:
-        """Drain queued work, then stop the workers (idempotent)."""
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the workers (idempotent).
+
+        ``drain=True`` (the default) serves everything already queued
+        first. ``drain=False`` rejects every queued request immediately
+        with :class:`~repro.errors.ServiceClosedError` so no caller is
+        left blocked on a future that will never resolve. ``timeout``
+        bounds the per-worker join either way; workers are daemons, so
+        a join that times out leaks no process-exit hazard.
+        """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
+            if not drain:
+                rejected = [
+                    item
+                    for queue in self._pending.values()
+                    for item in queue
+                ]
+                self._pending.clear()
+            else:
+                rejected = []
             self._cond.notify_all()
+        for item in rejected:
+            self._metrics.record_request(
+                time.perf_counter() - item.submitted, failed=True
+            )
+            item.future.set_exception(
+                ServiceClosedError(
+                    f"estimation service closed before serving "
+                    f"{item.request_id}"
+                )
+            )
         for thread in self._workers:
-            thread.join()
+            thread.join(timeout=timeout)
 
     def __enter__(self) -> "EstimationService":
         return self
@@ -240,15 +305,24 @@ class EstimationService:
     def _enqueue(self, request: EstimateRequest) -> Future:
         key = self._dataset_key(request)
         future: Future = Future()
+        submitted = time.perf_counter()
+        relative = (
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self.default_deadline
+        )
+        if relative is not None and relative <= 0:
+            raise InvalidConfiguration("deadline_seconds must be positive")
         item = _Pending(
             request=request,
             future=future,
-            submitted=time.perf_counter(),
+            submitted=submitted,
             request_id=request.request_id or f"req-{next(self._ids)}",
+            deadline=None if relative is None else submitted + relative,
         )
         with self._cond:
             if self._closed:
-                raise InvalidConfiguration(
+                raise ServiceClosedError(
                     "estimation service is closed; no new requests accepted"
                 )
             self._pending.setdefault(key, deque()).append(item)
@@ -281,6 +355,19 @@ class EstimationService:
                 self._serve_one(key, item, len(batch))
 
     def _serve_one(self, key: str, item: _Pending, batch_size: int) -> None:
+        if item.deadline is not None and time.perf_counter() > item.deadline:
+            # Serving an already-expired request wastes engine time the
+            # caller will never see; fail fast instead.
+            self._metrics.record_request(
+                time.perf_counter() - item.submitted, failed=True
+            )
+            item.future.set_exception(
+                DeadlineExceededError(
+                    f"request {item.request_id} expired in queue "
+                    f"(deadline {item.deadline - item.submitted:.3f}s)"
+                )
+            )
+            return
         with obs.span(
             "serving.request",
             target_ratio=float(item.request.target_ratio),

@@ -1,0 +1,1138 @@
+"""Fault-tolerant sharded estimation serving.
+
+:class:`ShardedEstimationService` runs N worker-process shards (see
+:mod:`repro.serving.shard`), each holding a warm model replica, behind
+a supervisor that keeps the service answering through crashes, hangs
+and overload:
+
+* **Backpressure** — admission goes through a bounded queue; a full
+  queue sheds the request immediately with
+  :class:`~repro.errors.ServiceOverloadedError` carrying a
+  ``retry_after`` hint instead of building an unbounded backlog.
+* **Deadlines** — every request may carry one; an expired request is
+  failed with :class:`~repro.errors.DeadlineExceededError` wherever it
+  happens to be (queued, piped, in flight), never served late into a
+  future nobody is waiting on.
+* **Supervision** — a monitor thread health-checks each shard through
+  heartbeat/busy timestamps and process liveness, kills wedged shards,
+  and respawns dead ones on the
+  :class:`~repro.robustness.faults.RetryPolicy` backoff schedule while
+  their in-flight requests are redistributed to surviving shards.
+* **Circuit breaking** — each shard sits behind a
+  :class:`CircuitBreaker` (closed → open → half-open); a tripped
+  shard's traffic routes to the remaining shards or, when none can
+  take it, down the PR-1 degradation ladder (model → curve → FRaZ) run
+  in-process — degraded answers instead of failures.
+
+The invariant the chaos tests pin down: **every admitted request's
+future resolves** — with a result, a typed error, or a deadline — no
+matter which shards die when. Resolution is single-owner by
+construction: whichever thread pops a request from the live table is
+the one that resolves its future; late replies from killed shards find
+the table empty and are counted, not raised.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, replace
+from multiprocessing import connection, resource_tracker
+
+import numpy as np
+
+from repro.core.persistence import save_pipeline
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidConfiguration,
+    NotFittedError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShardFailedError,
+)
+from repro.parallel.shm import SharedNDArray
+from repro.robustness.faults import RetryPolicy, backoff_schedule
+from repro.serving.cache import dataset_fingerprint
+from repro.serving.metrics import MetricsRecorder, MetricsSnapshot
+from repro.serving.service import EstimateRequest, ServedEstimate
+from repro.serving.shard import shard_main
+
+#: Shard lifecycle states.
+STARTING = "starting"
+READY = "ready"
+DEAD = "dead"      # awaiting respawn
+FAILED = "failed"  # respawn budget exhausted; permanently out
+STOPPED = "stopped"
+
+
+class CircuitBreaker:
+    """Per-shard failure gate: closed → open → half-open → closed.
+
+    Consecutive *infrastructure* failures (crashes, hang kills — never
+    request-level engine errors) trip the breaker open; after
+    ``reset_seconds`` one probe request is allowed through
+    (half-open). The probe's success closes the breaker, its failure
+    reopens it for another full reset window.
+
+    Thread-safe; all transitions happen under an internal lock.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 5, reset_seconds: float = 30.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise InvalidConfiguration("failure_threshold must be >= 1")
+        if reset_seconds < 0:
+            raise InvalidConfiguration("reset_seconds must be >= 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_seconds = float(reset_seconds)
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"``."""
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if time.monotonic() - self._opened_at >= self.reset_seconds:
+                return "half-open"
+            return "open"
+
+    def would_allow(self) -> bool:
+        """Whether a request *could* pass now, without consuming the probe."""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._probing:
+                return False  # probe already in flight
+            return time.monotonic() - self._opened_at >= self.reset_seconds
+
+    def allow(self) -> bool:
+        """Admit one request; consumes the half-open probe slot."""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._probing:
+                return False
+            if time.monotonic() - self._opened_at >= self.reset_seconds:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._probing or self._failures >= self.failure_threshold:
+                self._opened_at = time.monotonic()
+                self._probing = False
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe may pass (0 when passable now)."""
+        with self._lock:
+            if self._opened_at is None or self._probing is False and (
+                time.monotonic() - self._opened_at >= self.reset_seconds
+            ):
+                return 0.0
+            return max(
+                0.0,
+                self.reset_seconds - (time.monotonic() - self._opened_at),
+            )
+
+
+@dataclass(frozen=True)
+class SupervisorStats:
+    """Counters describing what supervision did (snapshot, immutable).
+
+    Attributes:
+        admitted: requests accepted past the admission queue.
+        completed: futures resolved with a result (any tier).
+        failed: futures resolved with an engine/fallback error.
+        shed: submissions rejected by backpressure.
+        expired: requests failed on their deadline.
+        redelivered: in-flight requests redistributed off dead shards.
+        fallbacks: requests answered by the in-process degradation
+            ladder because no shard could take them.
+        respawns: shard processes restarted after death.
+        kills: shards the supervisor killed (hangs, lost heartbeats).
+        late_replies: replies from shards for requests already resolved
+            elsewhere (deadline, redelivery) — counted, never raised.
+    """
+
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    expired: int = 0
+    redelivered: int = 0
+    fallbacks: int = 0
+    respawns: int = 0
+    kills: int = 0
+    late_replies: int = 0
+
+
+@dataclass
+class _Inflight:
+    seq: int
+    request: EstimateRequest
+    future: Future
+    dataset_key: str
+    descriptor: object
+    submitted: float
+    deadline: float | None
+    request_id: str
+    shard: int = -1
+    redeliveries: int = 0
+
+
+class _ShardSlot:
+    """Mutable supervisor-side record of one shard index."""
+
+    def __init__(self, index: int, breaker: CircuitBreaker) -> None:
+        self.index = index
+        self.breaker = breaker
+        self.generation = 0
+        self.state = DEAD
+        self.process = None
+        self.req_conn = None  # parent write end
+        self.res_conn = None  # parent read end
+        self.beat = None
+        self.busy = None
+        self.inflight: set[int] = set()
+        self.strikes = 0       # consecutive deaths without reaching READY
+        self.respawn_at = 0.0
+        self.started_at = 0.0
+        self.last_death_reason = ""
+
+
+class ShardedEstimationService:
+    """Supervised multi-process estimation service.
+
+    Args:
+        pipeline: a fitted :class:`~repro.core.pipeline.FXRZ`; the
+            parent keeps it for the degradation-ladder fallback while
+            each shard loads its own warm replica from ``model_path``.
+        shards: worker-process count.
+        queue_depth: admission-queue bound; beyond it submissions shed
+            with :class:`~repro.errors.ServiceOverloadedError`.
+        model_path: serialized pipeline the shards load. ``None`` saves
+            ``pipeline`` to a temporary file owned (and deleted) by the
+            service.
+        guarded: shards serve through the guarded engine (degradation
+            ladder inside the shard) instead of the plain one.
+        guard_options: forwarded to :meth:`FXRZ.guarded` in each shard
+            and in the parent fallback engine.
+        default_deadline: deadline applied to requests without their
+            own ``deadline_seconds``; ``None`` resolves from the
+            context's :attr:`RuntimeConfig.deadline` (0 = none).
+        max_inflight_per_shard: dispatch cap per shard, so queueing
+            happens in the supervisor (where it can shed and expire)
+            rather than invisibly inside shard pipes.
+        max_redeliveries: how many times one request may be
+            redistributed off dead shards before it is answered by the
+            fallback ladder instead (the poison-request escape hatch).
+        heartbeat_timeout: an *idle* shard whose beat is older than
+            this is presumed wedged and killed.
+        hang_timeout: a *busy* shard serving one request for longer
+            than this is killed (its requests redistribute).
+        hang_grace: extra seconds past a busy request's own deadline
+            before the shard holding it is declared hung.
+        retry_policy: backoff schedule for shard respawns; defaults to
+            the context's policy. ``max_attempts`` bounds *consecutive
+            failed spawns* — a shard that keeps dying before reaching
+            readiness is marked failed and taken out of rotation.
+        faults: optional :class:`~repro.robustness.faults.FaultSpec`
+            with serving faults, injected inside the shards (chaos
+            harness).
+        fallback: whether the in-process degradation ladder backstops
+            requests no shard can take; ``False`` fails them with
+            :class:`~repro.errors.ShardFailedError` instead.
+        breaker_options: ``failure_threshold``/``reset_seconds`` for
+            the per-shard breakers; defaults to the context's
+            :attr:`RuntimeContext.breaker_options`.
+        poll_interval: monitor/dispatcher tick.
+        ctx: a :class:`~repro.runtime.RuntimeContext`; supplies config
+            defaults, adopts the shared-memory segments, and its spec
+            seeds each shard's child context.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        *,
+        shards: int = 2,
+        queue_depth: int = 64,
+        model_path=None,
+        guarded: bool = True,
+        guard_options: dict | None = None,
+        default_deadline: float | None = None,
+        max_inflight_per_shard: int = 4,
+        max_redeliveries: int = 2,
+        heartbeat_timeout: float = 5.0,
+        hang_timeout: float = 10.0,
+        hang_grace: float = 0.5,
+        retry_policy: RetryPolicy | None = None,
+        faults=None,
+        fallback: bool = True,
+        breaker_options: dict | None = None,
+        poll_interval: float = 0.02,
+        latency_window: int = 4096,
+        max_datasets: int = 64,
+        ctx=None,
+    ) -> None:
+        if not pipeline.is_fitted:
+            raise NotFittedError("sharded serving needs a fitted pipeline")
+        if shards < 1:
+            raise InvalidConfiguration("shards must be >= 1")
+        if queue_depth < 1:
+            raise InvalidConfiguration("queue_depth must be >= 1")
+        if max_inflight_per_shard < 1:
+            raise InvalidConfiguration("max_inflight_per_shard must be >= 1")
+        if max_redeliveries < 0:
+            raise InvalidConfiguration("max_redeliveries must be >= 0")
+        self.pipeline = pipeline
+        self.ctx = ctx
+        self.n_shards = int(shards)
+        self.queue_depth = int(queue_depth)
+        self.max_inflight_per_shard = int(max_inflight_per_shard)
+        self.max_redeliveries = int(max_redeliveries)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.hang_timeout = float(hang_timeout)
+        self.hang_grace = float(hang_grace)
+        self.poll_interval = float(poll_interval)
+        self.max_datasets = int(max_datasets)
+        self.faults = faults
+        self._fallback_enabled = bool(fallback)
+        if default_deadline is None and ctx is not None:
+            configured = float(getattr(ctx.config, "deadline", 0.0))
+            default_deadline = configured if configured > 0 else None
+        if default_deadline is not None and default_deadline <= 0:
+            raise InvalidConfiguration("default_deadline must be positive")
+        self.default_deadline = default_deadline
+        if retry_policy is None:
+            retry_policy = (
+                ctx.retry_policy if ctx is not None else RetryPolicy()
+            )
+        self.retry_policy = retry_policy
+        if breaker_options is None:
+            breaker_options = (
+                dict(ctx.breaker_options)
+                if ctx is not None
+                else {"failure_threshold": 5, "reset_seconds": 30.0}
+            )
+        self._breaker_options = breaker_options
+
+        self._owns_model = model_path is None
+        if model_path is None:
+            fd, model_path = tempfile.mkstemp(
+                prefix="fxrz-shard-", suffix=".fxrz"
+            )
+            os.close(fd)
+            save_pipeline(pipeline, model_path)
+        self.model_path = str(model_path)
+
+        guard_opts = dict(guard_options or {})
+        guard_opts.pop("ctx", None)
+        self._shard_spec = {
+            "runtime": ctx.spec() if ctx is not None else None,
+            "model_path": self.model_path,
+            "guarded": bool(guarded),
+            "guard_options": guard_opts,
+            "faults": faults,
+        }
+        # The fallback rung runs in the parent, so it always terminates
+        # in FRaZ — it is the last line of defense, not a mirror of the
+        # shard's (possibly weaker) ladder.
+        self._fallback_engine = (
+            pipeline.guarded(ctx=ctx, **{**guard_opts, "fallback": "fraz"})
+            if self._fallback_enabled
+            else None
+        )
+        self._fallback_analyses: dict[str, object] = {}
+        self._fallback_pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="fxrz-fallback"
+        )
+
+        self._mp = multiprocessing.get_context("fork")
+        self._metrics = MetricsRecorder(latency_window=latency_window)
+        self._stats = SupervisorStats()
+        self._ewma_latency = 0.05
+        self._seq = itertools.count(1)
+        self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._live: dict[int, _Inflight] = {}
+        self._admit: queue.Queue[_Inflight] = queue.Queue(maxsize=queue_depth)
+        self._redeliver: deque[_Inflight] = deque()
+        self._segments: dict[str, SharedNDArray] = {}
+        self._closed = False
+        self._stop = threading.Event()
+        self._backoff_rng = np.random.default_rng(
+            ctx.config.seed if ctx is not None else 0
+        )
+        self.slots = [
+            _ShardSlot(i, CircuitBreaker(**breaker_options))
+            for i in range(self.n_shards)
+        ]
+        for slot in self.slots:
+            self._spawn(slot)
+        self._threads = [
+            threading.Thread(
+                target=target, daemon=True, name=f"fxrz-supervisor-{name}"
+            )
+            for name, target in (
+                ("dispatch", self._dispatcher),
+                ("collect", self._collector),
+                ("monitor", self._monitor),
+            )
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def for_pipeline(cls, pipeline, **options) -> "ShardedEstimationService":
+        """A sharded service over a fitted pipeline (temp model file)."""
+        if "ctx" not in options:
+            options["ctx"] = getattr(pipeline, "ctx", None)
+        return cls(pipeline, **options)
+
+    @classmethod
+    def for_registry(
+        cls,
+        registry,
+        compressor: str,
+        fingerprint: str | None = None,
+        version="latest",
+        **options,
+    ) -> "ShardedEstimationService":
+        """A sharded service over a registry-published model.
+
+        The shards load the published artifact directly — no temp copy
+        — and the parent keeps the registry-warm pipeline for the
+        fallback ladder.
+        """
+        coordinate = registry.resolve(compressor, fingerprint, version)
+        pipeline = registry.load(
+            coordinate.compressor, coordinate.fingerprint, coordinate.version
+        )
+        return cls(pipeline, model_path=coordinate.path, **options)
+
+    # -- client API ------------------------------------------------------------
+
+    def submit(self, request: EstimateRequest) -> Future:
+        """Admit one request; the future resolves to a :class:`ServedEstimate`.
+
+        Raises:
+            ServiceOverloadedError: the admission queue is full.
+            ServiceClosedError: the service was closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "sharded estimation service is closed; "
+                    "no new requests accepted"
+                )
+        relative = (
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self.default_deadline
+        )
+        if relative is not None and relative <= 0:
+            raise InvalidConfiguration("deadline_seconds must be positive")
+        key = self._dataset_key(request)
+        descriptor = self._segment_for(key, request.data).descriptor
+        now = time.monotonic()
+        inf = _Inflight(
+            seq=next(self._seq),
+            request=request,
+            future=Future(),
+            dataset_key=key,
+            descriptor=descriptor,
+            submitted=now,
+            deadline=None if relative is None else now + relative,
+            request_id=request.request_id or f"req-{next(self._ids)}",
+        )
+        with self._lock:
+            # Re-checked here atomically with the insertion: a close
+            # racing this submit either sees the entry (and rejects it
+            # in its leftover sweep) or we see the flag and refuse.
+            if self._closed:
+                raise ServiceClosedError(
+                    "sharded estimation service is closed; "
+                    "no new requests accepted"
+                )
+            self._live[inf.seq] = inf
+        try:
+            self._admit.put_nowait(inf)
+        except queue.Full:
+            with self._lock:
+                self._live.pop(inf.seq, None)
+                self._stats = replace(self._stats, shed=self._stats.shed + 1)
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.queue_depth} deep); "
+                "request shed",
+                retry_after=self._retry_after_hint(),
+            ) from None
+        with self._lock:
+            self._stats = replace(
+                self._stats, admitted=self._stats.admitted + 1
+            )
+        return inf.future
+
+    def submit_many(self, requests: list[EstimateRequest]) -> list[Future]:
+        return [self.submit(request) for request in requests]
+
+    def run_batch(
+        self, requests: list[EstimateRequest], timeout: float | None = None
+    ) -> list[ServedEstimate]:
+        """Submit ``requests`` and wait for every result, in order."""
+        results = []
+        for future in self.submit_many(requests):
+            try:
+                results.append(future.result(timeout=timeout))
+            except FuturesTimeoutError as exc:
+                raise DeadlineExceededError(
+                    f"no result within {timeout:.3f}s wait budget"
+                ) from exc
+        return results
+
+    def estimate(self, data, target_ratio: float) -> ServedEstimate:
+        """Synchronous single-request convenience."""
+        return self.submit(
+            EstimateRequest(data=data, target_ratio=float(target_ratio))
+        ).result()
+
+    @property
+    def metrics(self) -> MetricsSnapshot:
+        """Latency/tier counters, same shape as :class:`EstimationService`."""
+        return self._metrics.snapshot()
+
+    @property
+    def stats(self) -> SupervisorStats:
+        """A frozen snapshot of the supervision counters."""
+        with self._lock:
+            return self._stats
+
+    def shard_states(self) -> list[dict]:
+        """Per-shard view: state, generation, breaker, inflight depth."""
+        with self._lock:
+            return [
+                {
+                    "shard": slot.index,
+                    "state": slot.state,
+                    "generation": slot.generation,
+                    "breaker": slot.breaker.state,
+                    "inflight": len(slot.inflight),
+                    "pid": slot.process.pid if slot.process else None,
+                }
+                for slot in self.slots
+            ]
+
+    def kill_shard(self, index: int) -> None:
+        """Kill one shard process outright (chaos/bench hook).
+
+        The monitor detects the death, redistributes the shard's
+        in-flight requests and respawns it on the backoff schedule —
+        exactly as for an organic crash.
+        """
+        with self._lock:
+            slot = self.slots[index]
+            process = slot.process
+            self._stats = replace(self._stats, kills=self._stats.kills + 1)
+        if process is not None and process.is_alive():
+            process.kill()
+
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop everything; **no future is left unresolved** (idempotent).
+
+        ``drain=True`` waits (up to ``timeout``) for in-flight and
+        queued requests to finish; anything still live after that — or
+        everything queued, when ``drain=False`` — is failed with
+        :class:`~repro.errors.ServiceClosedError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        give_up = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        if drain:
+            while True:
+                with self._lock:
+                    if not self._live:
+                        break
+                if give_up is not None and time.monotonic() > give_up:
+                    break
+                time.sleep(self.poll_interval)
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        for slot in self.slots:
+            with self._lock:
+                process, req_conn = slot.process, slot.req_conn
+                slot.state = STOPPED
+            if req_conn is not None:
+                try:
+                    req_conn.send({"kind": "stop"})
+                except (BrokenPipeError, OSError):
+                    pass
+            if process is not None:
+                process.join(timeout=1.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=0.5)
+                if process.is_alive():  # pragma: no cover - stubborn child
+                    process.kill()
+                    process.join(timeout=0.5)
+            self._close_conns(slot)
+        with self._lock:
+            leftovers = list(self._live.values())
+            self._live.clear()
+            self._redeliver.clear()
+        while True:  # anything still sitting in the admission queue
+            try:
+                leftovers.append(self._admit.get_nowait())
+            except queue.Empty:
+                break
+        seen = set()
+        for inf in leftovers:
+            if inf.seq in seen:
+                continue
+            seen.add(inf.seq)
+            if not inf.future.done():
+                inf.future.set_exception(
+                    ServiceClosedError(
+                        f"service closed before serving {inf.request_id}"
+                    )
+                )
+        self._fallback_pool.shutdown(wait=drain, cancel_futures=not drain)
+        with self._lock:
+            segments, self._segments = self._segments, {}
+        for handle in segments.values():
+            if self.ctx is not None:
+                self.ctx.release_shm(handle)
+            handle.close()
+            handle.unlink()
+        if self._owns_model:
+            try:
+                os.unlink(self.model_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardedEstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- admission internals ---------------------------------------------------
+
+    def _dataset_key(self, request: EstimateRequest) -> str:
+        if request.dataset_id:
+            return f"id:{request.dataset_id}"
+        stride = getattr(self.pipeline.config, "sampling_stride", 1)
+        return dataset_fingerprint(request.data, stride=stride)
+
+    def _segment_for(self, key: str, data) -> SharedNDArray:
+        """The shared segment carrying ``key``'s dataset (LRU-bounded)."""
+        with self._lock:
+            handle = self._segments.get(key)
+            if handle is not None:
+                return handle
+        handle = SharedNDArray.from_array(np.ascontiguousarray(data))
+        if self.ctx is not None:
+            self.ctx.adopt_shm(handle)
+        evicted = []
+        with self._lock:
+            raced = self._segments.get(key)
+            if raced is not None:
+                evicted.append(handle)
+                handle = raced
+            else:
+                self._segments[key] = handle
+                while len(self._segments) > self.max_datasets:
+                    # dict preserves insertion order; the oldest key is
+                    # the least recently *created*, which is close
+                    # enough for an overflow valve.
+                    old_key = next(iter(self._segments))
+                    if old_key == key:
+                        break
+                    evicted.append(self._segments.pop(old_key))
+        for old in evicted:
+            if self.ctx is not None:
+                self.ctx.release_shm(old)
+            old.close()
+            old.unlink()
+        return handle
+
+    def _retry_after_hint(self) -> float:
+        with self._lock:
+            ready = sum(1 for slot in self.slots if slot.state == READY)
+            ewma = self._ewma_latency
+        return max(0.05, self.queue_depth * ewma / max(1, ready))
+
+    # -- resolution (single-owner: pop from _live first) -----------------------
+
+    def _pop_live(self, seq: int):
+        with self._lock:
+            inf = self._live.pop(seq, None)
+            if inf is not None and 0 <= inf.shard < len(self.slots):
+                self.slots[inf.shard].inflight.discard(seq)
+            self._cond.notify_all()
+        return inf
+
+    def _bump(self, **deltas) -> None:
+        with self._lock:
+            updates = {
+                name: getattr(self._stats, name) + delta
+                for name, delta in deltas.items()
+            }
+            self._stats = replace(self._stats, **updates)
+
+    def _complete(self, inf: _Inflight, estimate, cache_hit: bool) -> None:
+        latency = time.monotonic() - inf.submitted
+        with self._lock:
+            self._ewma_latency = 0.8 * self._ewma_latency + 0.2 * latency
+        self._metrics.record_request(
+            latency,
+            tier=estimate.tier,
+            analysis_seconds=estimate.analysis_seconds,
+        )
+        self._bump(completed=1)
+        inf.future.set_result(
+            ServedEstimate(
+                request_id=inf.request_id,
+                dataset_key=inf.dataset_key,
+                estimate=estimate,
+                latency_seconds=latency,
+                cache_hit=cache_hit,
+                batch_size=1,
+            )
+        )
+
+    def _fail(self, inf: _Inflight, exc: Exception, *, expired=False) -> None:
+        self._metrics.record_request(
+            time.monotonic() - inf.submitted, failed=True
+        )
+        self._bump(expired=1) if expired else self._bump(failed=1)
+        inf.future.set_exception(exc)
+
+    def _expire(self, inf: _Inflight) -> None:
+        self._fail(
+            inf,
+            DeadlineExceededError(
+                f"request {inf.request_id} missed its "
+                f"{inf.deadline - inf.submitted:.3f}s deadline"
+            ),
+            expired=True,
+        )
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _next_item(self) -> _Inflight | None:
+        with self._lock:
+            if self._redeliver:
+                return self._redeliver.popleft()
+        try:
+            return self._admit.get(timeout=self.poll_interval)
+        except queue.Empty:
+            return None
+
+    def _dispatcher(self) -> None:
+        while True:
+            item = self._next_item()
+            if item is None:
+                if self._stop.is_set():
+                    return
+                continue
+            self._place(item)
+
+    def _place(self, item: _Inflight) -> None:
+        """Drive one request to a shard, the fallback ladder, or expiry."""
+        while not self._stop.is_set():
+            with self._lock:
+                if item.seq not in self._live:
+                    return  # already resolved (deadline, close)
+            if item.deadline is not None and time.monotonic() > item.deadline:
+                if self._pop_live(item.seq) is not None:
+                    self._expire(item)
+                return
+            action = self._try_dispatch(item)
+            if action == "dispatched":
+                return
+            if action == "fallback":
+                self._send_to_fallback(item)
+                return
+            with self._cond:  # wait: capacity frees or topology changes
+                self._cond.wait(timeout=self.poll_interval)
+
+    def _try_dispatch(self, item: _Inflight) -> str:
+        """``"dispatched"`` | ``"wait"`` | ``"fallback"``."""
+        with self._lock:
+            passable = [
+                slot
+                for slot in self.slots
+                if slot.state == READY and slot.breaker.would_allow()
+            ]
+            open_slots = [
+                slot
+                for slot in passable
+                if len(slot.inflight) < self.max_inflight_per_shard
+            ]
+            if not open_slots:
+                if passable:
+                    return "wait"  # healthy shards exist, all at capacity
+                if any(
+                    slot.state in (STARTING, DEAD) for slot in self.slots
+                ):
+                    return "wait"  # a shard is (re)spawning
+                # Everything ready is breaker-open (or permanently
+                # failed): tripped traffic degrades, it does not queue.
+                return "fallback"
+            slot = min(open_slots, key=lambda s: len(s.inflight))
+            if not slot.breaker.allow():  # pragma: no cover - raced probe
+                return "wait"
+            slot.inflight.add(item.seq)
+            item.shard = slot.index
+            conn = slot.req_conn
+        try:
+            conn.send(
+                {
+                    "kind": "request",
+                    "seq": item.seq,
+                    "request_id": item.request_id,
+                    "descriptor": item.descriptor,
+                    "dataset_key": item.dataset_key,
+                    "target_ratio": float(item.request.target_ratio),
+                    "deadline": item.deadline or 0.0,
+                }
+            )
+        except (BrokenPipeError, OSError):
+            # The shard died under us; the monitor will respawn it.
+            with self._lock:
+                slot.inflight.discard(item.seq)
+                item.shard = -1
+            return "wait"
+        return "dispatched"
+
+    # -- fallback ladder -------------------------------------------------------
+
+    def _send_to_fallback(self, item: _Inflight) -> None:
+        if self._fallback_engine is None:
+            inf = self._pop_live(item.seq)
+            if inf is not None:
+                self._fail(
+                    inf,
+                    ShardFailedError(
+                        f"no shard available for {item.request_id} and the "
+                        "fallback ladder is disabled",
+                        shard=item.shard,
+                        redeliveries=item.redeliveries,
+                    ),
+                )
+            return
+        self._fallback_pool.submit(self._run_fallback, item)
+
+    def _run_fallback(self, item: _Inflight) -> None:
+        inf = self._pop_live(item.seq)
+        if inf is None:
+            return
+        if inf.deadline is not None and time.monotonic() > inf.deadline:
+            self._expire(inf)
+            return
+        try:
+            key = inf.dataset_key
+            analysis = self._fallback_analyses.get(key)
+            hit = analysis is not None
+            if not hit:
+                analysis = self._fallback_engine.analyze(inf.request.data)
+                if len(self._fallback_analyses) < self.max_datasets:
+                    self._fallback_analyses[key] = analysis
+            estimate = self._fallback_engine.estimate(
+                inf.request.data,
+                float(inf.request.target_ratio),
+                analysis=analysis,
+            )
+        except Exception as exc:  # noqa: BLE001 — future carries it
+            self._fail(inf, exc)
+            return
+        self._bump(fallbacks=1)
+        self._complete(inf, estimate, hit)
+
+    # -- collector -------------------------------------------------------------
+
+    def _collector(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                conns = {
+                    slot.res_conn: slot
+                    for slot in self.slots
+                    if slot.res_conn is not None
+                    and slot.state in (STARTING, READY)
+                }
+            if not conns:
+                time.sleep(self.poll_interval)
+                continue
+            try:
+                readable = connection.wait(list(conns), timeout=0.1)
+            except OSError:  # a conn was closed under us mid-wait
+                continue
+            for conn in readable:
+                slot = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Shard end closed: the process died (or is dying);
+                    # the monitor's liveness check owns the respawn.
+                    # The dead conn stays readable-at-EOF until then,
+                    # so pause instead of spinning on it.
+                    time.sleep(self.poll_interval)
+                    continue
+                self._handle_message(slot, message)
+
+    def _handle_message(self, slot: _ShardSlot, message: dict) -> None:
+        kind = message.get("kind")
+        if kind == "ready":
+            with self._lock:
+                if message.get("generation") == slot.generation:
+                    slot.state = READY
+                    slot.strikes = 0
+                self._cond.notify_all()
+            return
+        if kind == "init_error":
+            with self._lock:
+                stale = message.get("generation") != slot.generation
+            if not stale:
+                self._mark_dead(
+                    slot, f"failed to initialize: {message.get('error')}"
+                )
+            return
+        seq = message.get("seq")
+        if kind == "result":
+            slot.breaker.record_success()
+            inf = self._pop_live(seq)
+            if inf is None:
+                self._bump(late_replies=1)
+                return
+            self._complete(inf, message["estimate"], message["cache_hit"])
+        elif kind == "error":
+            # Request-level engine error: the shard is healthy (it
+            # answered), so the breaker records success, not failure.
+            slot.breaker.record_success()
+            inf = self._pop_live(seq)
+            if inf is None:
+                self._bump(late_replies=1)
+                return
+            exc = message.get("exception")
+            if exc is None:
+                exc = ReproError(message.get("error", "shard engine error"))
+            self._fail(inf, exc)
+        elif kind == "expired":
+            inf = self._pop_live(seq)
+            if inf is None:
+                self._bump(late_replies=1)
+                return
+            self._expire(inf)
+
+    # -- monitor ---------------------------------------------------------------
+
+    def _monitor(self) -> None:
+        while not self._stop.is_set():
+            self._expire_deadlines()
+            self._check_health()
+            self._respawn_due()
+            time.sleep(self.poll_interval)
+
+    def _expire_deadlines(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            due = [
+                seq
+                for seq, inf in self._live.items()
+                if inf.deadline is not None and now > inf.deadline
+            ]
+        for seq in due:
+            inf = self._pop_live(seq)
+            if inf is not None:
+                self._expire(inf)
+
+    def _check_health(self) -> None:
+        now = time.monotonic()
+        for slot in self.slots:
+            with self._lock:
+                state = slot.state
+                process = slot.process
+            if state == STARTING:
+                if process is not None and not process.is_alive():
+                    self._mark_dead(slot, "died during startup")
+            elif state == READY:
+                if process is None or not process.is_alive():
+                    self._mark_dead(slot, "process exited")
+                    continue
+                busy_since = slot.busy.value
+                if busy_since:
+                    allowed = self.hang_timeout
+                    deadline = self._earliest_deadline(slot)
+                    if deadline is not None:
+                        allowed = min(
+                            allowed, (deadline - busy_since) + self.hang_grace
+                        )
+                    if now - busy_since > max(allowed, self.hang_grace):
+                        self._kill(slot, "hung mid-request")
+                elif now - slot.beat.value > self.heartbeat_timeout:
+                    self._kill(slot, "heartbeat lost")
+
+    def _earliest_deadline(self, slot: _ShardSlot) -> float | None:
+        with self._lock:
+            deadlines = [
+                self._live[seq].deadline
+                for seq in slot.inflight
+                if seq in self._live
+                and self._live[seq].deadline is not None
+            ]
+        return min(deadlines) if deadlines else None
+
+    def _kill(self, slot: _ShardSlot, reason: str) -> None:
+        self._bump(kills=1)
+        process = slot.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=1.0)
+        self._mark_dead(slot, reason)
+
+    def _mark_dead(self, slot: _ShardSlot, reason: str) -> None:
+        """Record a shard death: trip breaker, redistribute, schedule."""
+        with self._lock:
+            if slot.state in (DEAD, FAILED, STOPPED):
+                return
+            slot.state = DEAD
+            slot.breaker.record_failure()
+            slot.strikes += 1
+            orphans = [
+                self._live[seq]
+                for seq in slot.inflight
+                if seq in self._live
+            ]
+            slot.inflight.clear()
+            delay = float(
+                backoff_schedule(
+                    self.retry_policy, slot.strikes, rng=self._backoff_rng
+                )[-1]
+            )
+            slot.respawn_at = time.monotonic() + delay
+            slot.last_death_reason = reason
+            to_fallback = []
+            for inf in orphans:
+                inf.shard = -1
+                inf.redeliveries += 1
+                if inf.redeliveries > self.max_redeliveries:
+                    to_fallback.append(inf)
+                else:
+                    self._redeliver.append(inf)
+            self._stats = replace(
+                self._stats,
+                redelivered=self._stats.redelivered + len(orphans),
+            )
+            self._cond.notify_all()
+        process = slot.process
+        if process is not None and not process.is_alive():
+            process.join(timeout=0.5)
+        self._close_conns(slot)
+        for inf in to_fallback:
+            self._send_to_fallback(inf)
+
+    def _respawn_due(self) -> None:
+        now = time.monotonic()
+        for slot in self.slots:
+            with self._lock:
+                # Respawning continues while a close() drains: in-flight
+                # requests may need a live shard to complete.
+                due = slot.state == DEAD and now >= slot.respawn_at
+                if due and slot.strikes >= self.retry_policy.max_attempts:
+                    # Only *consecutive pre-ready* failures reach here:
+                    # a shard that served requests resets its strikes
+                    # on every successful spawn.
+                    slot.state = FAILED
+                    due = False
+                    self._cond.notify_all()
+            if due:
+                self._bump(respawns=1)
+                self._spawn(slot)
+
+    # -- spawning --------------------------------------------------------------
+
+    def _close_conns(self, slot: _ShardSlot) -> None:
+        with self._lock:
+            conns = (slot.req_conn, slot.res_conn)
+            slot.req_conn = slot.res_conn = None
+        for conn in conns:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+
+    def _spawn(self, slot: _ShardSlot) -> None:
+        """Start the next incarnation of one shard (fresh pipes/stream)."""
+        # The shard must inherit the parent's resource tracker: a child
+        # forked before the tracker exists starts its *own* on first
+        # shm attach, and that orphan tracker reports (and re-unlinks)
+        # the parent's segments as leaks at shutdown.
+        resource_tracker.ensure_running()
+        req_read, req_write = self._mp.Pipe(duplex=False)
+        res_read, res_write = self._mp.Pipe(duplex=False)
+        beat = self._mp.Value("d", time.monotonic(), lock=False)
+        busy = self._mp.Value("d", 0.0, lock=False)
+        with self._lock:
+            slot.generation += 1
+            generation = slot.generation
+        process = self._mp.Process(
+            target=shard_main,
+            args=(
+                slot.index,
+                generation,
+                self._shard_spec,
+                req_read,
+                res_write,
+                beat,
+                busy,
+            ),
+            daemon=True,
+            name=f"fxrz-shard-{slot.index}g{generation}",
+        )
+        process.start()
+        # The parent must not hold the child's pipe ends: EOF detection
+        # on the reply pipe only works when the child's write end lives
+        # in exactly one process.
+        req_read.close()
+        res_write.close()
+        with self._lock:
+            slot.process = process
+            slot.req_conn = req_write
+            slot.res_conn = res_read
+            slot.beat = beat
+            slot.busy = busy
+            slot.state = STARTING
+            slot.started_at = time.monotonic()

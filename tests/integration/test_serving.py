@@ -140,6 +140,71 @@ class TestServiceParity:
             service.submit(EstimateRequest(data=probes[0], target_ratio=5.0))
 
 
+class TestDeadlinesAndShutdown:
+    def test_queued_request_past_deadline_fails_typed(self, fitted):
+        from repro.errors import DeadlineExceededError
+
+        pipeline, probes = fitted
+        with EstimationService.for_pipeline(pipeline, workers=1) as service:
+            # One worker: the doomed request sits queued behind real
+            # work until well past its microscopic deadline.
+            blockers = service.submit_many(
+                [
+                    EstimateRequest(data=probe, target_ratio=6.0)
+                    for probe in probes[:3]
+                ]
+            )
+            doomed = service.submit(
+                EstimateRequest(
+                    data=probes[3], target_ratio=6.0, deadline_seconds=1e-05
+                )
+            )
+            with pytest.raises(DeadlineExceededError, match="expired"):
+                doomed.result(timeout=30)
+            for future in blockers:
+                assert future.result(timeout=30).estimate.config > 0
+            metrics = service.metrics
+        assert metrics.requests_failed == 1
+
+    def test_invalid_deadlines_rejected(self, fitted):
+        pipeline, probes = fitted
+        with pytest.raises(InvalidConfiguration, match="default_deadline"):
+            EstimationService.for_pipeline(
+                pipeline, workers=1, default_deadline=-2.0
+            )
+        with EstimationService.for_pipeline(pipeline, workers=1) as service:
+            with pytest.raises(InvalidConfiguration, match="deadline"):
+                service.submit(
+                    EstimateRequest(
+                        data=probes[0], target_ratio=6.0, deadline_seconds=0.0
+                    )
+                )
+
+    def test_close_without_drain_rejects_queued_work(self, fitted):
+        from repro.errors import ServiceClosedError
+
+        pipeline, probes = fitted
+        service = EstimationService.for_pipeline(pipeline, workers=1)
+        futures = service.submit_many(
+            [
+                EstimateRequest(
+                    data=probes[i % len(probes)], target_ratio=4.0 + 0.2 * i
+                )
+                for i in range(12)
+            ]
+        )
+        service.close(drain=False)
+        assert all(f.done() for f in futures), "no future may be left hanging"
+        rejected = sum(
+            1
+            for f in futures
+            if isinstance(f.exception(), ServiceClosedError)
+        )
+        assert rejected >= 1, "an immediate close must reject queued work"
+        with pytest.raises(InvalidConfiguration, match="closed"):
+            service.submit(EstimateRequest(data=probes[0], target_ratio=5.0))
+
+
 class TestGuardedServing:
     def test_degradations_are_counted(self, fitted):
         pipeline, probes = fitted

@@ -130,6 +130,32 @@ class TestPersistenceCorruption:
             with pytest.raises(self._TYPED):
                 load_pipeline(path)
 
+    def test_mid_frame_truncation_is_always_corrupt_stream(
+        self, archive_bytes, tmp_path
+    ):
+        """Every strict prefix of a framed archive raises the frame error.
+
+        The FXRZPIPE frame (magic + version + payload length + CRC32)
+        promises that *any* truncation — inside the magic, inside the
+        header fields, or anywhere in the payload — surfaces as
+        :class:`CorruptStreamError` specifically, never as a zipfile
+        guess over half-read bytes. Cut points cover every byte of the
+        magic + header region exhaustively and a dense sweep of the
+        payload.
+        """
+        from repro.core.persistence import load_pipeline
+
+        assert archive_bytes.startswith(b"FXRZPIPE")
+        header_region = range(0, 32)  # magic (8) + header (14) + margin
+        body_region = np.linspace(
+            32, len(archive_bytes) - 1, 128
+        ).astype(int)
+        path = tmp_path / "cut.npz"
+        for cut in sorted({*header_region, *body_region}):
+            path.write_bytes(archive_bytes[:cut])
+            with pytest.raises(CorruptStreamError):
+                load_pipeline(path)
+
 
 @pytest.mark.robustness
 class TestEncodedStreamCorruption:

@@ -109,6 +109,38 @@ class TestConfigLayering:
         assert config.jobs == 4
         assert config.provenance["jobs"] == "override"
 
+    def test_serving_knobs_layer_like_any_other(self, tmp_path):
+        config = RuntimeConfig.resolve(
+            env={
+                "REPRO_BREAKER_FAILURES": "3",
+                "REPRO_BREAKER_RESET": "1.5",
+                "REPRO_DEADLINE": "2.5",
+            }
+        )
+        assert config.breaker_failures == 3
+        assert config.breaker_reset == 1.5
+        assert config.deadline == 2.5
+        assert config.provenance["breaker_failures"] == "env"
+        profile = tmp_path / "runtime.toml"
+        profile.write_text("[runtime]\nbreaker_failures = 7\ndeadline = 0.5\n")
+        layered = RuntimeConfig.resolve(
+            profile=profile,
+            env={"REPRO_BREAKER_FAILURES": "3", "REPRO_BREAKER_RESET": "1.5"},
+            deadline=9.0,
+        )
+        assert layered.breaker_failures == 7  # profile beats env
+        assert layered.breaker_reset == 1.5  # env survives profile silence
+        assert layered.deadline == 9.0  # override beats profile
+        assert layered.provenance["deadline"] == "override"
+
+    def test_serving_knob_validation(self):
+        with pytest.raises(InvalidConfiguration):
+            RuntimeConfig(breaker_failures=0)
+        with pytest.raises(InvalidConfiguration):
+            RuntimeConfig(breaker_reset=-0.1)
+        with pytest.raises(InvalidConfiguration):
+            RuntimeConfig(deadline=-1.0)
+
 
 class TestContextLifecycle:
     def test_serial_config_has_no_executor(self):
@@ -213,15 +245,73 @@ class TestContextLifecycle:
         finally:
             ctx.close()
 
+    def test_breaker_options_mirror_config(self):
+        with RuntimeContext(
+            env={}, breaker_failures=2, breaker_reset=0.75
+        ) as ctx:
+            assert ctx.breaker_options == {
+                "failure_threshold": 2,
+                "reset_seconds": 0.75,
+            }
+
+    def test_adopted_shm_unlinked_at_close(self):
+        from repro.parallel.shm import SharedNDArray
+
+        import numpy as np
+
+        ctx = RuntimeContext(env={})
+        handle = SharedNDArray.from_array(np.arange(8, dtype=np.float32))
+        descriptor = handle.descriptor
+        ctx.adopt_shm(handle)
+        ctx.close()
+        with pytest.raises(FileNotFoundError):
+            SharedNDArray.attach(descriptor)
+        assert any("shared-memory" in note for note in ctx.teardown_notes)
+
+    def test_released_shm_stays_with_its_owner(self):
+        from repro.parallel.shm import SharedNDArray
+
+        import numpy as np
+
+        ctx = RuntimeContext(env={})
+        handle = SharedNDArray.from_array(np.arange(8, dtype=np.float32))
+        descriptor = handle.descriptor
+        ctx.adopt_shm(handle)
+        ctx.release_shm(handle)
+        ctx.close()
+        attached = SharedNDArray.attach(descriptor)  # still alive
+        attached.close()
+        handle.close()
+        handle.unlink()
+        assert not any("shared-memory" in note for note in ctx.teardown_notes)
+
+    def test_adopt_after_close_unlinks_immediately(self):
+        from repro.parallel.shm import SharedNDArray
+
+        import numpy as np
+
+        ctx = RuntimeContext(env={})
+        ctx.close()
+        handle = SharedNDArray.from_array(np.arange(4, dtype=np.float32))
+        descriptor = handle.descriptor
+        ctx.adopt_shm(handle)
+        with pytest.raises(FileNotFoundError):
+            SharedNDArray.attach(descriptor)
+
     def test_spec_roundtrip_forces_serial_child(self, tmp_path):
         with RuntimeContext(
-            env={}, jobs=4, seed=123, trace=str(tmp_path / "t.jsonl")
+            env={}, jobs=4, seed=123, trace=str(tmp_path / "t.jsonl"),
+            breaker_failures=2, breaker_reset=0.5, deadline=4.0,
         ) as ctx:
             child = RuntimeContext.from_spec(ctx.spec())
             assert child.config.jobs == 1
             assert child.config.backend == "serial"
             assert child.config.trace == "" and child.config.metrics == ""
             assert child.config.seed == 123
+            # supervision policy rides the spec into shard children
+            assert child.config.breaker_failures == 2
+            assert child.config.breaker_reset == 0.5
+            assert child.config.deadline == 4.0
             assert child.executor is None
             child.close()
 

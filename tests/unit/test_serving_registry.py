@@ -120,3 +120,105 @@ class TestLoad:
     def test_max_loaded_validated(self, tmp_path):
         with pytest.raises(InvalidConfiguration):
             ModelRegistry(tmp_path, max_loaded=0)
+
+
+@pytest.mark.robustness
+class TestCorruptionFallback:
+    """Serving survives corrupt manifests and corrupt latest artifacts."""
+
+    @staticmethod
+    def _entry_dir(registry, published):
+        return published.path.parent
+
+    def test_corrupt_manifest_warns_and_serves_newest_on_disk(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        second = registry.publish(pipeline)
+        (second.path.parent / "manifest.json").write_text("{not json")
+        # Two warnings fire: the unreadable manifest itself, then the
+        # alias-less fallback to the newest on-disk version.
+        with pytest.warns(RuntimeWarning, match="unreadable|on-disk"):
+            resolved = registry.resolve("sz", version=LATEST)
+        assert resolved.version == 2
+
+    def test_aliasless_manifest_warns_and_falls_back(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        published = registry.publish(pipeline)
+        registry.publish(pipeline)
+        manifest = published.path.parent / "manifest.json"
+        manifest.write_text(json.dumps({"versions": {}}))  # no 'latest'
+        with pytest.warns(RuntimeWarning, match="newest on-disk version v2"):
+            resolved = registry.resolve("sz", version=LATEST)
+        assert resolved.version == 2
+
+    def test_publish_after_corrupt_manifest_keeps_versions(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        first = registry.publish(pipeline)
+        second = registry.publish(pipeline)
+        before = (first.path.read_bytes(), second.path.read_bytes())
+        (second.path.parent / "manifest.json").write_text("{not json")
+        third = registry.publish(pipeline)
+        # The version counter is derived from the on-disk files, so a
+        # trashed manifest must not reset it and overwrite v1.
+        assert third.version == 3
+        assert first.path.read_bytes() == before[0]
+        assert second.path.read_bytes() == before[1]
+        manifest = json.loads(
+            (third.path.parent / "manifest.json").read_text()
+        )
+        assert manifest["latest"] == 3
+
+    def test_corrupt_latest_artifact_degrades_to_older_version(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, train = fitted_pipeline
+        publisher = ModelRegistry(tmp_path / "reg")
+        publisher.publish(pipeline)
+        second = publisher.publish(pipeline)
+        second.path.write_bytes(second.path.read_bytes()[:200])  # truncate v2
+        registry = ModelRegistry(tmp_path / "reg")  # cold LRU -> disk load
+        with pytest.warns(
+            RuntimeWarning, match="serving older readable version v1"
+        ):
+            served = registry.load("sz")
+        probe = train[0]
+        assert served.estimate_config(probe, 6.0).config == pytest.approx(
+            pipeline.estimate_config(probe, 6.0).config
+        )
+
+    def test_explicit_version_still_fails_loudly(
+        self, fitted_pipeline, tmp_path
+    ):
+        from repro.errors import CorruptStreamError
+
+        pipeline, _ = fitted_pipeline
+        publisher = ModelRegistry(tmp_path / "reg")
+        publisher.publish(pipeline)
+        second = publisher.publish(pipeline)
+        second.path.write_bytes(second.path.read_bytes()[:200])
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(CorruptStreamError):
+            registry.load("sz", version=2)
+
+    def test_every_version_corrupt_raises(self, fitted_pipeline, tmp_path):
+        from repro.errors import CorruptStreamError
+
+        pipeline, _ = fitted_pipeline
+        publisher = ModelRegistry(tmp_path / "reg")
+        for published in (
+            publisher.publish(pipeline),
+            publisher.publish(pipeline),
+        ):
+            published.path.write_bytes(published.path.read_bytes()[:100])
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(CorruptStreamError):
+            registry.load("sz")
