@@ -1,7 +1,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness parallel obs runtime runtime-smoke bench bench-parallel bench-resilience serve-smoke trace-smoke chaos
+.PHONY: test robustness parallel obs runtime runtime-smoke bench bench-parallel bench-resilience bench-lifecycle serve-smoke trace-smoke chaos lifecycle
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
@@ -56,6 +56,12 @@ chaos:
 runtime-smoke:
 	PYTHONPATH=src $(PY) examples/runtime_smoke.py
 
+# Lifecycle gate: the lifecycle-marked tests (outcome log, drift
+# detector, registry promote/rollback, background retrain, canary
+# promotion) with RuntimeWarnings promoted to errors.
+lifecycle:
+	$(PYTEST) -x -q -W error::RuntimeWarning -m lifecycle
+
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q
 
@@ -71,3 +77,10 @@ bench-parallel:
 # and the admitted-request loss rate (must be 0).
 bench-resilience:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q bench_serving_resilience.py
+
+# Online-learning bench: outcome-logging overhead (<= 3%), serving p99
+# during a background retrain (<= 1.5x baseline) and the estimation
+# error before vs after a canary promotion; writes
+# BENCH_online_learning.json at the repo root.
+bench-lifecycle:
+	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q bench_online_learning.py

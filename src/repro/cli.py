@@ -16,6 +16,11 @@ whole fixed-ratio workflow on ``.npy`` files:
 * ``repro search``    — run the FRaZ baseline for comparison.
 * ``repro dump``      — simulate a (optionally fault-injected) parallel dump.
 * ``repro obs-report``— render a recorded span trace as a per-phase cost tree.
+* ``repro outcomes-report`` — summarize a serving outcome log
+  (``--outcome-log`` on ``serve``/``estimate``/``compress`` writes one).
+* ``repro retrain``   — fit candidate models from a registry entry plus
+  an outcome log and canary them against ``latest``
+  (see ``docs/LIFECYCLE.md``).
 * ``repro datasets``  — list the built-in synthetic dataset catalog.
 
 ``train``/``estimate``/``estimate-batch``/``compress``/``search`` share
@@ -130,12 +135,21 @@ def _cmd_train(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     return 0
 
 
-def _guarded_estimate(args: argparse.Namespace, ctx: RuntimeContext):
-    """Shared guarded-inference path of ``estimate`` and ``compress``."""
+def _guarded_estimate(
+    args: argparse.Namespace, ctx: RuntimeContext, outcome_log=None
+):
+    """Shared guarded-inference path of ``estimate`` and ``compress``.
+
+    The guarded engine records only to an *explicit* log (so a service
+    wrapping one never double-records); ``estimate`` hands it the
+    session's, while ``compress`` records its own measured outcome.
+    """
     pipeline = load_pipeline(args.model)
     data = _load_array(args.input)
-    engine = GuardedInferenceEngine(pipeline, ctx=ctx)
-    return pipeline, data, engine.estimate(data, args.ratio)
+    engine = GuardedInferenceEngine(pipeline, ctx=ctx, outcome_log=outcome_log)
+    return pipeline, data, engine.estimate(
+        data, args.ratio, dataset_key=args.input
+    )
 
 
 def _tier_note(estimate) -> str:
@@ -146,7 +160,7 @@ def _tier_note(estimate) -> str:
 
 
 def _cmd_estimate(args: argparse.Namespace, ctx: RuntimeContext) -> int:
-    _, _, estimate = _guarded_estimate(args, ctx)
+    _, _, estimate = _guarded_estimate(args, ctx, outcome_log=ctx.lifecycle)
     print(
         f"estimated config: {estimate.config:.6g} "
         f"(ACR {estimate.adjusted_target:.2f}, R {estimate.nonconstant:.2f}, "
@@ -310,6 +324,16 @@ def _cmd_compress(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     write_blob(blob, args.output)
     measured = blob.compression_ratio
     error = abs(args.ratio - measured) / args.ratio
+    if ctx.lifecycle is not None:
+        # Estimate and measured truth meet here — the highest-value
+        # record the online learning loop gets.
+        ctx.lifecycle.record_estimate(
+            estimate,
+            dataset_key=args.input,
+            compressor=pipeline.compressor.name,
+            measured_ratio=measured,
+            source="compress",
+        )
     print(
         f"target {args.ratio:.1f}x -> measured {measured:.1f}x "
         f"(error {error:.1%}; {_tier_note(estimate)}); wrote "
@@ -395,6 +419,89 @@ def _cmd_obs_report(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     errors = sum(1 for span in spans if span.status == "error")
     if errors:
         print(f"({errors} span(s) recorded an error)")
+    return 0
+
+
+def _cmd_outcomes_report(args: argparse.Namespace, ctx: RuntimeContext) -> int:
+    from repro.lifecycle import read_outcomes
+
+    replay = read_outcomes(args.log)
+    records = replay.records
+    trainable = replay.trainable
+    print(
+        f"{args.log}: {len(records)} record(s) across "
+        f"{len(replay.files)} file(s), {replay.torn_lines} torn line(s), "
+        f"{len(trainable)} trainable"
+    )
+    if not records:
+        return 0
+    by_source: dict[str, int] = {}
+    by_tier: dict[str, int] = {}
+    for record in records:
+        by_source[record.source or "unknown"] = (
+            by_source.get(record.source or "unknown", 0) + 1
+        )
+        by_tier[record.tier or "unknown"] = (
+            by_tier.get(record.tier or "unknown", 0) + 1
+        )
+    print(
+        "by source: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(by_source.items()))
+    )
+    print(
+        "by tier:   "
+        + ", ".join(f"{k}={v}" for k, v in sorted(by_tier.items()))
+    )
+    errors = [
+        record.relative_error
+        for record in trainable
+        if record.relative_error is not None
+    ]
+    if errors:
+        print(
+            f"measured records: median relative CR error "
+            f"{float(np.median(errors)):.2%} over {len(errors)} record(s)"
+        )
+    return 0
+
+
+def _cmd_retrain(args: argparse.Namespace, ctx: RuntimeContext) -> int:
+    from repro.lifecycle import BackgroundRetrainer, read_outcomes
+
+    replay = read_outcomes(args.outcomes)
+    if replay.torn_lines:
+        print(
+            f"note: skipped {replay.torn_lines} torn line(s) in "
+            f"{args.outcomes}",
+            file=sys.stderr,
+        )
+    registry = ModelRegistry(args.registry, ctx=ctx)
+    retrainer = BackgroundRetrainer(
+        registry,
+        args.compressor,
+        args.fingerprint or None,
+        min_samples=args.min_samples,
+        canary_fraction=args.canary_fraction,
+        canary_margin=args.canary_margin,
+        oversample=args.oversample,
+        auto_promote=not args.no_promote,
+        ctx=ctx,
+    )
+    result = retrainer.retrain(replay.records)
+    print(
+        f"retrain ({result.trainable} trainable record(s), "
+        f"{result.train_rows} trained, {result.holdout} held out) "
+        f"in {result.seconds:.1f}s: {result.reason}"
+    )
+    if result.candidate is not None:
+        print(
+            f"candidate: {result.candidate.compressor}/"
+            f"{result.candidate.fingerprint} v{result.candidate.version}"
+        )
+    if result.promoted is not None:
+        print(f"promoted v{result.promoted.version} to latest")
+    elif result.report is not None and result.report.promote:
+        print("canary passed; promotion skipped (--no-promote)")
     return 0
 
 
@@ -571,6 +678,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="hide phases below this share of total wall time (e.g. 0.01)",
     )
     obs_report.set_defaults(func=_cmd_obs_report)
+
+    outcomes = sub.add_parser(
+        "outcomes-report", help="summarize a serving outcome log"
+    )
+    outcomes.add_argument("log", help="outcome JSONL from --outcome-log")
+    outcomes.set_defaults(func=_cmd_outcomes_report)
+
+    retrain = sub.add_parser(
+        "retrain",
+        parents=[runtime],
+        help="retrain a registry model from an outcome log (canary-gated)",
+    )
+    retrain.add_argument(
+        "--registry", required=True, help="model registry root"
+    )
+    retrain.add_argument(
+        "--compressor", default="sz", choices=available_compressors()
+    )
+    retrain.add_argument(
+        "--fingerprint", default="", help="registry entry fingerprint"
+    )
+    retrain.add_argument(
+        "--outcomes", required=True, help="outcome JSONL from --outcome-log"
+    )
+    retrain.add_argument("--min-samples", type=int, default=64)
+    retrain.add_argument(
+        "--canary-fraction",
+        type=float,
+        default=0.25,
+        help="most-recent fraction of trainable outcomes held out",
+    )
+    retrain.add_argument(
+        "--canary-margin",
+        type=float,
+        default=0.0,
+        help="fractional improvement required to promote",
+    )
+    retrain.add_argument(
+        "--oversample",
+        type=int,
+        default=4,
+        help="outcome-row replication against the augmented base matrix",
+    )
+    retrain.add_argument(
+        "--no-promote",
+        action="store_true",
+        help="publish the candidate but never flip the latest alias",
+    )
+    retrain.set_defaults(func=_cmd_retrain)
 
     datasets = sub.add_parser("datasets", help="list the built-in catalog")
     datasets.set_defaults(func=_cmd_datasets)

@@ -243,4 +243,27 @@ class FXRZ:
             )
             if candidate.estimation_error < best.estimation_error:
                 best = candidate
+        outcome_log = (
+            self.ctx.lifecycle
+            if self.ctx is not None and not self.ctx.closed
+            else None
+        )
+        if outcome_log is not None:
+            # The one place estimate and measured truth meet in a
+            # single call — the highest-value record the online
+            # learning loop gets (see repro.lifecycle).
+            try:
+                from repro.serving.cache import dataset_fingerprint
+
+                outcome_log.record_estimate(
+                    best.estimate,
+                    dataset_key=dataset_fingerprint(
+                        data, stride=self.config.sampling_stride
+                    ),
+                    compressor=self.compressor.name,
+                    measured_ratio=best.measured_ratio,
+                    source="compress",
+                )
+            except OSError:
+                pass  # a full disk must not fail the compression
         return best

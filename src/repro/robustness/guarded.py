@@ -90,6 +90,12 @@ class GuardedInferenceEngine:
         ctx: a :class:`~repro.runtime.RuntimeContext` supplying the
             fallback policy plus the memo/executor of the FRaZ rung;
             defaults to the pipeline's own context.
+        outcome_log: a :class:`~repro.lifecycle.OutcomeLog`; when given,
+            every estimate is recorded (source ``"guarded"``, with the
+            FRaZ rung's measured ratio when that rung answered). Only
+            an explicit log is used — never the context's — so layered
+            callers (services, shards) that record at their own level
+            do not double-log.
         memo: deprecated — contexts share their memo automatically.
         executor: deprecated — pass ``ctx=RuntimeContext(jobs=...)``.
     """
@@ -105,6 +111,7 @@ class GuardedInferenceEngine:
         executor=UNSET,
         *,
         ctx=None,
+        outcome_log=None,
     ) -> None:
         if ctx is None:
             ctx = getattr(pipeline, "ctx", None)
@@ -122,6 +129,7 @@ class GuardedInferenceEngine:
             raise NotFittedError("guarded inference needs a fitted pipeline")
         self.pipeline = pipeline
         self.ctx = ctx
+        self.outcome_log = outcome_log
         self.fallback = fallback
         self.min_confidence = min_confidence
         self.fraz_iterations = fraz_iterations
@@ -202,15 +210,17 @@ class GuardedInferenceEngine:
             return None
         return config if _usable(config) else None
 
-    def _fraz_config(self, data: np.ndarray, target_ratio: float) -> float:
+    def _fraz_config(self, data: np.ndarray, target_ratio: float):
         # Hand over the already-resolved resources directly: routing
         # them back through the constructor keywords would trip the
-        # deprecation shims the caller never used.
+        # deprecation shims the caller never used. Returns the full
+        # search result — this rung ran the real compressor, so its
+        # measured ratio is ground truth worth logging.
         searcher = FRaZ(self.compressor, max_iterations=self.fraz_iterations)
         searcher.ctx = self.ctx
         searcher.executor = self.executor
         searcher.memo = self.memo
-        return float(searcher.search(data, target_ratio).config)
+        return searcher.search(data, target_ratio)
 
     # -- public API ------------------------------------------------------------
 
@@ -250,6 +260,8 @@ class GuardedInferenceEngine:
         data: np.ndarray,
         target_ratio: float,
         analysis: GuardedAnalysis | None = None,
+        *,
+        dataset_key: str = "",
     ) -> Estimate:
         """Guarded version of :meth:`InferenceEngine.estimate`.
 
@@ -261,6 +273,8 @@ class GuardedInferenceEngine:
 
         ``analysis`` accepts a cached :meth:`analyze` result for
         ``data``, skipping the validation/feature/block passes.
+        ``dataset_key`` labels the outcome-log record when this engine
+        carries an :class:`~repro.lifecycle.OutcomeLog`.
         """
         try:
             target_ratio = float(target_ratio)
@@ -275,7 +289,9 @@ class GuardedInferenceEngine:
             "guarded.estimate", target_ratio=target_ratio
         ) as span:
             try:
-                estimate = self._estimate_body(data, target_ratio, analysis)
+                estimate, measured_ratio = self._estimate_body(
+                    data, target_ratio, analysis
+                )
             except (OutOfDistributionError, FallbackExhaustedError):
                 registry = obs.get_registry()
                 if registry is not None:
@@ -299,6 +315,17 @@ class GuardedInferenceEngine:
                     "repro_guarded_fallbacks_total",
                     "guarded answers produced by a fallback tier",
                 ).inc()
+        if self.outcome_log is not None:
+            try:
+                self.outcome_log.record_estimate(
+                    estimate,
+                    dataset_key=dataset_key,
+                    compressor=self.compressor.name,
+                    measured_ratio=measured_ratio,
+                    source="guarded",
+                )
+            except OSError:
+                pass  # a full disk must not fail the estimate
         return estimate
 
     def _estimate_body(
@@ -306,7 +333,7 @@ class GuardedInferenceEngine:
         data: np.ndarray,
         target_ratio: float,
         analysis: GuardedAnalysis | None,
-    ) -> Estimate:
+    ) -> tuple[Estimate, float | None]:
         start = time.perf_counter()
         if analysis is None:
             analysis = self.analyze(data)
@@ -340,6 +367,7 @@ class GuardedInferenceEngine:
         config: float | None = None
         tier = ""
         fallback_reason = ""
+        measured_ratio: float | None = None
         for rung in _LADDERS[self.fallback]:
             with obs.span(
                 "guarded.tier", tier=rung, accepted=False
@@ -376,9 +404,10 @@ class GuardedInferenceEngine:
                     break
                 if rung == "fraz":
                     try:
-                        candidate = self._fraz_config(
+                        search = self._fraz_config(
                             report.data, float(target_ratio)
                         )
+                        candidate = float(search.config)
                     except ReproError as exc:
                         fallback_reason += f"; FRaZ search failed: {exc}"
                         continue
@@ -388,6 +417,7 @@ class GuardedInferenceEngine:
                         )
                         continue
                     config, tier = candidate, "fraz"
+                    measured_ratio = float(search.measured_ratio)
                     rung_span.set_attribute("accepted", True)
                     break
 
@@ -402,7 +432,7 @@ class GuardedInferenceEngine:
             )
 
         elapsed = time.perf_counter() - start
-        return Estimate(
+        estimate = Estimate(
             config=config,
             target_ratio=float(target_ratio),
             adjusted_target=acr,
@@ -413,3 +443,4 @@ class GuardedInferenceEngine:
             confidence=confidence,
             fallback_reason=fallback_reason.lstrip("; "),
         )
+        return estimate, measured_ratio

@@ -52,6 +52,13 @@ def add_runtime_args(parser: argparse.ArgumentParser) -> None:
         help="minimum model confidence before falling back (default 0.5)",
     )
     group.add_argument(
+        "--outcome-log",
+        default=None,
+        metavar="PATH",
+        help="append serving outcomes as JSONL to PATH (drives drift "
+        "detection and retraining; see docs/LIFECYCLE.md)",
+    )
+    group.add_argument(
         "--runtime-profile",
         default=None,
         metavar="TOML",

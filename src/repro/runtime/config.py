@@ -62,6 +62,22 @@ class RuntimeConfig:
             half-open probe request through.
         deadline: default per-request deadline in seconds for the
             serving layer (0 = no deadline).
+        outcome_log: JSONL path the session's serving outcomes append
+            to (empty = outcome logging stays off unless a log is
+            injected).
+        drift_window: rolling-window length of the drift detector.
+        drift_ood_threshold: window OOD fraction that marks an
+            observation hot, in (0, 1].
+        drift_error_threshold: calibration-error EWMA that marks an
+            observation hot.
+        drift_hysteresis: consecutive hot (cool) observations required
+            to enter (leave) the drifting state.
+        retrain_min_samples: fresh trainable outcomes that trigger a
+            background retrain on volume alone.
+        canary_fraction: most-recent fraction of trainable outcomes
+            held out for the canary replay, in (0, 1).
+        canary_margin: fractional median-error improvement a candidate
+            must show to be promoted, in [0, 1).
         provenance: ``field -> layer`` map ("default"/"env"/"profile"/
             "override"); informational, excluded from equality.
     """
@@ -78,6 +94,14 @@ class RuntimeConfig:
     breaker_failures: int = 5
     breaker_reset: float = 30.0
     deadline: float = 0.0
+    outcome_log: str = ""
+    drift_window: int = 256
+    drift_ood_threshold: float = 0.5
+    drift_error_threshold: float = 0.25
+    drift_hysteresis: int = 3
+    retrain_min_samples: int = 64
+    canary_fraction: float = 0.25
+    canary_margin: float = 0.0
     provenance: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -101,6 +125,22 @@ class RuntimeConfig:
             raise InvalidConfiguration("breaker_reset must be >= 0")
         if self.deadline < 0:
             raise InvalidConfiguration("deadline must be >= 0")
+        if self.drift_window < 1:
+            raise InvalidConfiguration("drift_window must be >= 1")
+        if not 0.0 < self.drift_ood_threshold <= 1.0:
+            raise InvalidConfiguration(
+                "drift_ood_threshold must be in (0, 1]"
+            )
+        if self.drift_error_threshold <= 0:
+            raise InvalidConfiguration("drift_error_threshold must be > 0")
+        if self.drift_hysteresis < 1:
+            raise InvalidConfiguration("drift_hysteresis must be >= 1")
+        if self.retrain_min_samples < 1:
+            raise InvalidConfiguration("retrain_min_samples must be >= 1")
+        if not 0.0 < self.canary_fraction < 1.0:
+            raise InvalidConfiguration("canary_fraction must be in (0, 1)")
+        if not 0.0 <= self.canary_margin < 1.0:
+            raise InvalidConfiguration("canary_margin must be in [0, 1)")
 
     def replace(self, **changes) -> "RuntimeConfig":
         """A copy with ``changes`` applied (provenance marks them)."""
@@ -174,6 +214,14 @@ def _coerce(name: str, value, source: str):
         "breaker_failures": int,
         "breaker_reset": float,
         "deadline": float,
+        "outcome_log": str,
+        "drift_window": int,
+        "drift_ood_threshold": float,
+        "drift_error_threshold": float,
+        "drift_hysteresis": int,
+        "retrain_min_samples": int,
+        "canary_fraction": float,
+        "canary_margin": float,
     }[name]
     try:
         if target is str:

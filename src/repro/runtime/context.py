@@ -40,6 +40,9 @@ class RuntimeContext:
             to borrow; borrowed executors are not shut down on close.
         memo: a pre-built :class:`repro.parallel.CompressionMemoCache`
             to share instead of lazily creating one.
+        outcomes: a pre-built :class:`repro.lifecycle.OutcomeLog` to
+            borrow instead of building one from ``config.outcome_log``;
+            borrowed logs are not closed on close.
         profile: TOML profile path forwarded to
             :meth:`RuntimeConfig.resolve`.
         env: environment mapping forwarded to
@@ -56,6 +59,7 @@ class RuntimeContext:
         registry=None,
         executor=None,
         memo=None,
+        outcomes=None,
         profile=None,
         env=None,
         **overrides,
@@ -75,6 +79,9 @@ class RuntimeContext:
         self._owns_executor = executor is None
         self._executor_built = executor is not None
         self._memo = memo
+        self._outcomes = outcomes
+        self._owns_outcomes = outcomes is None
+        self._outcomes_built = outcomes is not None
         self._entered = 0
         self._closed = False
         self._previous_obs = None
@@ -130,6 +137,37 @@ class RuntimeContext:
             if registry is not None:
                 self._memo.register_metrics(registry)
         return self._memo
+
+    @property
+    def lifecycle(self):
+        """The session outcome log, or ``None`` when logging is off.
+
+        Built lazily from ``config.outcome_log`` (bound to the session
+        metrics registry when one exists). Serving layers that accept
+        an ``outcome_log`` argument default to this property, so one
+        ``--outcome-log`` flag turns on recording everywhere in the
+        session.
+        """
+        self._ensure_open("lifecycle")
+        if not self._outcomes_built:
+            self._outcomes_built = True
+            if self.config.outcome_log:
+                from repro.lifecycle.outcomes import OutcomeLog
+
+                self._outcomes = OutcomeLog(
+                    self.config.outcome_log, registry=self.registry
+                )
+        return self._outcomes
+
+    @property
+    def drift_options(self) -> dict:
+        """Drift-detector knobs as keyword arguments."""
+        return {
+            "window": self.config.drift_window,
+            "ood_threshold": self.config.drift_ood_threshold,
+            "error_threshold": self.config.drift_error_threshold,
+            "hysteresis": self.config.drift_hysteresis,
+        }
 
     @property
     def seed_sequence(self) -> np.random.SeedSequence:
@@ -250,6 +288,13 @@ class RuntimeContext:
                 self.teardown_notes.append(
                     f"wrote {count} span(s) to {self.config.trace}"
                 )
+            if self._owns_outcomes and self._outcomes is not None:
+                written = self._outcomes.records_written
+                self._outcomes.close()
+                self.teardown_notes.append(
+                    f"closed outcome log {self.config.outcome_log} "
+                    f"({written} record(s) this session)"
+                )
             if self._registry is not None and self.config.metrics:
                 with open(self.config.metrics, "w", encoding="utf-8") as handle:
                     handle.write(self._registry.render_prometheus())
@@ -287,6 +332,7 @@ class RuntimeContext:
             seed=pick("seed"),
             fallback=pick("fallback"),
             min_confidence=pick("min_confidence"),
+            outcome_log=pick("outcome_log"),
         )
 
     # ------------------------------------------------------------------
@@ -298,7 +344,10 @@ class RuntimeContext:
 
         The child is forced serial (workers never nest pools) and
         carries no export paths — worker spans ship back to the driver
-        through the executor instead of writing files.
+        through the executor instead of writing files. ``outcome_log``
+        is deliberately dropped too: the log is single-writer, so
+        forked shard workers must never append to the parent's file
+        (the supervisor records shard outcomes parent-side instead).
         """
         return {
             "jobs": 1,
@@ -313,6 +362,14 @@ class RuntimeContext:
             "breaker_failures": self.config.breaker_failures,
             "breaker_reset": self.config.breaker_reset,
             "deadline": self.config.deadline,
+            "outcome_log": "",
+            "drift_window": self.config.drift_window,
+            "drift_ood_threshold": self.config.drift_ood_threshold,
+            "drift_error_threshold": self.config.drift_error_threshold,
+            "drift_hysteresis": self.config.drift_hysteresis,
+            "retrain_min_samples": self.config.retrain_min_samples,
+            "canary_fraction": self.config.canary_fraction,
+            "canary_margin": self.config.canary_margin,
         }
 
     @classmethod

@@ -22,9 +22,12 @@ deserialized.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import pathlib
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -39,9 +42,55 @@ from repro.errors import CorruptStreamError, InvalidConfiguration
 
 _MANIFEST = "manifest.json"
 _SUFFIX = ".fxrz"
+_LOCK = ".publish.lock"
 
 #: The version alias resolving to an entry's newest published version.
 LATEST = "latest"
+
+#: A publish lock older than this is presumed abandoned (crashed holder).
+_LOCK_STALE_SECONDS = 30.0
+
+#: How long a publisher waits for a contended entry lock before failing.
+_LOCK_TIMEOUT_SECONDS = 10.0
+
+
+@contextlib.contextmanager
+def _entry_lock(entry_dir: pathlib.Path):
+    """Cross-process mutual exclusion over one registry entry.
+
+    ``O_CREAT | O_EXCL`` makes lockfile creation atomic on every
+    filesystem the registry targets; a lockfile whose mtime is older
+    than :data:`_LOCK_STALE_SECONDS` is broken as abandoned (the holder
+    crashed between creating it and unlinking it).
+    """
+    lock_path = entry_dir / _LOCK
+    deadline = time.monotonic() + _LOCK_TIMEOUT_SECONDS
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            try:
+                age = time.time() - lock_path.stat().st_mtime
+            except OSError:
+                continue  # holder released between open() and stat()
+            if age > _LOCK_STALE_SECONDS:
+                with contextlib.suppress(OSError):
+                    lock_path.unlink()
+                continue
+            if time.monotonic() >= deadline:
+                raise InvalidConfiguration(
+                    f"registry entry {entry_dir} is publish-locked by "
+                    f"another process ({lock_path}, {age:.1f}s old)"
+                ) from None
+            time.sleep(0.02)
+    try:
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        os.close(fd)
+        yield
+    finally:
+        with contextlib.suppress(OSError):
+            lock_path.unlink()
 
 
 @dataclass(frozen=True)
@@ -106,40 +155,71 @@ class ModelRegistry:
     # -- publishing ------------------------------------------------------------
 
     def publish(
-        self, pipeline: FXRZ, fingerprint: str | None = None
+        self,
+        pipeline: FXRZ,
+        fingerprint: str | None = None,
+        *,
+        promote: bool = True,
     ) -> ModelVersion:
         """Persist a fitted pipeline as the entry's next version.
 
-        The new version becomes the entry's ``latest``; the published
-        pipeline is also placed in the in-memory LRU, already warm.
+        With ``promote=True`` (the default) the new version becomes the
+        entry's ``latest``; ``promote=False`` publishes a *candidate*
+        that loads by explicit version number but leaves the alias —
+        and therefore every ``latest`` serving path — untouched until
+        :meth:`promote` flips it. Version allocation and the manifest
+        update happen under a per-entry ``O_EXCL`` lockfile, so
+        concurrent publishers (e.g. a background retrainer racing an
+        operator) get distinct version numbers instead of overwriting
+        each other. The published pipeline is also placed in the
+        in-memory LRU, already warm.
         """
         fingerprint = fingerprint or pipeline_fingerprint(pipeline)
         entry_dir = self.root / pipeline.compressor.name / fingerprint
         entry_dir.mkdir(parents=True, exist_ok=True)
-        manifest = self._read_manifest(entry_dir)
+        # Serialization is the slow part; do it outside the lock into a
+        # writer-unique temp file, then claim a version atomically.
+        tmp = entry_dir / (
+            f".publish-{os.getpid()}-{threading.get_ident()}{_SUFFIX}.tmp"
+        )
         try:
-            latest = int(manifest.get("latest", 0))
-        except (TypeError, ValueError):
-            latest = 0
-        on_disk = [
-            int(p.stem[1:])
-            for p in entry_dir.glob(f"v*{_SUFFIX}")
-            if p.stem[1:].isdigit()
-        ]
-        # A corrupt manifest must not reset the version counter and
-        # silently overwrite published artifacts; the on-disk files are
-        # the ground truth for "next version".
-        version = max([latest, *on_disk], default=0) + 1
-        path = entry_dir / f"v{version}{_SUFFIX}"
-        tmp = entry_dir / f".v{version}{_SUFFIX}.tmp"
-        save_pipeline(pipeline, tmp)
-        tmp.replace(path)
-        manifest["latest"] = version
-        manifest.setdefault("versions", {})[str(version)] = {
-            "n_records": len(pipeline._training.records),
-            "compressor": pipeline.compressor.name,
-        }
-        (entry_dir / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+            save_pipeline(pipeline, tmp)
+            with _entry_lock(entry_dir):
+                manifest = self._read_manifest(entry_dir)
+                try:
+                    latest = int(manifest.get("latest", 0))
+                except (TypeError, ValueError):
+                    latest = 0
+                on_disk = [
+                    int(p.stem[1:])
+                    for p in entry_dir.glob(f"v*{_SUFFIX}")
+                    if p.stem[1:].isdigit()
+                ]
+                # A corrupt manifest must not reset the version counter
+                # and silently overwrite published artifacts; the
+                # on-disk files are the ground truth for "next version".
+                version = max([latest, *on_disk], default=0) + 1
+                path = entry_dir / f"v{version}{_SUFFIX}"
+                tmp.replace(path)
+                manifest.setdefault("versions", {})[str(version)] = {
+                    "n_records": len(pipeline._training.records),
+                    "compressor": pipeline.compressor.name,
+                }
+                if promote:
+                    manifest["latest"] = version
+                manifest.setdefault("history", []).append(
+                    {
+                        "action": "publish",
+                        "version": version,
+                        "promoted": bool(promote),
+                        "previous": latest,
+                        "time": time.time(),
+                    }
+                )
+                self._write_manifest(entry_dir, manifest)
+        finally:
+            with contextlib.suppress(OSError):
+                tmp.unlink()
         published = ModelVersion(
             compressor=pipeline.compressor.name,
             fingerprint=fingerprint,
@@ -149,6 +229,106 @@ class ModelRegistry:
         with self._lock:
             self._cache_locked(published.key, pipeline)
         return published
+
+    def promote(
+        self,
+        compressor: str,
+        fingerprint: str | None,
+        version: int,
+        *,
+        note: str = "",
+    ) -> ModelVersion:
+        """Flip the entry's ``latest`` alias to ``version``.
+
+        The flip is recorded in the manifest history with the previous
+        alias, which is what :meth:`rollback` restores. Raises
+        :class:`~repro.errors.InvalidConfiguration` when the version
+        does not exist on disk.
+        """
+        coordinate = self.resolve(compressor, fingerprint, int(version))
+        entry_dir = self.root / coordinate.compressor / coordinate.fingerprint
+        with _entry_lock(entry_dir):
+            manifest = self._read_manifest(entry_dir)
+            try:
+                previous = int(manifest.get("latest", 0))
+            except (TypeError, ValueError):
+                previous = 0
+            manifest["latest"] = coordinate.version
+            manifest.setdefault("history", []).append(
+                {
+                    "action": "promote",
+                    "version": coordinate.version,
+                    "previous": previous,
+                    "note": str(note),
+                    "time": time.time(),
+                }
+            )
+            self._write_manifest(entry_dir, manifest)
+        return coordinate
+
+    def rollback(
+        self, compressor: str, fingerprint: str | None = None, *, note: str = ""
+    ) -> ModelVersion:
+        """Restore the ``latest`` alias the most recent flip replaced.
+
+        Walks the manifest history for the promote/publish entry that
+        set the current alias and restores its recorded ``previous``
+        version; raises :class:`~repro.errors.InvalidConfiguration`
+        when there is nothing to roll back to.
+        """
+        current = self.resolve(compressor, fingerprint, LATEST)
+        entry_dir = self.root / current.compressor / current.fingerprint
+        with _entry_lock(entry_dir):
+            manifest = self._read_manifest(entry_dir)
+            previous = None
+            for event in reversed(manifest.get("history", [])):
+                if event.get("action") not in ("publish", "promote"):
+                    continue
+                if event.get("action") == "publish" and not event.get(
+                    "promoted", True
+                ):
+                    continue
+                if int(event.get("version", 0)) == current.version:
+                    previous = int(event.get("previous", 0))
+                    break
+            if previous is None or previous < 1:
+                raise InvalidConfiguration(
+                    f"entry {current.compressor}/{current.fingerprint} has "
+                    f"no recorded version before v{current.version} to "
+                    f"roll back to"
+                )
+            path = entry_dir / f"v{previous}{_SUFFIX}"
+            if not path.is_file():
+                raise InvalidConfiguration(
+                    f"rollback target v{previous} of "
+                    f"{current.compressor}/{current.fingerprint} is gone"
+                )
+            manifest["latest"] = previous
+            manifest.setdefault("history", []).append(
+                {
+                    "action": "rollback",
+                    "version": previous,
+                    "previous": current.version,
+                    "note": str(note),
+                    "time": time.time(),
+                }
+            )
+            self._write_manifest(entry_dir, manifest)
+        return ModelVersion(
+            compressor=current.compressor,
+            fingerprint=current.fingerprint,
+            version=previous,
+            path=path,
+        )
+
+    def history(
+        self, compressor: str, fingerprint: str | None = None
+    ) -> list[dict]:
+        """The entry's publish/promote/rollback event log, oldest first."""
+        coordinate = self.resolve(compressor, fingerprint, LATEST)
+        entry_dir = self.root / coordinate.compressor / coordinate.fingerprint
+        history = self._read_manifest(entry_dir).get("history", [])
+        return list(history) if isinstance(history, list) else []
 
     # -- lookup ----------------------------------------------------------------
 
@@ -337,6 +517,14 @@ class ModelRegistry:
         while len(self._loaded) > self.max_loaded:
             self._loaded.popitem(last=False)
             self.evictions += 1
+
+    @staticmethod
+    def _write_manifest(entry_dir: pathlib.Path, manifest: dict) -> None:
+        """Atomic manifest replace: a reader never sees a half-write."""
+        path = entry_dir / _MANIFEST
+        tmp = entry_dir / f".{_MANIFEST}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(manifest, indent=2))
+        tmp.replace(path)
 
     @staticmethod
     def _read_manifest(entry_dir: pathlib.Path, warn: bool = False) -> dict:

@@ -113,6 +113,9 @@ class EstimationService:
         ctx: a :class:`~repro.runtime.RuntimeContext`; its registry (or
             the ambient installed one when no context is given) gets
             the feature-cache gauges bound.
+        outcome_log: a :class:`~repro.lifecycle.OutcomeLog` every served
+            estimate is recorded to (source ``"service"``); ``None``
+            defaults to the context's :attr:`RuntimeContext.lifecycle`.
     """
 
     def __init__(
@@ -125,6 +128,7 @@ class EstimationService:
         latency_window: int = 4096,
         default_deadline: float | None = None,
         ctx=None,
+        outcome_log=None,
     ) -> None:
         if workers < 1:
             raise InvalidConfiguration("service needs at least one worker")
@@ -132,6 +136,9 @@ class EstimationService:
             raise InvalidConfiguration("max_batch must be >= 1")
         self.engine = engine
         self.ctx = ctx
+        if outcome_log is None and ctx is not None:
+            outcome_log = ctx.lifecycle
+        self.outcome_log = outcome_log
         if default_deadline is None and ctx is not None:
             configured = float(getattr(ctx.config, "deadline", 0.0))
             default_deadline = configured if configured > 0 else None
@@ -394,6 +401,20 @@ class EstimationService:
                 tier=estimate.tier,
                 analysis_seconds=estimate.analysis_seconds,
             )
+            if self.outcome_log is not None:
+                try:
+                    self.outcome_log.record_estimate(
+                        estimate,
+                        dataset_key=key,
+                        compressor=getattr(
+                            getattr(self.engine, "compressor", None),
+                            "name",
+                            "",
+                        ),
+                        source="service",
+                    )
+                except OSError:
+                    pass  # a full disk must not fail the request
             item.future.set_result(
                 ServedEstimate(
                     request_id=item.request_id,

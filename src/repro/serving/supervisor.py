@@ -49,6 +49,7 @@ from multiprocessing import connection, resource_tracker
 
 import numpy as np
 
+from repro import obs
 from repro.core.persistence import save_pipeline
 from repro.errors import (
     DeadlineExceededError,
@@ -271,6 +272,15 @@ class ShardedEstimationService:
         ctx: a :class:`~repro.runtime.RuntimeContext`; supplies config
             defaults, adopts the shared-memory segments, and its spec
             seeds each shard's child context.
+        outcome_log: a :class:`~repro.lifecycle.OutcomeLog` the
+            supervisor records completions to, **parent-side only** —
+            shard estimates travel back over the reply pipe and are
+            recorded here, never by the forked workers themselves, so
+            the JSONL log has exactly one writer (the shard child
+            contexts drop ``outcome_log`` in
+            :meth:`~repro.runtime.context.RuntimeContext.spec`).
+            ``None`` defaults to the context's
+            :attr:`RuntimeContext.lifecycle`.
     """
 
     def __init__(
@@ -296,6 +306,7 @@ class ShardedEstimationService:
         latency_window: int = 4096,
         max_datasets: int = 64,
         ctx=None,
+        outcome_log=None,
     ) -> None:
         if not pipeline.is_fitted:
             raise NotFittedError("sharded serving needs a fitted pipeline")
@@ -309,6 +320,9 @@ class ShardedEstimationService:
             raise InvalidConfiguration("max_redeliveries must be >= 0")
         self.pipeline = pipeline
         self.ctx = ctx
+        if outcome_log is None and ctx is not None:
+            outcome_log = ctx.lifecycle
+        self.outcome_log = outcome_log
         self.n_shards = int(shards)
         self.queue_depth = int(queue_depth)
         self.max_inflight_per_shard = int(max_inflight_per_shard)
@@ -391,6 +405,9 @@ class ShardedEstimationService:
             _ShardSlot(i, CircuitBreaker(**breaker_options))
             for i in range(self.n_shards)
         ]
+        self._bind_gauges(
+            ctx.registry if ctx is not None else obs.get_registry()
+        )
         for slot in self.slots:
             self._spawn(slot)
         self._threads = [
@@ -546,6 +563,48 @@ class ShardedEstimationService:
                 }
                 for slot in self.slots
             ]
+
+    _BREAKER_CODES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+    def _bind_gauges(self, registry) -> None:
+        """Export supervision state as pull-model ``repro_serving_*`` gauges."""
+        if registry is None:
+            return
+        events = registry.gauge(
+            "repro_serving_supervisor_events",
+            "supervision counters, by event",
+        )
+        late = registry.gauge(
+            "repro_serving_late_replies",
+            "shard replies for requests already resolved elsewhere",
+        )
+        breaker = registry.gauge(
+            "repro_serving_breaker_state",
+            "per-shard breaker state (0 closed, 1 half-open, 2 open)",
+        )
+        ready = registry.gauge(
+            "repro_serving_shard_ready", "per-shard readiness (1 ready)"
+        )
+
+        def collect() -> None:
+            stats = self.stats
+            for event in (
+                "admitted", "completed", "failed", "shed", "expired",
+                "redelivered", "fallbacks", "respawns", "kills",
+            ):
+                events.set(float(getattr(stats, event)), event=event)
+            late.set(float(stats.late_replies))
+            for state in self.shard_states():
+                shard = str(state["shard"])
+                breaker.set(
+                    self._BREAKER_CODES.get(state["breaker"], -1.0),
+                    shard=shard,
+                )
+                ready.set(
+                    1.0 if state["state"] == READY else 0.0, shard=shard
+                )
+
+        registry.register_collector(collect)
 
     def kill_shard(self, index: int) -> None:
         """Kill one shard process outright (chaos/bench hook).
@@ -711,7 +770,9 @@ class ShardedEstimationService:
             }
             self._stats = replace(self._stats, **updates)
 
-    def _complete(self, inf: _Inflight, estimate, cache_hit: bool) -> None:
+    def _complete(
+        self, inf: _Inflight, estimate, cache_hit: bool, source: str = "shard"
+    ) -> None:
         latency = time.monotonic() - inf.submitted
         with self._lock:
             self._ewma_latency = 0.8 * self._ewma_latency + 0.2 * latency
@@ -721,6 +782,19 @@ class ShardedEstimationService:
             analysis_seconds=estimate.analysis_seconds,
         )
         self._bump(completed=1)
+        if self.outcome_log is not None:
+            # Parent-side, single-writer: the estimate already crossed
+            # the reply pipe, so this append never interleaves with a
+            # forked worker's writes.
+            try:
+                self.outcome_log.record_estimate(
+                    estimate,
+                    dataset_key=inf.dataset_key,
+                    compressor=self.pipeline.compressor.name,
+                    source=source,
+                )
+            except OSError:
+                pass  # a full disk must not fail the request
         inf.future.set_result(
             ServedEstimate(
                 request_id=inf.request_id,
@@ -879,7 +953,7 @@ class ShardedEstimationService:
             self._fail(inf, exc)
             return
         self._bump(fallbacks=1)
-        self._complete(inf, estimate, hit)
+        self._complete(inf, estimate, hit, source="fallback")
 
     # -- collector -------------------------------------------------------------
 

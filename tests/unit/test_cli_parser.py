@@ -138,3 +138,51 @@ class TestDumpFlags:
     def test_no_retry_flag(self, parser):
         args = parser.parse_args(["dump", "--no-retry"])
         assert args.no_retry
+
+
+@pytest.mark.lifecycle
+class TestLifecycleFlags:
+    def test_outcome_log_rides_the_runtime_group(self, parser):
+        args = parser.parse_args(
+            ["estimate", "data.npy", "--model", "m.fxrz", "--ratio", "8",
+             "--outcome-log", "/tmp/o.jsonl"]
+        )
+        assert args.outcome_log == "/tmp/o.jsonl"
+
+    def test_outcomes_report_takes_a_log(self, parser):
+        args = parser.parse_args(["outcomes-report", "o.jsonl"])
+        assert args.log == "o.jsonl"
+
+    def test_retrain_defaults(self, parser):
+        args = parser.parse_args(
+            ["retrain", "--registry", "reg", "--outcomes", "o.jsonl"]
+        )
+        assert args.registry == "reg"
+        assert args.compressor == "sz"
+        assert args.fingerprint == ""
+        assert args.min_samples == 64
+        assert args.canary_fraction == 0.25
+        assert args.canary_margin == 0.0
+        assert args.oversample == 4
+        assert not args.no_promote
+
+    def test_retrain_overrides(self, parser):
+        args = parser.parse_args(
+            ["retrain", "--registry", "reg", "--outcomes", "o.jsonl",
+             "--compressor", "zfp", "--fingerprint", "abc",
+             "--min-samples", "8", "--canary-fraction", "0.5",
+             "--canary-margin", "0.05", "--oversample", "2", "--no-promote"]
+        )
+        assert args.compressor == "zfp"
+        assert args.fingerprint == "abc"
+        assert args.min_samples == 8
+        assert args.canary_fraction == 0.5
+        assert args.canary_margin == 0.05
+        assert args.oversample == 2
+        assert args.no_promote
+
+    def test_retrain_requires_registry_and_outcomes(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["retrain", "--registry", "reg"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["retrain", "--outcomes", "o.jsonl"])

@@ -1,0 +1,170 @@
+"""Unit tests for the append-only serving-outcome log."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.inference import Estimate
+from repro.errors import InvalidConfiguration
+from repro.lifecycle import OutcomeLog, OutcomeRecord, read_outcomes
+
+pytestmark = pytest.mark.lifecycle
+
+
+def make_record(i: int = 0, measured: float | None = None) -> OutcomeRecord:
+    return OutcomeRecord(
+        dataset_key=f"ds-{i}",
+        compressor="sz",
+        features=(1.0 + i, 0.5, 0.25, 0.1, 0.9),
+        nonconstant=0.8,
+        target_ratio=10.0,
+        adjusted_target=8.0,
+        config=1e-3,
+        tier="model",
+        confidence=0.9,
+        measured_ratio=measured,
+        source="test",
+        timestamp=float(i),
+    )
+
+
+class TestOutcomeRecord:
+    def test_roundtrip_through_dict(self):
+        record = make_record(3, measured=9.5)
+        assert OutcomeRecord.from_dict(record.to_dict()) == record
+
+    def test_from_estimate_copies_fields(self):
+        estimate = Estimate(
+            config=2e-3,
+            target_ratio=12.0,
+            adjusted_target=9.6,
+            nonconstant=0.8,
+            features=np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+            analysis_seconds=0.01,
+            tier="curve",
+            confidence=0.4,
+            fallback_reason="low confidence",
+        )
+        record = OutcomeRecord.from_estimate(
+            estimate, dataset_key="k", compressor="sz",
+            measured_ratio=11.0, source="guarded",
+        )
+        assert record.config == 2e-3
+        assert record.tier == "curve"
+        assert record.features == (1.0, 2.0, 3.0, 4.0, 5.0)
+        assert record.measured_ratio == 11.0
+        assert record.timestamp > 0
+
+    def test_trainable_requires_usable_measurement(self):
+        assert make_record(measured=9.0).trainable
+        assert not make_record(measured=None).trainable
+        assert not make_record(measured=float("nan")).trainable
+        assert not make_record(measured=-1.0).trainable
+
+    def test_relative_error_is_formula_5(self):
+        record = make_record(measured=8.0)
+        assert record.relative_error == pytest.approx(0.2)
+        assert make_record(measured=None).relative_error is None
+
+
+class TestOutcomeLog:
+    def test_append_flush_replay(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        with OutcomeLog(path) as log:
+            for i in range(5):
+                log.record(make_record(i, measured=9.0 + i))
+            assert len(log) == 5
+        replay = read_outcomes(path)
+        assert [r.dataset_key for r in replay.records] == [
+            f"ds-{i}" for i in range(5)
+        ]
+        assert replay.torn_lines == 0
+        assert len(replay.trainable) == 5
+
+    def test_rotation_keeps_append_order(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        with OutcomeLog(path, max_bytes=4096, max_files=8) as log:
+            for i in range(60):
+                log.record(make_record(i))
+            assert log.rotations >= 1
+        replay = read_outcomes(path)
+        assert [r.timestamp for r in replay.records] == [
+            float(i) for i in range(60)
+        ]
+        assert len(replay.files) == log.rotations + 1
+
+    def test_rotation_drops_oldest_generation(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        with OutcomeLog(path, max_bytes=4096, max_files=1) as log:
+            for i in range(100):
+                log.record(make_record(i))
+        replay = read_outcomes(path)
+        # Only one rotated generation + the live file survive.
+        assert len(replay.files) == 2
+        assert replay.records[-1].timestamp == 99.0
+
+    def test_torn_line_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        with OutcomeLog(path) as log:
+            log.record(make_record(0))
+            log.record(make_record(1))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"dataset_key": "torn, no newline, no clos')
+        replay = read_outcomes(path)
+        assert len(replay.records) == 2
+        assert replay.torn_lines == 1
+
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        log = OutcomeLog(path)
+        barrier = threading.Barrier(8)
+
+        def writer(worker: int) -> None:
+            barrier.wait()
+            for i in range(50):
+                log.record(make_record(worker * 1000 + i))
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        replay = read_outcomes(path)
+        assert replay.torn_lines == 0
+        assert len(replay.records) == 8 * 50
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line is complete JSON
+
+    def test_closed_log_refuses_writes(self, tmp_path):
+        log = OutcomeLog(tmp_path / "o.jsonl")
+        log.record(make_record(0))
+        log.close()
+        log.close()  # idempotent
+        with pytest.raises(InvalidConfiguration):
+            log.record(make_record(1))
+
+    def test_missing_file_is_empty_replay(self, tmp_path):
+        replay = read_outcomes(tmp_path / "never-written.jsonl")
+        assert replay.records == [] and replay.files == []
+
+    def test_validates_knobs(self, tmp_path):
+        with pytest.raises(InvalidConfiguration):
+            OutcomeLog(tmp_path / "o.jsonl", max_bytes=100)
+        with pytest.raises(InvalidConfiguration):
+            OutcomeLog(tmp_path / "o.jsonl", max_files=0)
+
+    def test_metrics_counter_labels_source(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with OutcomeLog(tmp_path / "o.jsonl", registry=registry) as log:
+            log.record(make_record(0))
+            log.record(make_record(1))
+        text = registry.render_prometheus()
+        assert "repro_lifecycle_outcomes_total" in text
+        assert 'source="test"' in text

@@ -1,0 +1,349 @@
+"""Unit tests for outcome-driven retraining and canary promotion."""
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compressors import get_compressor
+from repro.errors import InvalidConfiguration
+from repro.lifecycle import (
+    BackgroundRetrainer,
+    OutcomeRecord,
+    evaluate_canary,
+    training_rows_from_outcomes,
+)
+from repro.lifecycle.promote import invert_model_ratio, replay_errors
+from repro.lifecycle.retrain import clone_with_model
+from repro.serving import LATEST, ModelRegistry
+
+from tests.conftest import small_forest_factory
+
+pytestmark = pytest.mark.lifecycle
+
+
+def make_record(
+    i: int = 0,
+    *,
+    measured: float | None = 9.0,
+    config: float = 1e-3,
+    nonconstant: float = 0.8,
+) -> OutcomeRecord:
+    return OutcomeRecord(
+        dataset_key=f"ds-{i}",
+        compressor="sz",
+        features=(1.0 + 0.1 * i, 0.5, 0.25, 0.1, 0.9),
+        nonconstant=nonconstant,
+        target_ratio=10.0,
+        adjusted_target=8.0,
+        config=config,
+        tier="model",
+        measured_ratio=measured,
+        source="test",
+        timestamp=float(i),
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline():
+    rng = np.random.default_rng(7)
+    lin = np.linspace(0, 4 * np.pi, 20)
+    x, y, _ = np.meshgrid(lin, lin, lin, indexing="ij")
+    train = [
+        (np.sin(x + 0.3 * i) * np.cos(y) + 0.03 * rng.standard_normal((20,) * 3))
+        .astype(np.float32)
+        for i in range(2)
+    ]
+    config = repro.FXRZConfig(stationary_points=8, augmented_samples=60)
+    pipeline = repro.FXRZ(
+        get_compressor("sz"), config=config, model_factory=small_forest_factory
+    )
+    pipeline.fit(train)
+    return pipeline, train
+
+
+class TestTrainingRows:
+    def test_rows_mirror_training_matrix_convention(self):
+        records = [make_record(0, measured=10.0, config=2e-3)]
+        x, y, used = training_rows_from_outcomes(records, log_scale=True)
+        assert used == 1 and x.shape == (1, 6)
+        # ACR column: measured ratio through the non-constant fraction.
+        assert x[0, 5] == pytest.approx(10.0 * 0.8)
+        # Log-scale target: range-normalized log bound.
+        scale = records[0].features[0]
+        assert y[0] == pytest.approx(math.log10(2e-3 / scale))
+
+    def test_linear_scale_regresses_raw_config(self):
+        records = [make_record(0, measured=10.0, config=2e-3)]
+        _, y, _ = training_rows_from_outcomes(records, log_scale=False)
+        assert y[0] == pytest.approx(2e-3)
+
+    def test_oversample_replicates_rows(self):
+        records = [make_record(i, measured=9.0) for i in range(3)]
+        x, y, used = training_rows_from_outcomes(
+            records, log_scale=True, oversample=4
+        )
+        assert used == 3
+        assert x.shape == (12, 6) and y.shape == (12,)
+
+    def test_untrainable_records_skipped(self):
+        records = [
+            make_record(0, measured=None),
+            make_record(1, measured=float("nan")),
+            make_record(2, measured=9.0),
+        ]
+        _, _, used = training_rows_from_outcomes(records, log_scale=True)
+        assert used == 1
+
+    def test_empty_input_gives_empty_matrix(self):
+        x, y, used = training_rows_from_outcomes([], log_scale=True)
+        assert used == 0 and x.size == 0 and y.size == 0
+
+    def test_oversample_validated(self):
+        with pytest.raises(InvalidConfiguration):
+            training_rows_from_outcomes([], log_scale=True, oversample=0)
+
+
+class _LinearModel:
+    """Fake model: config = slope * ACR (monotonic, exactly invertible)."""
+
+    def __init__(self, slope: float):
+        self.slope = slope
+
+    def predict(self, rows):
+        rows = np.asarray(rows)
+        return self.slope * rows[:, -1]
+
+
+def fake_pipeline(slope: float) -> SimpleNamespace:
+    return SimpleNamespace(
+        model=_LinearModel(slope),
+        compressor=SimpleNamespace(config_scale="linear"),
+    )
+
+
+class TestInvertModelRatio:
+    def test_recovers_acr_for_monotonic_model(self):
+        pipe = fake_pipeline(1e-3)
+        acr = invert_model_ratio(
+            pipe.model,
+            pipe.compressor,
+            np.zeros(5),
+            8e-3,
+            acr_hi=32.0,
+        )
+        assert acr == pytest.approx(8.0, rel=1e-6)
+
+    def test_out_of_range_configs_clamp_to_bounds(self):
+        pipe = fake_pipeline(1e-3)
+        low = invert_model_ratio(
+            pipe.model, pipe.compressor, np.zeros(5), 1e-6, acr_hi=32.0
+        )
+        high = invert_model_ratio(
+            pipe.model, pipe.compressor, np.zeros(5), 1.0, acr_hi=32.0
+        )
+        assert low == 1.0 and high == 32.0
+
+    def test_invalid_config_rejected(self):
+        pipe = fake_pipeline(1e-3)
+        with pytest.raises(InvalidConfiguration):
+            invert_model_ratio(
+                pipe.model, pipe.compressor, np.zeros(5), 0.0, acr_hi=32.0
+            )
+
+
+class TestEvaluateCanary:
+    #: Records whose configs follow config = 1e-3 * ACR exactly, so the
+    #: slope-1e-3 model replays them with zero relative CR error.
+    def records(self, n: int = 6) -> list[OutcomeRecord]:
+        out = []
+        for i in range(n):
+            measured = 6.0 + i
+            acr = measured * 0.8
+            out.append(
+                make_record(i, measured=measured, config=1e-3 * acr)
+            )
+        return out
+
+    def test_calibrated_candidate_beats_miscalibrated_incumbent(self):
+        report = evaluate_canary(
+            fake_pipeline(2e-3),  # believes configs deliver half the ratio
+            fake_pipeline(1e-3),  # exactly calibrated
+            self.records(),
+        )
+        assert report.promote
+        assert report.candidate_error == pytest.approx(0.0, abs=1e-6)
+        assert report.incumbent_error == pytest.approx(0.5, rel=1e-6)
+        assert report.reason.startswith("promoted:")
+
+    def test_worse_candidate_held_back(self):
+        report = evaluate_canary(
+            fake_pipeline(1e-3), fake_pipeline(2e-3), self.records()
+        )
+        assert not report.promote
+        assert report.reason.startswith("held back:")
+
+    def test_margin_blocks_marginal_wins(self):
+        # Candidate at slope 1.1e-3 is ~9% better than slope 1.2e-3 —
+        # not enough against a 50% required margin.
+        report = evaluate_canary(
+            fake_pipeline(1.2e-3),
+            fake_pipeline(1.1e-3),
+            self.records(),
+            margin=0.5,
+        )
+        assert not report.promote
+        assert "margin" in report.reason
+
+    def test_empty_holdout_never_promotes(self):
+        report = evaluate_canary(
+            fake_pipeline(1e-3), fake_pipeline(1e-3), []
+        )
+        assert not report.promote and report.n_records == 0
+
+    def test_margin_validated(self):
+        with pytest.raises(InvalidConfiguration):
+            evaluate_canary(
+                fake_pipeline(1e-3), fake_pipeline(1e-3), [], margin=1.0
+            )
+
+    def test_replay_errors_skips_untrainable(self):
+        records = self.records(3) + [make_record(9, measured=None)]
+        errors = replay_errors(fake_pipeline(1e-3), records)
+        assert len(errors) == 3
+
+
+class TestCloneWithModel:
+    def test_clone_serves_new_model_with_same_corpus(self, fitted_pipeline):
+        from repro.core.persistence import pipeline_fingerprint
+
+        pipeline, train = fitted_pipeline
+        model = small_forest_factory(123)
+        x, y = pipeline._training.build_training_matrix()
+        model.fit(x, y)
+        clone = clone_with_model(pipeline, model)
+        assert clone.model is model
+        assert pipeline_fingerprint(clone) == pipeline_fingerprint(pipeline)
+        estimate = clone.estimate_config(train[0], 8.0)
+        assert estimate.config > 0
+
+
+class _RecordingRetrainer(BackgroundRetrainer):
+    """Trigger-logic probe: records calls instead of fitting anything."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = []
+
+    def retrain(self, records, *, triggered_by="manual"):
+        self.calls.append(triggered_by)
+        trainable = sum(1 for r in records if r.trainable)
+        with self._lock:
+            self._trained_through = trainable
+        return SimpleNamespace(reason="stub", triggered_by=triggered_by)
+
+
+class TestTriggering:
+    def make(self, tmp_path, **kwargs):
+        kwargs.setdefault("min_samples", 4)
+        return _RecordingRetrainer(
+            ModelRegistry(tmp_path / "reg"), "sz", **kwargs
+        )
+
+    def test_volume_trigger_fires_once_per_batch(self, tmp_path):
+        retrainer = self.make(tmp_path)
+        records = [make_record(i) for i in range(4)]
+        assert retrainer.maybe_trigger(records)
+        assert retrainer.wait(timeout=10)
+        assert retrainer.calls == ["samples"]
+        # Same records again: nothing fresh since the last retrain.
+        assert not retrainer.maybe_trigger(records)
+
+    def test_below_volume_does_not_trigger(self, tmp_path):
+        retrainer = self.make(tmp_path)
+        assert not retrainer.maybe_trigger([make_record(0)] * 3)
+        assert retrainer.calls == []
+
+    def test_drift_trigger_needs_two_trainable(self, tmp_path):
+        detector = SimpleNamespace(drifting=True, reset=lambda: None)
+        retrainer = self.make(tmp_path, detector=detector, min_samples=64)
+        assert not retrainer.maybe_trigger([make_record(0)])
+        assert retrainer.maybe_trigger([make_record(0), make_record(1)])
+        assert retrainer.wait(timeout=10)
+        assert retrainer.calls == ["drift"]
+
+    def test_knobs_validated(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(InvalidConfiguration):
+            BackgroundRetrainer(registry, "sz", min_samples=0)
+        with pytest.raises(InvalidConfiguration):
+            BackgroundRetrainer(registry, "sz", canary_fraction=1.0)
+        with pytest.raises(InvalidConfiguration):
+            BackgroundRetrainer(registry, "sz", n_candidates=0)
+
+
+class TestSynchronousRetrain:
+    def outcome_records(self, pipeline, fields, targets) -> list[OutcomeRecord]:
+        """Measured outcomes where the incumbent is exactly calibrated."""
+        records = []
+        for i, field in enumerate(fields):
+            for target in targets:
+                estimate = pipeline.estimate_config(field, target)
+                records.append(
+                    OutcomeRecord.from_estimate(
+                        estimate,
+                        dataset_key=f"ds-{i}",
+                        compressor="sz",
+                        measured_ratio=estimate.adjusted_target
+                        / estimate.nonconstant,
+                        source="test",
+                    )
+                )
+        return records
+
+    def test_retrain_publishes_unpromoted_candidate_then_canaries(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, train = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        incumbent = registry.publish(pipeline)
+        records = self.outcome_records(pipeline, train, (6.0, 8.0, 10.0, 12.0))
+
+        retrainer = BackgroundRetrainer(
+            registry,
+            "sz",
+            min_samples=4,
+            canary_fraction=0.25,
+            n_candidates=1,
+        )
+        result = retrainer.retrain(records)
+
+        assert result.triggered_by == "manual"
+        assert result.trainable == len(records)
+        assert result.holdout == 2  # ceil(0.25 * 8)
+        assert result.train_rows == len(records) - result.holdout
+        # The candidate is always published — promotion is the canary's
+        # separate decision, recorded in the manifest either way.
+        assert result.candidate.version == incumbent.version + 1
+        assert result.report is not None
+        latest = registry.resolve("sz", None, LATEST)
+        if result.promoted is not None:
+            assert latest.version == result.candidate.version
+        else:
+            assert latest.version == incumbent.version
+        history = registry.history("sz")
+        assert history[-1 if result.promoted is None else -2]["action"] == (
+            "publish"
+        )
+
+    def test_too_few_outcomes_is_a_clean_no_op(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        retrainer = BackgroundRetrainer(registry, "sz")
+        result = retrainer.retrain([make_record(0)])
+        assert result.candidate is None and result.promoted is None
+        assert "not enough" in result.reason
+        assert retrainer.retrains == 1

@@ -1,0 +1,128 @@
+"""Runtime wiring of the lifecycle subsystem: knobs, context, spec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfiguration
+from repro.lifecycle import read_outcomes
+from repro.runtime import RuntimeConfig, RuntimeContext
+
+from tests.unit.test_lifecycle_outcomes import make_record
+
+pytestmark = [pytest.mark.runtime, pytest.mark.lifecycle]
+
+
+class TestLifecycleKnobs:
+    def test_defaults(self):
+        config = RuntimeConfig.resolve(env={})
+        assert config.outcome_log == ""
+        assert config.drift_window == 256
+        assert config.drift_ood_threshold == 0.5
+        assert config.drift_error_threshold == 0.25
+        assert config.drift_hysteresis == 3
+        assert config.retrain_min_samples == 64
+        assert config.canary_fraction == 0.25
+        assert config.canary_margin == 0.0
+
+    def test_layering(self, tmp_path):
+        profile = tmp_path / "runtime.toml"
+        profile.write_text("[runtime]\ndrift_window = 64\n")
+        config = RuntimeConfig.resolve(
+            profile=profile,
+            env={
+                "REPRO_OUTCOME_LOG": "/tmp/o.jsonl",
+                "REPRO_DRIFT_WINDOW": "128",
+                "REPRO_CANARY_MARGIN": "0.1",
+            },
+            retrain_min_samples=16,
+        )
+        assert config.outcome_log == "/tmp/o.jsonl"
+        assert config.drift_window == 64  # profile beats env
+        assert config.canary_margin == 0.1
+        assert config.retrain_min_samples == 16
+        assert config.provenance["drift_window"] == "profile"
+        assert config.provenance["outcome_log"] == "env"
+        assert config.provenance["retrain_min_samples"] == "override"
+
+    def test_validation(self):
+        for bad in (
+            {"drift_window": 0},
+            {"drift_ood_threshold": 0.0},
+            {"drift_ood_threshold": 1.5},
+            {"drift_error_threshold": 0.0},
+            {"drift_hysteresis": 0},
+            {"retrain_min_samples": 0},
+            {"canary_fraction": 1.0},
+            {"canary_margin": 1.0},
+        ):
+            with pytest.raises(InvalidConfiguration):
+                RuntimeConfig(**bad)
+
+
+class TestContextLifecycleWiring:
+    def test_lifecycle_is_none_when_logging_off(self):
+        with RuntimeContext() as ctx:
+            assert ctx.lifecycle is None
+
+    def test_lifecycle_built_lazily_and_closed_with_context(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        config = RuntimeConfig.resolve(env={}, outcome_log=str(path))
+        ctx = RuntimeContext(config=config)
+        log = ctx.lifecycle
+        assert log is ctx.lifecycle  # one log per session
+        log.record(make_record(0))
+        ctx.close()
+        with pytest.raises(InvalidConfiguration):
+            log.record(make_record(1))
+        assert len(read_outcomes(path).records) == 1
+
+    def test_closed_context_refuses_lifecycle(self):
+        ctx = RuntimeContext()
+        ctx.close()
+        with pytest.raises(InvalidConfiguration):
+            _ = ctx.lifecycle
+
+    def test_borrowed_log_not_closed(self, tmp_path):
+        from repro.lifecycle import OutcomeLog
+
+        log = OutcomeLog(tmp_path / "o.jsonl")
+        ctx = RuntimeContext(outcomes=log)
+        assert ctx.lifecycle is log
+        ctx.close()
+        log.record(make_record(0))  # still open: the borrower must not close
+        log.close()
+
+    def test_drift_options_mirror_config(self):
+        config = RuntimeConfig.resolve(
+            env={}, drift_window=32, drift_hysteresis=5
+        )
+        with RuntimeContext(config=config) as ctx:
+            options = ctx.drift_options
+        assert options["window"] == 32
+        assert options["hysteresis"] == 5
+        assert options["ood_threshold"] == 0.5
+        assert options["error_threshold"] == 0.25
+
+    def test_spec_never_forwards_the_outcome_log(self, tmp_path):
+        """Child processes must not write the parent's log (single writer)."""
+        config = RuntimeConfig.resolve(
+            env={},
+            outcome_log=str(tmp_path / "o.jsonl"),
+            drift_window=32,
+        )
+        with RuntimeContext(config=config) as ctx:
+            spec = ctx.spec()
+        assert spec["outcome_log"] == ""
+        assert spec["drift_window"] == 32  # drift knobs do travel
+
+    def test_from_args_picks_up_outcome_log(self, tmp_path):
+        from repro.cli import build_parser
+
+        path = tmp_path / "o.jsonl"
+        args = build_parser().parse_args(
+            ["search", "data.npy", "--outcome-log", str(path), "--ratio", "8"]
+        )
+        with RuntimeContext.from_args(args, env={}) as ctx:
+            assert ctx.config.outcome_log == str(path)
+            assert ctx.config.provenance["outcome_log"] == "override"

@@ -123,3 +123,75 @@ class TestFeatureCache:
         # The failure is not cached: a later request retries cleanly.
         value, hit = cache.get_or_compute("k", lambda: 42)
         assert (value, hit) == (42, False)
+
+
+class _CountingEngine:
+    """Stub engine: counts ``analyze`` calls, widening the miss window."""
+
+    def __init__(self):
+        self.analyze_calls = 0
+        self.config = None  # service reads sampling_stride off the config
+        self._lock = threading.Lock()
+
+    def analyze(self, data):
+        with self._lock:
+            self.analyze_calls += 1
+        time.sleep(0.05)  # keep the analysis in flight while peers storm
+        return {"mean": float(np.mean(data))}
+
+    def estimate(self, data, target_ratio, *, analysis=None):
+        from repro.core.inference import Estimate
+
+        return Estimate(
+            config=1e-3,
+            target_ratio=target_ratio,
+            adjusted_target=target_ratio,
+            nonconstant=1.0,
+            features=np.zeros(5),
+            analysis_seconds=0.0,
+            tier="model",
+            confidence=1.0,
+        )
+
+
+class TestServiceMissStorm:
+    def test_same_fingerprint_storm_runs_one_analysis(self):
+        """N concurrent submitters of one dataset share a single analysis.
+
+        The storm goes through the full service path — fingerprinting,
+        per-key queues, worker threads — so this covers the in-flight
+        dedup contract end to end, not just the cache primitive.
+        """
+        from repro.serving import EstimateRequest, EstimationService
+
+        engine = _CountingEngine()
+        data = np.linspace(0.0, 1.0, 4096).reshape(16, 16, 16)
+        started = threading.Barrier(8)
+        futures = []
+        futures_lock = threading.Lock()
+
+        with EstimationService(engine, workers=8, max_batch=1) as service:
+
+            def submitter(i: int) -> None:
+                started.wait()
+                future = service.submit(
+                    EstimateRequest(data=data, target_ratio=4.0 + i)
+                )
+                with futures_lock:
+                    futures.append(future)
+
+            threads = [
+                threading.Thread(target=submitter, args=(i,))
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            served = [f.result(timeout=30) for f in futures]
+
+        assert engine.analyze_calls == 1, (
+            "a same-fingerprint miss storm must run exactly one analysis"
+        )
+        assert len({s.dataset_key for s in served}) == 1
+        assert sum(1 for s in served if not s.cache_hit) == 1

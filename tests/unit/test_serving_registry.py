@@ -1,6 +1,7 @@
 """Unit tests for the versioned on-disk model registry."""
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -62,6 +63,119 @@ class TestPublish:
         assert [e.version for e in entries] == [1, 2]
         assert registry.fingerprints("sz") == [pipeline_fingerprint(pipeline)]
         assert registry.fingerprints("zfp") == []
+
+
+class TestConcurrentPublish:
+    @pytest.mark.lifecycle
+    def test_concurrent_publishers_get_distinct_versions(
+        self, fitted_pipeline, tmp_path
+    ):
+        """The publish race: N threads, N distinct versions, no overwrite."""
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg", max_loaded=8)
+        published = []
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def publish():
+            barrier.wait()
+            try:
+                published.append(registry.publish(pipeline))
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=publish) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        versions = sorted(p.version for p in published)
+        assert versions == [1, 2, 3, 4, 5, 6]
+        for item in published:
+            assert item.path.is_file()
+        manifest = json.loads(
+            (published[0].path.parent / "manifest.json").read_text()
+        )
+        assert manifest["latest"] == 6
+        assert sorted(map(int, manifest["versions"])) == versions
+
+    @pytest.mark.lifecycle
+    def test_stale_lock_is_broken(self, fitted_pipeline, tmp_path):
+        import os
+        import time as time_mod
+
+        from repro.serving.registry import _LOCK
+
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        first = registry.publish(pipeline)
+        lock = first.path.parent / _LOCK
+        lock.write_text("12345")
+        old = time_mod.time() - 120.0
+        os.utime(lock, (old, old))
+        second = registry.publish(pipeline)  # breaks the abandoned lock
+        assert second.version == 2
+        assert not lock.exists()
+
+
+@pytest.mark.lifecycle
+class TestPromoteRollback:
+    def test_unpromoted_publish_leaves_latest(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        candidate = registry.publish(pipeline, promote=False)
+        assert candidate.version == 2
+        assert registry.resolve("sz", version=LATEST).version == 1
+        # The candidate is loadable by explicit version.
+        assert registry.load("sz", version=2).is_fitted
+
+    def test_promote_flips_alias_and_records_history(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        candidate = registry.publish(pipeline, promote=False)
+        promoted = registry.promote(
+            "sz", candidate.fingerprint, candidate.version, note="canary won"
+        )
+        assert promoted.version == 2
+        assert registry.resolve("sz", version=LATEST).version == 2
+        events = registry.history("sz")
+        assert events[-1]["action"] == "promote"
+        assert events[-1]["previous"] == 1
+        assert events[-1]["note"] == "canary won"
+
+    def test_promote_missing_version_raises(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        with pytest.raises(InvalidConfiguration):
+            registry.promote("sz", None, 99)
+
+    def test_rollback_restores_previous_latest(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        candidate = registry.publish(pipeline, promote=False)
+        registry.promote("sz", None, candidate.version)
+        restored = registry.rollback("sz", note="post-promotion regression")
+        assert restored.version == 1
+        assert registry.resolve("sz", version=LATEST).version == 1
+        assert registry.history("sz")[-1]["action"] == "rollback"
+
+    def test_rollback_without_predecessor_raises(
+        self, fitted_pipeline, tmp_path
+    ):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        with pytest.raises(InvalidConfiguration):
+            registry.rollback("sz")
 
 
 class TestLoad:
