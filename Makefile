@@ -1,7 +1,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness parallel obs runtime runtime-smoke bench bench-parallel bench-resilience bench-lifecycle serve-smoke trace-smoke chaos lifecycle
+.PHONY: test robustness parallel obs runtime runtime-smoke bench bench-parallel bench-resilience bench-lifecycle bench-kernels serve-smoke trace-smoke chaos lifecycle kernels
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
@@ -56,6 +56,13 @@ chaos:
 runtime-smoke:
 	PYTHONPATH=src $(PY) examples/runtime_smoke.py
 
+# Kernel gate: the kernels-marked tests (scratch arena, backend
+# registry, chunked Huffman and fused-vs-reference bit-identity parity)
+# with RuntimeWarnings promoted to errors — a fused pass that overflows
+# or divides by zero must fail loudly, not round differently.
+kernels:
+	$(PYTEST) -x -q -W error::RuntimeWarning -m kernels
+
 # Lifecycle gate: the lifecycle-marked tests (outcome log, drift
 # detector, registry promote/rollback, background retrain, canary
 # promotion) with RuntimeWarnings promoted to errors.
@@ -70,6 +77,13 @@ bench:
 # 8-way configuration).
 bench-parallel:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q bench_parallel_scaling.py
+
+# Kernel throughput bench: per-compressor encode/decode MB/s on the
+# Nyx baryon-density block with regression floors; writes
+# BENCH_kernel_throughput.json at the repo root (streaming rows reuse
+# one arena across repeats, cold rows rebuild scratch every call).
+bench-kernels:
+	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q bench_compressor_throughput.py
 
 # Serving-resilience bench: overload (shedding) + chaos (shard kills
 # under load) phases against the sharded service; writes

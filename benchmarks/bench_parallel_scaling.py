@@ -45,6 +45,10 @@ FULL = os.environ.get("FXRZ_BENCH_PARALLEL_FULL", "") not in ("", "0")
 GRID = 256 if FULL else 64
 N_POINTS = 25 if FULL else 8
 JOBS_LEVELS = (1, 2, 4, 8) if FULL else (1, 2, 4)
+#: Cold sweeps per jobs level; the minimum is the recorded wall clock
+#: (standard noise-robust estimator — smoke grids finish in ~100 ms, so
+#: a single stray scheduler tick would otherwise dominate the ratio).
+COLD_REPS = 1 if FULL else 3
 
 _JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_parallel_scaling.json"
 
@@ -67,23 +71,31 @@ def test_parallel_scaling(benchmark, report):
     reference = None
     serial_cold = None
     for jobs in JOBS_LEVELS:
-        cold_ctx = RuntimeContext(env={}, jobs=jobs)
-        tick = time.perf_counter()
-        cold_curve = build_curve(
-            sz, data, n_points=N_POINTS, ctx=cold_ctx, fingerprint=fingerprint
-        )
-        cold = time.perf_counter() - tick
+        cold = None
+        memo = None
+        cold_curve = None
+        # Each rep gets a fresh context (and so a fresh memo) so every
+        # pass really pays the compressor runs; the fat-batch dispatch
+        # groups the sweep's probes into one task per worker.
+        for _ in range(COLD_REPS):
+            cold_ctx = RuntimeContext(env={}, jobs=jobs)
+            tick = time.perf_counter()
+            cold_curve = build_curve(
+                sz, data, n_points=N_POINTS, ctx=cold_ctx, fingerprint=fingerprint
+            )
+            elapsed = time.perf_counter() - tick
+            cold = elapsed if cold is None else min(cold, elapsed)
+            memo = cold_ctx.memo
+            cold_ctx.close()
         # The warm pass answers from the memo alone: a serial context
         # borrowing the cold session's memo keeps the pool out of the
         # timing (and out of the memo path — hits resolve in-driver).
-        memo = cold_ctx.memo
         warm_ctx = RuntimeContext(env={}, memo=memo)
         tick = time.perf_counter()
         warm_curve = build_curve(
             sz, data, n_points=N_POINTS, ctx=warm_ctx, fingerprint=fingerprint
         )
         warm = time.perf_counter() - tick
-        cold_ctx.close()
         warm_ctx.close()
 
         if reference is None:
@@ -108,6 +120,7 @@ def test_parallel_scaling(benchmark, report):
         sweep_records.append(
             {
                 "jobs": jobs,
+                "effective_jobs": min(jobs, available_cpus()),
                 "cold_seconds": cold,
                 "cold_speedup_vs_serial": cold_speedup,
                 "warm_seconds": warm,
@@ -121,6 +134,29 @@ def test_parallel_scaling(benchmark, report):
     assert at4["warm_speedup_vs_cold"] >= 2.5, (
         "memo-warm sweep at jobs=4 must be at least 2.5x faster than cold"
     )
+
+    # Fat-task cold scaling: batched dispatch must beat serial on real
+    # cores. On a single-CPU host the auto backend clamps every jobs
+    # level to the in-driver serial path, so there is no fan-out to
+    # measure — the level is recorded (speedup ~1.0 by construction)
+    # and the floor is skipped with a note.
+    cpus = available_cpus()
+    if cpus >= 4:
+        cold_floor = 1.3
+    elif cpus >= 2:
+        cold_floor = 1.1
+    else:
+        cold_floor = None
+    if cold_floor is not None:
+        assert at4["cold_speedup_vs_serial"] >= cold_floor, (
+            f"cold sweep at jobs=4 scaled {at4['cold_speedup_vs_serial']:.2f}x "
+            f"on {cpus} CPUs; floor is {cold_floor}x"
+        )
+    else:
+        print(
+            "note: single-CPU host - auto backend clamps jobs=4 to the "
+            "serial path; cold-scaling floor skipped"
+        )
 
     # -- 2. forest fit: serial vs n_jobs=4, parity asserted -------------------
     rng = np.random.default_rng(7)
@@ -223,6 +259,17 @@ def test_parallel_scaling(benchmark, report):
                 "cpus": available_cpus(),
                 "grid": [GRID, GRID, GRID],
                 "n_points": N_POINTS,
+                "cold_reps": COLD_REPS,
+                "cold_scaling_floor": {
+                    "jobs": 4,
+                    "floor": cold_floor,
+                    "applied": cold_floor is not None,
+                    "note": (
+                        "single-CPU host: auto backend clamps to serial"
+                        if cold_floor is None
+                        else "min-of-reps cold sweep, fat-batched tasks"
+                    ),
+                },
                 "sweep": sweep_records,
                 "forest_fit": {
                     "n_estimators": 24,

@@ -73,6 +73,21 @@ def _probe_task(config: float, arrays: dict, compressor: Compressor):
     return ratio, time.perf_counter() - tick
 
 
+def _probe_batch(configs: list, arrays: dict, compressor: Compressor):
+    """A fat probe task: several edge probes in one dispatch.
+
+    One batch runs on one worker; a single compression stream carries
+    the kernel arena across its probes.
+    """
+    stream = compressor.compress_stream()
+    results = []
+    for config in configs:
+        tick = time.perf_counter()
+        ratio = stream.compress(arrays["data"], config).compression_ratio
+        results.append((ratio, time.perf_counter() - tick))
+    return results
+
+
 class FRaZ:
     """Windowed iterative fixed-ratio search.
 
@@ -218,6 +233,10 @@ class FRaZ:
         memo = self.memo
         fingerprint = memo.fingerprint(data) if memo is not None else None
         prefetched: dict[float, tuple[float, float]] = {}
+        # One stream per search: every real probe compresses the same
+        # array, so the kernel arena sized by the first run is reused by
+        # all later bisection probes.
+        stream = self.compressor.compress_stream()
 
         def already_probed(config: float) -> bool:
             at = bisect.bisect_left(probed_configs, config)
@@ -241,7 +260,7 @@ class FRaZ:
                 if record is not None:
                     return record.ratio, record.seconds, "memo"
             tick = time.perf_counter()
-            ratio = self.compressor.compression_ratio(data, config)
+            ratio = stream.compress(data, config).compression_ratio
             seconds = time.perf_counter() - tick
             if memo is not None:
                 from repro.parallel.memo import MemoRecord
@@ -358,12 +377,20 @@ class FRaZ:
                 pending.append(config)
         if len(pending) < 2:
             return  # nothing to overlap
-        results = self.executor.map(
-            _probe_task,
-            pending,
+        # Fat-task dispatch: at most one batch per worker, each batch a
+        # single pool task running its probes over one stream.
+        n_batches = max(1, min(self.executor.n_jobs, len(pending)))
+        bounds = np.linspace(0, len(pending), n_batches + 1).astype(int)
+        groups = [
+            pending[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+        grouped = self.executor.map(
+            _probe_batch,
+            groups,
             shared={"data": np.asarray(data)},
             context=self.compressor,
         )
+        results = [result for group in grouped for result in group]
         for config, (ratio, seconds) in zip(pending, results):
             prefetched[config] = (ratio, seconds)
             if self.memo is not None:

@@ -18,10 +18,20 @@ are registered in a global registry keyed by name.
 
 from repro.compressors.base import (
     CompressedBlob,
+    CompressionStream,
     Compressor,
     available_compressors,
     get_compressor,
     register_compressor,
+)
+from repro.compressors.kernels import (
+    ArenaStats,
+    KernelArena,
+    KernelBackend,
+    available_kernel_backends,
+    get_kernel_backend,
+    register_kernel_backend,
+    use_kernel_backend,
 )
 from repro.compressors.quantizer import LinearQuantizer
 from repro.compressors.sz import SZCompressor
@@ -32,9 +42,17 @@ from repro.compressors.mgard import MGARDCompressor
 from repro.compressors.digit_rounding import DigitRoundingCompressor
 
 __all__ = [
+    "ArenaStats",
     "CompressedBlob",
+    "CompressionStream",
     "Compressor",
+    "KernelArena",
+    "KernelBackend",
     "LinearQuantizer",
+    "available_kernel_backends",
+    "get_kernel_backend",
+    "register_kernel_backend",
+    "use_kernel_backend",
     "SZCompressor",
     "SZLorenzoCompressor",
     "ZFPCompressor",

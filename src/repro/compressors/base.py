@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.compressors.kernels import KernelArena
 from repro.errors import (
     CompressionError,
     ErrorBoundViolation,
@@ -82,14 +83,26 @@ class Compressor(abc.ABC):
     #: for error bounds spanning decades, ``"linear"`` for precisions.
     config_scale: str = "log"
 
-    def compress(self, array: np.ndarray, config: float) -> CompressedBlob:
-        """Compress ``array`` under error configuration ``config``."""
+    def compress(
+        self,
+        array: np.ndarray,
+        config: float,
+        *,
+        arena: KernelArena | None = None,
+    ) -> CompressedBlob:
+        """Compress ``array`` under error configuration ``config``.
+
+        ``arena`` optionally supplies reusable scratch buffers (see
+        :class:`~repro.compressors.kernels.KernelArena`); repeated calls
+        with the same arena — e.g. through :class:`CompressionStream` —
+        skip the per-call scratch allocations of the hot path.
+        """
         array = self._validate_input(array)
         config = self.normalize_config(config)
         with obs.span(
             "compressor.compress", compressor=self.name, config=config
         ) as span:
-            payload = self._compress_payload(array, config)
+            payload = self._compress_payload(array, config, arena)
             blob = CompressedBlob(
                 data=payload,
                 original_shape=array.shape,
@@ -102,7 +115,12 @@ class Compressor(abc.ABC):
             )
         return blob
 
-    def decompress(self, blob: CompressedBlob) -> np.ndarray:
+    def decompress(
+        self,
+        blob: CompressedBlob,
+        *,
+        arena: KernelArena | None = None,
+    ) -> np.ndarray:
         """Reconstruct the array stored in ``blob``."""
         if blob.compressor != self.name:
             raise CompressionError(
@@ -111,8 +129,19 @@ class Compressor(abc.ABC):
         with obs.span(
             "compressor.decompress", compressor=self.name, config=blob.config
         ):
-            out = self._decompress_payload(blob)
+            out = self._decompress_payload(blob, arena)
         return out.reshape(blob.original_shape)
+
+    def compress_stream(
+        self, arena: KernelArena | None = None
+    ) -> "CompressionStream":
+        """A reusable session that carries one arena across many calls.
+
+        The intended shape for in-situ/streaming workloads: one stream
+        per timestep sequence (or per sweep), so every timestep reuses
+        the scratch buffers the first one allocated.
+        """
+        return CompressionStream(self, arena=arena)
 
     def compression_ratio(self, array: np.ndarray, config: float) -> float:
         """Convenience: compress and return the measured ratio."""
@@ -221,11 +250,22 @@ class Compressor(abc.ABC):
     # -- subclass hooks -------------------------------------------------------
 
     @abc.abstractmethod
-    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
-        """Serialize ``array`` at ``config`` into bytes."""
+    def _compress_payload(
+        self,
+        array: np.ndarray,
+        config: float,
+        arena: KernelArena | None = None,
+    ) -> bytes:
+        """Serialize ``array`` at ``config`` into bytes.
+
+        ``arena`` is an optional scratch pool; implementations that do
+        not batch through kernels may ignore it.
+        """
 
     @abc.abstractmethod
-    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress_payload(
+        self, blob: CompressedBlob, arena: KernelArena | None = None
+    ) -> np.ndarray:
         """Reconstruct the flat array from ``blob.data``."""
 
     # -- helpers --------------------------------------------------------------
@@ -246,6 +286,46 @@ class Compressor(abc.ABC):
         return np.ascontiguousarray(array)
 
 
+class CompressionStream:
+    """A compression session reusing one arena across many calls.
+
+    Wraps a :class:`Compressor` so that every ``compress``/``decompress``
+    shares a single :class:`~repro.compressors.kernels.KernelArena`:
+    the first call sizes the scratch buffers, subsequent calls (later
+    timesteps of an in-situ stream, later probes of a sweep) reuse them.
+    Not thread-safe — one stream per thread of compressor calls.
+    """
+
+    def __init__(
+        self, compressor: Compressor, arena: KernelArena | None = None
+    ) -> None:
+        self.compressor = compressor
+        self.arena = arena if arena is not None else KernelArena()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompressionStream({self.compressor.name!r})"
+
+    def compress(self, array: np.ndarray, config: float) -> CompressedBlob:
+        return self.compressor.compress(array, config, arena=self.arena)
+
+    def decompress(self, blob: CompressedBlob) -> np.ndarray:
+        return self.compressor.decompress(blob, arena=self.arena)
+
+    def compression_ratio(self, array: np.ndarray, config: float) -> float:
+        return self.compress(array, config).compression_ratio
+
+    def roundtrip(
+        self, array: np.ndarray, config: float
+    ) -> tuple[np.ndarray, CompressedBlob]:
+        blob = self.compress(array, config)
+        return self.decompress(blob), blob
+
+    @property
+    def stats(self):
+        """Arena reuse counters (:class:`~repro.compressors.kernels.ArenaStats`)."""
+        return self.arena.stats
+
+
 def content_fingerprint(array: np.ndarray) -> str:
     """Content-hash the *full* array (shape + dtype + every byte).
 
@@ -259,7 +339,11 @@ def content_fingerprint(array: np.ndarray) -> str:
         raise CompressionError("cannot fingerprint an empty array")
     digest = hashlib.blake2b(digest_size=16)
     digest.update(f"{array.shape}|{array.dtype.str}".encode("ascii"))
-    digest.update(np.ascontiguousarray(array).tobytes())
+    if array.flags.c_contiguous:
+        # Hash the buffer in place; tobytes() would copy the array.
+        digest.update(array.data)
+    else:
+        digest.update(np.ascontiguousarray(array).tobytes())
     return digest.hexdigest()
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.kernels import KernelArena
 from repro.compressors.predictors import lorenzo_reconstruct, lorenzo_residuals
 from repro.encoding import HuffmanCodec
 from repro.encoding.varint import decode_section, encode_section
@@ -83,7 +84,12 @@ class FPZIPCompressor(Compressor):
 
     # -- compression ----------------------------------------------------------
 
-    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+    def _compress_payload(
+        self,
+        array: np.ndarray,
+        config: float,
+        arena: KernelArena | None = None,
+    ) -> bytes:
         precision = int(config)
         drop = min(max(0, _MAX_PRECISION - precision), 23)
         as_f32 = array.astype(np.float32)
@@ -109,7 +115,9 @@ class FPZIPCompressor(Compressor):
 
     # -- decompression --------------------------------------------------------
 
-    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress_payload(
+        self, blob: CompressedBlob, arena: KernelArena | None = None
+    ) -> np.ndarray:
         header, offset = decode_section(blob.data, 0)
         if len(header) != 1:
             raise CorruptStreamError("bad FPZIP header")

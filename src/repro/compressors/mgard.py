@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.kernels import KernelArena
 from repro.compressors.predictors import interp_prediction_linear
 from repro.compressors.quantizer import LinearQuantizer
 from repro.compressors.sz import _initial_stride, _plan_steps
@@ -65,7 +66,12 @@ class MGARDCompressor(Compressor):
 
     # -- compression ----------------------------------------------------------
 
-    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+    def _compress_payload(
+        self,
+        array: np.ndarray,
+        config: float,
+        arena: KernelArena | None = None,
+    ) -> bytes:
         data = array.astype(np.float64)
         mean = float(data.mean())
         recon = np.zeros_like(data)
@@ -134,7 +140,9 @@ class MGARDCompressor(Compressor):
 
     # -- decompression --------------------------------------------------------
 
-    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress_payload(
+        self, blob: CompressedBlob, arena: KernelArena | None = None
+    ) -> np.ndarray:
         header, offset = decode_section(blob.data, 0)
         if len(header) != 17:
             raise CorruptStreamError("bad MGARD header")

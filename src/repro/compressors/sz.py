@@ -6,13 +6,27 @@ reconstructed points by midpoint interpolation (cubic where possible,
 paper Eq. 3), quantizes the residual with linear-scaling quantization
 (bin width ``2*eb``), and entropy-codes the quantization codes with
 zero-run-length + Huffman coding — mirroring SZ's
-prediction/quantization/Huffman(+dictionary) pipeline.
+prediction/quantization/Huffman(+dictionary) pipeline. The zero-RLE
+layer is adaptive: when the code stream is not zero-dominated it is
+skipped (header flag bit 1) and the codes are Huffman-coded directly,
+halving the entropy-coding work on dense streams.
 
 The traversal refines a power-of-two stride pyramid: at each level, each
 axis in turn fills its midpoints. Because both the encoder and the
 decoder update the reconstruction array with *identical* float64
 operations, predictions match bit-for-bit on both sides, and the
 point-wise absolute error bound holds unconditionally.
+
+The per-step predict→quantize→code-emit pass is fused through the
+batched kernel layer (:mod:`repro.compressors.kernels`): each
+refinement step is one vectorized pass writing quantization codes
+straight into an arena-backed code buffer at a running offset, with a
+symmetric fused decode. Entropy backends: classic Huffman (default),
+range coding, or cuSZ-style chunked Huffman (``entropy="chunked"``)
+whose byte-aligned chunks decode in vectorized waves. The quantization
+code width is exposed as ``quant_width`` (cuSZ's ``-Q`` knob): narrower
+codes shrink the entropy alphabet at the cost of routing more residuals
+through the outlier path.
 """
 
 from __future__ import annotations
@@ -22,20 +36,39 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.kernels import KernelArena, get_kernel_backend
 from repro.compressors.predictors import (
     interp_prediction_cubic,
     interp_prediction_linear,
 )
-from repro.compressors.quantizer import LinearQuantizer
-from repro.encoding import HuffmanCodec, zero_rle_decode, zero_rle_encode
+from repro.compressors.quantizer import DEFAULT_MAX_CODE, LinearQuantizer
+from repro.encoding import (
+    ChunkedHuffmanCodec,
+    HuffmanCodec,
+    zero_rle_decode,
+    zero_rle_encode,
+)
 from repro.encoding.range_coder import RangeCoder
 from repro.encoding.varint import decode_section, encode_section
 from repro.errors import CorruptStreamError, EncodingError
 
+#: Header byte 17 values naming the entropy backend of a blob.
+_ENTROPY_TAGS = {"huffman": 0, "range": 1, "chunked": 2}
+_ENTROPY_NAMES = {tag: name for name, tag in _ENTROPY_TAGS.items()}
+
+#: ``quant_width`` bounds: at least 2 bits (one magnitude bit + sign),
+#: at most the default 21-bit-magnitude code space.
+_MIN_QUANT_WIDTH = 2
+_MAX_QUANT_WIDTH = 22
+
 
 def _entropy_codec(name: str):
-    """The entropy backend: Huffman (default) or range coding."""
-    return RangeCoder() if name == "range" else HuffmanCodec()
+    """The entropy backend: Huffman (default), range, or chunked."""
+    if name == "range":
+        return RangeCoder()
+    if name == "chunked":
+        return ChunkedHuffmanCodec()
+    return HuffmanCodec()
 
 
 @dataclass(frozen=True)
@@ -91,35 +124,65 @@ class SZCompressor(Compressor):
     config_scale = "log"
 
     def __init__(
-        self, interpolation: str = "cubic", entropy: str = "huffman"
+        self,
+        interpolation: str = "cubic",
+        entropy: str = "huffman",
+        quant_width: int | None = None,
     ) -> None:
         if interpolation not in ("cubic", "linear"):
             raise ValueError("interpolation must be 'cubic' or 'linear'")
-        if entropy not in ("huffman", "range"):
-            raise ValueError("entropy must be 'huffman' or 'range'")
+        if entropy not in _ENTROPY_TAGS:
+            raise ValueError(
+                "entropy must be 'huffman', 'range' or 'chunked'"
+            )
+        if quant_width is not None and not (
+            _MIN_QUANT_WIDTH <= int(quant_width) <= _MAX_QUANT_WIDTH
+        ):
+            raise ValueError(
+                f"quant_width must be in "
+                f"[{_MIN_QUANT_WIDTH}, {_MAX_QUANT_WIDTH}]"
+            )
         self.interpolation = interpolation
         self.entropy = entropy
+        self.quant_width = int(quant_width) if quant_width is not None else None
+
+    def _max_code(self) -> int:
+        if self.quant_width is None:
+            return DEFAULT_MAX_CODE
+        return (1 << (self.quant_width - 1)) - 1
 
     # -- compression ----------------------------------------------------------
 
-    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+    def _compress_payload(
+        self,
+        array: np.ndarray,
+        config: float,
+        arena: KernelArena | None = None,
+    ) -> bytes:
+        if arena is None:
+            arena = KernelArena()
+        backend = get_kernel_backend()
         data = array.astype(np.float64)
-        quantizer = LinearQuantizer(config)
+        quantizer = LinearQuantizer(config, max_code=self._max_code())
         mean = float(data.mean())
 
-        recon = np.zeros_like(data)
-        codes_parts: list[np.ndarray] = []
+        recon = arena.zeros("sz.recon", data.shape, np.float64)
+        codes = arena.scratch("sz.codes", data.size, np.int64)
         outlier_parts: list[np.ndarray] = []
 
         s0 = _initial_stride(data.shape)
         coarse_key = tuple(slice(0, None, s0) for _ in data.shape)
         target = data[coarse_key]
-        quant = quantizer.quantize(target - mean)
-        recon_block = mean + quant.dequantized
-        recon_block[quant.outlier_mask] = target[quant.outlier_mask]
-        recon[coarse_key] = recon_block
-        codes_parts.append(quant.codes.ravel())
-        outlier_parts.append(target[quant.outlier_mask].ravel())
+        pred = arena.scratch("sz.pred", target.shape, np.float64)
+        pred[...] = mean
+        pos = target.size
+        block_codes = codes[:pos].reshape(target.shape)
+        outliers = backend.encode_block(
+            target, pred, quantizer, block_codes, arena
+        )
+        if outliers.size:
+            outlier_parts.append(outliers)
+        recon[coarse_key] = pred
 
         predict = (
             interp_prediction_cubic
@@ -130,23 +193,26 @@ class SZCompressor(Compressor):
             sub_recon = recon[step.key]
             sub_data = data[step.key]
             pred = predict(sub_recon, step.axis, step.new_idx, step.half)
-            target = np.take(sub_data, step.new_idx, axis=step.axis)
-            quant = quantizer.quantize(target - pred)
-            recon_block = pred + quant.dequantized
-            recon_block[quant.outlier_mask] = target[quant.outlier_mask]
+            target = arena.scratch("sz.target", pred.shape, np.float64)
+            np.take(sub_data, step.new_idx, axis=step.axis, out=target)
+            count = pred.size
+            block_codes = codes[pos : pos + count].reshape(pred.shape)
+            pos += count
+            outliers = backend.encode_block(
+                target, pred, quantizer, block_codes, arena
+            )
+            if outliers.size:
+                outlier_parts.append(outliers)
             write_key = list(step.key)
             write_key[step.axis] = slice(step.half, None, step.cur)
-            recon[tuple(write_key)] = recon_block
-            codes_parts.append(quant.codes.ravel())
-            outlier_parts.append(target[quant.outlier_mask].ravel())
+            recon[tuple(write_key)] = pred
 
-        codes = np.concatenate(codes_parts)
-        outliers = (
+        all_outliers = (
             np.concatenate(outlier_parts)
             if outlier_parts
             else np.zeros(0, dtype=np.float64)
         )
-        return self._serialize(config, mean, codes, outliers)
+        return self._serialize(config, mean, codes[:pos], all_outliers, arena)
 
     def _serialize(
         self,
@@ -154,28 +220,56 @@ class SZCompressor(Compressor):
         mean: float,
         codes: np.ndarray,
         outliers: np.ndarray,
+        arena: KernelArena | None = None,
     ) -> bytes:
-        tokens, literals = zero_rle_encode(codes)
+        # Zero-RLE only pays on sparse code streams. When most codes are
+        # non-zero it nearly doubles the entropy work (tokens + literals
+        # each ~n symbols), so entropy-code the codes directly instead
+        # and record the choice in header flag bit 1. The decision is a
+        # pure function of the codes, so fused and reference backends
+        # stay bit-identical.
+        direct = bool(codes.size) and 2 * int(
+            np.count_nonzero(codes)
+        ) >= codes.size
+        if direct:
+            primary, literals = codes, None
+        else:
+            primary, literals = zero_rle_encode(codes, arena=arena)
         entropy = self.entropy
         if entropy == "range":
             try:
                 encoded = (
-                    RangeCoder().encode(tokens),
-                    RangeCoder().encode(literals),
+                    RangeCoder().encode(primary),
+                    b"" if literals is None else RangeCoder().encode(literals),
                 )
             except EncodingError:
                 # Range coder's 2**16 alphabet cap exceeded (very small
                 # bounds on rough data): Huffman handles any alphabet.
                 entropy = "huffman"
+        if entropy == "chunked":
+            codec = ChunkedHuffmanCodec()
+            encoded = (
+                codec.encode(primary),
+                b"" if literals is None else codec.encode(literals),
+            )
         if entropy == "huffman":
             huffman = HuffmanCodec()
-            encoded = (huffman.encode(tokens), huffman.encode(literals))
+            encoded = (
+                huffman.encode(primary),
+                b"" if literals is None else huffman.encode(literals),
+            )
         header = np.array([config, mean], dtype=np.float64).tobytes() + bytes(
             (
-                1 if self.interpolation == "cubic" else 0,
-                1 if entropy == "range" else 0,
+                (1 if self.interpolation == "cubic" else 0)
+                | (2 if direct else 0),
+                _ENTROPY_TAGS[entropy],
             )
         )
+        if self.quant_width is not None:
+            # Extended header: one extra byte carrying the quant-code
+            # width. Blobs at the default width keep the legacy 18-byte
+            # header, so existing streams stay byte-identical.
+            header += bytes((self.quant_width,))
         return b"".join(
             (
                 encode_section(header),
@@ -187,40 +281,70 @@ class SZCompressor(Compressor):
 
     # -- decompression --------------------------------------------------------
 
-    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress_payload(
+        self, blob: CompressedBlob, arena: KernelArena | None = None
+    ) -> np.ndarray:
+        if arena is None:
+            arena = KernelArena()
+        backend = get_kernel_backend()
         header, offset = decode_section(blob.data, 0)
-        if len(header) != 18:
+        if len(header) not in (18, 19):
             raise CorruptStreamError("bad SZ header")
         config, mean = np.frombuffer(header[:16], dtype=np.float64)
-        interpolation = "cubic" if header[16] else "linear"
-        codec = _entropy_codec("range" if header[17] else "huffman")
+        flags = header[16]
+        if flags & ~0b11:
+            raise CorruptStreamError("unknown SZ header flags")
+        interpolation = "cubic" if flags & 1 else "linear"
+        # Flag bit 1: quantization codes were entropy-coded directly
+        # (no zero-RLE layer); legacy blobs carry 0/1 here.
+        direct = bool(flags & 2)
+        entropy = _ENTROPY_NAMES.get(header[17])
+        if entropy is None:
+            raise CorruptStreamError("unknown SZ entropy backend tag")
+        codec = _entropy_codec(entropy)
+        max_code = DEFAULT_MAX_CODE
+        if len(header) == 19:
+            quant_width = header[18]
+            if not _MIN_QUANT_WIDTH <= quant_width <= _MAX_QUANT_WIDTH:
+                raise CorruptStreamError("invalid SZ quant width")
+            max_code = (1 << (quant_width - 1)) - 1
         tokens_blob, offset = decode_section(blob.data, offset)
         literals_blob, offset = decode_section(blob.data, offset)
         outlier_blob, offset = decode_section(blob.data, offset)
 
-        codes = zero_rle_decode(
-            codec.decode(tokens_blob), codec.decode(literals_blob)
-        )
+        if direct:
+            codes = codec.decode(tokens_blob)
+        else:
+            codes = zero_rle_decode(
+                codec.decode(tokens_blob), codec.decode(literals_blob)
+            )
         outliers = np.frombuffer(outlier_blob, dtype=np.float64)
 
         shape = blob.original_shape
-        quantizer = LinearQuantizer(float(config))
-        recon = np.zeros(shape, dtype=np.float64)
+        quantizer = LinearQuantizer(float(config), max_code=max_code)
+        recon = arena.zeros("sz.recon", shape, np.float64)
         code_pos = 0
         out_pos = 0
 
         s0 = _initial_stride(shape)
         coarse_key = tuple(slice(0, None, s0) for _ in shape)
         coarse_shape = recon[coarse_key].shape
-        count = int(np.prod(coarse_shape))
-        block_codes = codes[code_pos : code_pos + count].reshape(coarse_shape)
-        code_pos += count
-        residuals, mask = quantizer.dequantize(block_codes)
-        recon_block = mean + residuals
-        n_out = int(mask.sum())
-        recon_block[mask] = outliers[out_pos : out_pos + n_out]
+        count = 1
+        for dim in coarse_shape:
+            count *= dim
+        if count > codes.size:
+            raise CorruptStreamError("SZ code stream underflow")
+        block_codes = codes[:count].reshape(coarse_shape)
+        code_pos = count
+        pred = arena.scratch("sz.pred", coarse_shape, np.float64)
+        pred[...] = mean
+        n_out = backend.decode_block(
+            block_codes, pred, quantizer, outliers, out_pos, arena
+        )
+        if out_pos + n_out > outliers.size:
+            raise CorruptStreamError("SZ outlier stream underflow")
         out_pos += n_out
-        recon[coarse_key] = recon_block
+        recon[coarse_key] = pred
 
         predict = (
             interp_prediction_cubic
@@ -235,16 +359,15 @@ class SZCompressor(Compressor):
                 raise CorruptStreamError("SZ code stream underflow")
             block_codes = codes[code_pos : code_pos + count].reshape(pred.shape)
             code_pos += count
-            residuals, mask = quantizer.dequantize(block_codes)
-            recon_block = pred + residuals
-            n_out = int(mask.sum())
+            n_out = backend.decode_block(
+                block_codes, pred, quantizer, outliers, out_pos, arena
+            )
             if out_pos + n_out > outliers.size:
                 raise CorruptStreamError("SZ outlier stream underflow")
-            recon_block[mask] = outliers[out_pos : out_pos + n_out]
             out_pos += n_out
             write_key = list(step.key)
             write_key[step.axis] = slice(step.half, None, step.cur)
-            recon[tuple(write_key)] = recon_block
+            recon[tuple(write_key)] = pred
 
         if code_pos != codes.size:
             raise CorruptStreamError("trailing SZ quantization codes")

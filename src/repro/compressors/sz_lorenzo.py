@@ -21,6 +21,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.kernels import KernelArena, get_kernel_backend
 from repro.compressors.quantizer import LinearQuantizer
 from repro.encoding import HuffmanCodec, zero_rle_decode, zero_rle_encode
 from repro.encoding.varint import decode_section, encode_section
@@ -68,86 +69,104 @@ class SZLorenzoCompressor(Compressor):
         data: np.ndarray | None,
         codes_in: np.ndarray | None,
         outliers_in: np.ndarray | None,
+        arena: KernelArena,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Shared encoder/decoder wavefront sweep.
 
         In encode mode (``data`` given) produces codes and outlier
         values; in decode mode (``codes_in`` given) consumes them. Both
         modes build the identical reconstruction, guaranteeing
-        encoder/decoder prediction agreement.
+        encoder/decoder prediction agreement. Each wavefront batch runs
+        through the fused kernel backend writing codes into one
+        arena-backed buffer at a running offset.
         """
         ndim = len(shape)
+        backend = get_kernel_backend()
         stencil = _lorenzo_stencil(ndim)
         # Zero-padded reconstruction: border cells stand in for the
         # phantom zero neighbors of SZ's convention.
         padded_shape = tuple(n + 1 for n in shape)
-        recon = np.zeros(padded_shape, dtype=np.float64)
+        recon = arena.zeros("sz2.recon", padded_shape, np.float64)
         order, starts = _wavefronts(shape)
-        coords = np.unravel_index(order, shape)
         padded_strides = np.array(
             np.zeros(padded_shape).strides, dtype=np.int64
         ) // 8
         flat_recon = recon.ravel()
+        coords = np.unravel_index(order, shape)
+        # Padded-array flat position of every point, in wavefront order.
+        positions = arena.zeros("sz2.positions", order.size, np.int64)
+        for a in range(ndim):
+            positions += (coords[a] + 1) * padded_strides[a]
+        data_flat = data.ravel() if data is not None else None
 
-        codes_out: list[np.ndarray] = []
+        total = order.size
+        codes = (
+            arena.scratch("sz2.codes", total, np.int64)
+            if data is not None
+            else codes_in
+        )
         outliers_out: list[np.ndarray] = []
         out_pos = 0
         for s in range(starts.size - 1):
             lo, hi = int(starts[s]), int(starts[s + 1])
             if lo == hi:
                 continue
-            idx = tuple(c[lo:hi] for c in coords)
-            # Base position in the padded array (shifted by +1).
-            base = np.zeros(hi - lo, dtype=np.int64)
-            for a in range(ndim):
-                base += (idx[a] + 1) * padded_strides[a]
-            pred = np.zeros(hi - lo, dtype=np.float64)
+            base = positions[lo:hi]
+            pred = arena.zeros("sz2.pred", hi - lo, np.float64)
+            shifted = arena.scratch("sz2.shifted", hi - lo, np.int64)
+            gather = arena.scratch("sz2.gather", hi - lo, np.float64)
             for offset, sign in stencil:
                 shift = sum(
                     offset[a] * padded_strides[a] for a in range(ndim)
                 )
-                pred += sign * flat_recon[base - shift]
+                np.subtract(base, shift, out=shifted)
+                np.take(flat_recon, shifted, out=gather)
+                if sign > 0:
+                    pred += gather
+                else:
+                    pred -= gather
 
             if data is not None:
-                target = data[idx]
-                quant = quantizer.quantize(target - pred)
-                recon_vals = pred + quant.dequantized
-                recon_vals[quant.outlier_mask] = target[quant.outlier_mask]
-                codes_out.append(quant.codes)
-                outliers_out.append(target[quant.outlier_mask])
+                target = arena.scratch("sz2.target", hi - lo, np.float64)
+                np.take(data_flat, order[lo:hi], out=target)
+                block_outliers = backend.encode_block(
+                    target, pred, quantizer, codes[lo:hi], arena
+                )
+                if block_outliers.size:
+                    outliers_out.append(block_outliers)
             else:
-                batch = codes_in[lo:hi]
-                residuals, mask = quantizer.dequantize(batch)
-                recon_vals = pred + residuals
-                n_out = int(mask.sum())
-                if out_pos + n_out > outliers_in.size:
-                    raise CorruptStreamError("sz2 outlier stream underflow")
-                recon_vals[mask] = outliers_in[out_pos : out_pos + n_out]
-                out_pos += n_out
-            flat_recon[base] = recon_vals
+                out_pos += backend.decode_block(
+                    codes_in[lo:hi], pred, quantizer,
+                    outliers_in, out_pos, arena,
+                )
+            flat_recon[base] = pred
 
         inner = tuple(slice(1, None) for _ in shape)
         result = recon[inner]
-        codes = (
-            np.concatenate(codes_out) if codes_out else np.zeros(0, np.int64)
-        )
         outliers = (
             np.concatenate(outliers_out)
             if outliers_out
             else np.zeros(0, np.float64)
         )
-        return result, codes, outliers
+        return result, codes if data is not None else codes_in, outliers
 
     # -- compression ----------------------------------------------------------
 
-    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+    def _compress_payload(
+        self,
+        array: np.ndarray,
+        config: float,
+        arena: KernelArena | None = None,
+    ) -> bytes:
+        if arena is None:
+            arena = KernelArena()
         data = array.astype(np.float64)
         quantizer = LinearQuantizer(config)
         _, codes, outliers = self._traverse(
-            data.shape, quantizer, data, None, None
+            data.shape, quantizer, data, None, None, arena
         )
         huffman = HuffmanCodec()
-        tokens, literals = zero_rle_encode(codes)
+        tokens, literals = zero_rle_encode(codes, arena=arena)
         header = np.array([config], dtype=np.float64).tobytes()
         return b"".join(
             (
@@ -160,7 +179,11 @@ class SZLorenzoCompressor(Compressor):
 
     # -- decompression --------------------------------------------------------
 
-    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress_payload(
+        self, blob: CompressedBlob, arena: KernelArena | None = None
+    ) -> np.ndarray:
+        if arena is None:
+            arena = KernelArena()
         header, offset = decode_section(blob.data, 0)
         if len(header) != 8:
             raise CorruptStreamError("bad sz2 header")
@@ -180,6 +203,6 @@ class SZLorenzoCompressor(Compressor):
 
         quantizer = LinearQuantizer(config)
         recon, _, _ = self._traverse(
-            blob.original_shape, quantizer, None, codes, outliers
+            blob.original_shape, quantizer, None, codes, outliers, arena
         )
         return recon.astype(blob.original_dtype).ravel()

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compressors.base import CompressedBlob, Compressor, register_compressor
+from repro.compressors.kernels import KernelArena
 from repro.encoding import HuffmanCodec, pack_fixed_width, unpack_fixed_width
 from repro.encoding.varint import decode_section, encode_section
 from repro.errors import CorruptStreamError, InvalidConfiguration
@@ -173,7 +174,12 @@ class ZFPCompressor(Compressor):
 
     # -- compression ----------------------------------------------------------
 
-    def _compress_payload(self, array: np.ndarray, config: float) -> bytes:
+    def _compress_payload(
+        self,
+        array: np.ndarray,
+        config: float,
+        arena: KernelArena | None = None,
+    ) -> bytes:
         padded, _ = _pad_to_blocks(array.astype(np.float64))
         blocks = _to_blocks(padded)
         nblocks = blocks.shape[0]
@@ -253,7 +259,9 @@ class ZFPCompressor(Compressor):
 
     # -- decompression --------------------------------------------------------
 
-    def _decompress_payload(self, blob: CompressedBlob) -> np.ndarray:
+    def _decompress_payload(
+        self, blob: CompressedBlob, arena: KernelArena | None = None
+    ) -> np.ndarray:
         header, offset = decode_section(blob.data, 0)
         if len(header) != 10:
             raise CorruptStreamError("bad ZFP header")

@@ -153,6 +153,25 @@ def _sweep_task(config: float, arrays: dict, compressor: Compressor):
     return ratio, time.perf_counter() - tick
 
 
+def _sweep_batch(configs: list, arrays: dict, compressor: Compressor):
+    """A fat sweep task: many stationary evaluations in one dispatch.
+
+    One batch runs on one worker, so a single
+    :class:`~repro.compressors.base.CompressionStream` carries the
+    kernel arena across every config in the batch — the first probe
+    sizes the scratch buffers, the rest reuse them.
+    """
+    from repro.compressors.base import CompressionStream
+
+    stream = CompressionStream(compressor)
+    results = []
+    for config in configs:
+        tick = time.perf_counter()
+        ratio = stream.compress(arrays["data"], config).compression_ratio
+        results.append((ratio, time.perf_counter() - tick))
+    return results
+
+
 def build_curve(
     compressor: Compressor,
     data: np.ndarray,
@@ -225,17 +244,29 @@ def build_curve(
         if pending:
             miss_configs = [float(configs[i]) for i in pending]
             if executor is not None:
-                results = executor.map(
-                    _sweep_task,
-                    miss_configs,
+                # Fat-task dispatch: one batch per worker instead of one
+                # task per probe, so pool dispatch/pickling is paid per
+                # worker and each batch reuses one compression stream.
+                n_batches = max(1, min(executor.n_jobs, len(miss_configs)))
+                bounds = np.linspace(
+                    0, len(miss_configs), n_batches + 1
+                ).astype(int)
+                groups = [
+                    miss_configs[lo:hi]
+                    for lo, hi in zip(bounds[:-1], bounds[1:])
+                    if hi > lo
+                ]
+                grouped = executor.map(
+                    _sweep_batch,
+                    groups,
                     shared={"data": np.asarray(data)},
                     context=compressor,
                 )
+                results = [result for group in grouped for result in group]
             else:
-                results = [
-                    _sweep_task(config, {"data": data}, compressor)
-                    for config in miss_configs
-                ]
+                results = _sweep_batch(
+                    miss_configs, {"data": data}, compressor
+                )
             for i, (ratio, elapsed) in zip(pending, results):
                 ratios[i], seconds[i] = ratio, elapsed
                 if memo is not None:

@@ -114,7 +114,10 @@ def _tile_task(task, arrays: dict, context: dict) -> TileRecord:
     """
     index, slices = task
     pipeline = context["pipeline"]
-    tile = np.ascontiguousarray(arrays["data"][slices])
+    # No ascontiguousarray here: the feature pass reads the view as-is
+    # and the compressors' input validation makes tiles contiguous
+    # exactly when a copy is unavoidable.
+    tile = arrays["data"][slices]
     if _entirely_constant(pipeline, tile):
         # R = 0: estimation is degenerate (the adjustment layer
         # rejects it), but the tile itself is trivial — compress
@@ -174,7 +177,9 @@ class TiledFixedRatio:
         grid = tile_grid(data.shape, self.tile_shape)
         context = {"pipeline": self.pipeline, "target_ratio": float(target_ratio)}
         if self.executor is not None and len(grid) > 1:
-            tiles = self.executor.map(
+            # Fat batches: one pool task per worker, not per tile —
+            # small tiles would otherwise pay dispatch per chunk.
+            tiles = self.executor.map_batched(
                 _tile_task, grid, shared={"data": data}, context=context
             )
         else:

@@ -9,6 +9,7 @@ coder, and varint header serialization.
 from repro.encoding.bitio import (
     BitReader,
     BitWriter,
+    pack_at_offsets,
     pack_bits,
     unpack_bits,
     pack_fixed_width,
@@ -20,7 +21,7 @@ from repro.encoding.varint import (
     encode_array_header,
     decode_array_header,
 )
-from repro.encoding.huffman import HuffmanCodec
+from repro.encoding.huffman import ChunkedHuffmanCodec, HuffmanCodec, symbol_table
 from repro.encoding.rle import rle_encode, rle_decode, zero_rle_encode, zero_rle_decode
 from repro.encoding.lz import LZCodec
 from repro.encoding.range_coder import RangeCoder
@@ -28,6 +29,7 @@ from repro.encoding.range_coder import RangeCoder
 __all__ = [
     "BitReader",
     "BitWriter",
+    "pack_at_offsets",
     "pack_bits",
     "unpack_bits",
     "pack_fixed_width",
@@ -36,7 +38,9 @@ __all__ = [
     "decode_uvarint",
     "encode_array_header",
     "decode_array_header",
+    "ChunkedHuffmanCodec",
     "HuffmanCodec",
+    "symbol_table",
     "rle_encode",
     "rle_decode",
     "zero_rle_encode",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.encoding.huffman import symbol_table
 from repro.encoding.varint import (
     decode_section,
     decode_uvarint,
@@ -65,7 +66,7 @@ class RangeCoder:
         n = symbols.size
         if n == 0:
             return encode_uvarint(0)
-        alphabet, inverse = np.unique(symbols, return_inverse=True)
+        alphabet, inverse, counts = symbol_table(symbols)
         if alphabet.size > _MAX_ALPHABET:
             raise EncodingError(
                 f"alphabet of {alphabet.size} exceeds the range coder's "
@@ -80,7 +81,6 @@ class RangeCoder:
         if alphabet.size == 1:
             return b"".join(header)
 
-        counts = np.bincount(inverse, minlength=alphabet.size)
         freqs = _quantized_counts(counts)
         header.extend(encode_uvarint(int(f)) for f in freqs)
         cumulative = np.concatenate(([0], np.cumsum(freqs)))

@@ -25,8 +25,17 @@ from repro.errors import CorruptStreamError
 _MAX_DECODED = 1 << 28
 
 
-def rle_encode(symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def rle_encode(
+    symbols: np.ndarray, *, arena=None
+) -> tuple[np.ndarray, np.ndarray]:
     """Split a symbol stream into (values, run lengths).
+
+    Args:
+        symbols: the stream to encode.
+        arena: optional :class:`~repro.compressors.kernels.KernelArena`;
+            when given, the returned arrays are views into pooled
+            scratch buffers (valid until the next ``rle.*`` request on
+            the same arena) instead of fresh allocations per call.
 
     Returns:
         ``(values, runs)`` with ``np.repeat(values, runs)`` reproducing
@@ -36,9 +45,22 @@ def rle_encode(symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if symbols.size == 0:
         return symbols.copy(), np.zeros(0, dtype=np.int64)
     change = np.nonzero(symbols[1:] != symbols[:-1])[0] + 1
-    starts = np.concatenate(([0], change))
-    ends = np.concatenate((change, [symbols.size]))
-    return symbols[starts].copy(), (ends - starts).astype(np.int64)
+    n_runs = change.size + 1
+    if arena is None:
+        values = np.empty(n_runs, dtype=symbols.dtype)
+        runs = np.empty(n_runs, dtype=np.int64)
+    else:
+        values = arena.scratch("rle.values", n_runs, symbols.dtype)
+        runs = arena.scratch("rle.runs", n_runs, np.int64)
+    values[0] = symbols[0]
+    np.take(symbols, change, out=values[1:])
+    if n_runs == 1:
+        runs[0] = symbols.size
+    else:
+        runs[0] = change[0]
+        np.subtract(change[1:], change[:-1], out=runs[1:-1])
+        runs[-1] = symbols.size - change[-1]
+    return values, runs
 
 
 def rle_decode(values: np.ndarray, runs: np.ndarray) -> np.ndarray:
@@ -61,7 +83,7 @@ def rle_decode(values: np.ndarray, runs: np.ndarray) -> np.ndarray:
 
 
 def zero_rle_encode(
-    symbols: np.ndarray, zero: int = 0
+    symbols: np.ndarray, zero: int = 0, *, arena=None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Encode as interleaved (zero-run-length, literal) token stream.
 
@@ -70,17 +92,36 @@ def zero_rle_encode(
     trailing zero-run. This biases the alphabet towards small run counts,
     which Huffman-codes extremely well on smooth scientific data.
 
+    Args:
+        symbols: the stream to encode.
+        zero: the symbol that forms runs.
+        arena: optional :class:`~repro.compressors.kernels.KernelArena`;
+            when given, the returned arrays are views into pooled
+            scratch buffers (valid until the next ``rle.*`` request on
+            the same arena) instead of fresh allocations per call.
+
     Returns:
         ``(tokens, literals)`` where ``tokens`` holds the zero-run
         lengths and ``literals`` the non-zero symbols in order.
     """
     symbols = np.asarray(symbols).ravel()
     nz = np.nonzero(symbols != zero)[0]
-    literals = symbols[nz].copy()
+    if arena is None:
+        literals = np.empty(nz.size, dtype=symbols.dtype)
+        runs = np.empty(nz.size + 1, dtype=np.int64)
+    else:
+        literals = arena.scratch("rle.literals", nz.size, symbols.dtype)
+        runs = arena.scratch("rle.tokens", nz.size + 1, np.int64)
+    np.take(symbols, nz, out=literals)
     # Zero-run before each literal, plus the trailing run.
-    boundaries = np.concatenate(([-1], nz, [symbols.size]))
-    runs = np.diff(boundaries) - 1
-    return runs.astype(np.int64), literals
+    if nz.size == 0:
+        runs[0] = symbols.size
+    else:
+        runs[0] = nz[0]
+        np.subtract(nz[1:], nz[:-1], out=runs[1:-1])
+        runs[1:-1] -= 1
+        runs[-1] = symbols.size - nz[-1] - 1
+    return runs, literals
 
 
 def zero_rle_decode(

@@ -107,6 +107,17 @@ def _worker_init(descriptors, fn, context, handoff=None) -> None:
     }
 
 
+def _run_batch(batch, arrays, context):
+    """Module-level fat-task wrapper used by ``map_batched``.
+
+    ``context`` carries ``(fn, inner_context)``; the batch is a list of
+    the caller's tasks, executed as one pool task so dispatch overhead
+    is paid once per worker instead of once per probe.
+    """
+    fn, inner_context = context
+    return [fn(task, arrays, inner_context) for task in batch]
+
+
 def _worker_call(task):
     state = _WORKER_STATE
     result = state["fn"](task, state["arrays"], state["context"])
@@ -124,9 +135,12 @@ class ParallelExecutor:
     Args:
         n_jobs: worker count (``None``/``0`` = all CPUs, negatives count
             back from the pool, joblib-style).
-        backend: ``"auto"`` picks ``"process"`` when more than one job
-            is available and ``"serial"`` otherwise; or force one of
-            ``"serial"``/``"thread"``/``"process"``.
+        backend: ``"auto"`` clamps the worker count to the CPUs this
+            process may actually use and picks ``"process"`` when that
+            leaves more than one worker, ``"serial"`` otherwise — so
+            ``n_jobs=4`` on a 1-CPU host runs the serial reference path
+            instead of paying pool dispatch for no parallelism. Forcing
+            ``"serial"``/``"thread"``/``"process"`` skips the clamp.
 
     The executor is stateless between ``map`` calls (pools live only for
     the duration of one map), so one instance can be shared freely.
@@ -139,6 +153,9 @@ class ParallelExecutor:
             )
         self.n_jobs = resolve_n_jobs(n_jobs)
         if backend == "auto":
+            # Oversubscribing CPU-bound workers is strictly worse than
+            # serial (pool startup + pickling with no parallel gain).
+            self.n_jobs = min(self.n_jobs, available_cpus())
             backend = "process" if self.n_jobs > 1 else "serial"
         if self.n_jobs == 1 and backend != "serial":
             # One worker gains nothing from a pool; collapse to the
@@ -211,6 +228,41 @@ class ParallelExecutor:
             return self._dispatch(
                 fn, tasks, arrays, context, obs_trace.current_context()
             )
+
+    def map_batched(
+        self,
+        fn,
+        tasks,
+        *,
+        shared: dict[str, np.ndarray] | None = None,
+        context=None,
+        batches: int | None = None,
+    ) -> list:
+        """Like :meth:`map`, but ships tasks as fat batches.
+
+        Tasks are grouped into at most ``batches`` (default: one per
+        worker) contiguous chunks, each submitted as a *single* pool
+        task. Per-task results come back flattened in task order, so
+        callers see :meth:`map` semantics with per-worker instead of
+        per-task dispatch cost — the difference between losing and
+        winning against serial when each task is only a few ms of work.
+
+        ``fn`` must still be picklable by reference (module-level) for
+        the process backend, exactly as with :meth:`map`.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        n_batches = batches if batches else min(self.n_jobs, len(tasks))
+        n_batches = max(1, min(n_batches, len(tasks)))
+        bounds = np.linspace(0, len(tasks), n_batches + 1).astype(int)
+        groups = [
+            tasks[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+        grouped = self.map(
+            _run_batch, groups, shared=shared, context=(fn, context)
+        )
+        return [result for group in grouped for result in group]
 
     def _dispatch(self, fn, tasks, arrays, context, span_ctx) -> list:
         if self.backend == "serial" or len(tasks) == 1:

@@ -83,7 +83,7 @@ class RuntimeConfig:
     """
 
     jobs: int = 1
-    backend: str = "process"
+    backend: str = "auto"
     trace: str = ""
     metrics: str = ""
     seed: int = DEFAULT_SEED

@@ -720,7 +720,9 @@ class ShardedEstimationService:
             handle = self._segments.get(key)
             if handle is not None:
                 return handle
-        handle = SharedNDArray.from_array(np.ascontiguousarray(data))
+        # from_array already makes its own contiguous copy; an extra
+        # ascontiguousarray here would copy non-contiguous data twice.
+        handle = SharedNDArray.from_array(data)
         if self.ctx is not None:
             self.ctx.adopt_shm(handle)
         evicted = []

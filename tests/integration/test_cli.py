@@ -172,7 +172,15 @@ class TestRuntimeTeardown:
         ctx = cli._LAST_CONTEXT
         assert ctx is not None and ctx.closed
         executor = ctx._executor
-        assert executor is not None and executor.closed
+        from repro.parallel.executor import available_cpus
+
+        if available_cpus() > 1:
+            assert executor is not None and executor.closed
+        else:
+            # The auto backend clamps --jobs to the CPUs actually
+            # available: on a 1-CPU host the context never builds a
+            # pool, so there is nothing to tear down.
+            assert executor is None
         assert multiprocessing.active_children() == []
         assert self._shm_segments() <= before
 

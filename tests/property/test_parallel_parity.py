@@ -191,7 +191,9 @@ class TestRuntimeContextParity:
         from repro.runtime import RuntimeContext, current_context
 
         assert current_context() is None  # drivers have no worker context
-        with RuntimeContext(env={}, jobs=2, seed=987) as ctx:
+        # backend pinned: "auto" collapses jobs=2 to serial (executor
+        # None) on 1-CPU hosts, and this test is about process workers.
+        with RuntimeContext(env={}, jobs=2, seed=987, backend="process") as ctx:
             expected = tuple(ctx.derive_seeds(3))
             reports = ctx.executor.map(_report_worker_runtime, [0, 1])
         assert reports == [(987, 1, expected)] * 2
@@ -217,7 +219,10 @@ class TestRuntimeSpanParity:
             if jobs == 1:
                 extra = {"executor": ParallelExecutor(n_jobs=1, backend="process")}
             else:
-                extra = {"jobs": jobs}
+                # backend pinned: "auto" would collapse to serial on
+                # 1-CPU hosts and drop the parallel.map span this
+                # shape comparison expects.
+                extra = {"jobs": jobs, "backend": "process"}
             with RuntimeContext(env={}, tracer=tracer, **extra) as ctx:
                 build_curve(sz, field, n_points=6, ctx=ctx)
             return tracer.spans

@@ -6,6 +6,8 @@ import pytest
 from repro.encoding.bitio import (
     BitReader,
     BitWriter,
+    _pack_bits_reference,
+    pack_at_offsets,
     pack_bits,
     pack_fixed_width,
     unpack_bits,
@@ -82,6 +84,57 @@ class TestPackBits:
     def test_unpack_truncated_buffer_raises(self):
         with pytest.raises(CorruptStreamError):
             unpack_bits(b"\x00", 9)
+
+
+class TestPackAtOffsets:
+    def test_matches_bit_by_bit_reference(self, rng):
+        # The word-scatter packer must be byte-identical to the slow
+        # reference across many random code/length mixes.
+        for _ in range(25):
+            n = int(rng.integers(1, 400))
+            lengths = rng.integers(1, 23, n)
+            codes = rng.integers(0, 1 << 22, n, dtype=np.uint64) & (
+                (np.uint64(1) << lengths.astype(np.uint64)) - np.uint64(1)
+            )
+            fast, total_fast = pack_bits(codes, lengths)
+            slow, total_slow = _pack_bits_reference(codes, lengths)
+            assert total_fast == total_slow
+            assert fast == slow
+
+    def test_stray_high_bits_are_masked(self):
+        # Raw table lookups may carry bits above the declared length;
+        # they must not leak into neighboring codes.
+        codes = np.array([0b111111, 0b1], dtype=np.uint64)
+        lengths = np.array([2, 1], dtype=np.int64)
+        buf, total = pack_bits(codes, lengths)
+        assert total == 3
+        assert unpack_bits(buf, 3).tolist() == [1, 1, 1]
+
+    def test_gaps_are_zero_filled(self):
+        # Chunk padding: codes at explicit offsets with a hole between.
+        codes = np.array([0b11, 0b11], dtype=np.uint64)
+        lengths = np.array([2, 2], dtype=np.int64)
+        offsets = np.array([0, 8], dtype=np.int64)
+        buf = pack_at_offsets(codes, lengths, offsets, 10)
+        bits = unpack_bits(buf, 10)
+        assert bits.tolist() == [1, 1, 0, 0, 0, 0, 0, 0, 1, 1]
+
+    def test_word_straddling_codes(self):
+        # A 20-bit code crossing the 64-bit word boundary.
+        codes = np.array([(1 << 60) - 1, (1 << 20) - 1], dtype=np.uint64)
+        lengths = np.array([60, 20], dtype=np.int64)
+        fast, total = pack_bits(codes, lengths)
+        slow, _ = _pack_bits_reference(codes, lengths)
+        assert fast == slow
+        assert total == 80
+
+    def test_empty(self):
+        assert pack_at_offsets(
+            np.zeros(0, np.uint64),
+            np.zeros(0, np.int64),
+            np.zeros(0, np.int64),
+            0,
+        ) == b""
 
 
 class TestFixedWidth:

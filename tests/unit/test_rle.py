@@ -88,3 +88,55 @@ class TestZeroRLE:
     def test_decode_rejects_negative_runs(self):
         with pytest.raises(CorruptStreamError):
             zero_rle_decode(np.array([-1, 0]), np.array([5]))
+
+
+class TestArenaBackedRLE:
+    def test_rle_encode_uses_arena_scratch(self, rng):
+        from repro.compressors.kernels import KernelArena
+
+        arena = KernelArena()
+        symbols = rng.integers(0, 3, 5000)
+        values, runs = rle_encode(symbols, arena=arena)
+        assert np.array_equal(rle_decode(values, runs), symbols)
+        # Same stream again: the outputs must come from pooled buffers.
+        values2, runs2 = rle_encode(symbols, arena=arena)
+        assert np.shares_memory(values, values2)
+        assert np.shares_memory(runs, runs2)
+        assert arena.stats.reuses >= 2
+
+    def test_zero_rle_encode_uses_arena_scratch(self, rng):
+        from repro.compressors.kernels import KernelArena
+
+        arena = KernelArena()
+        symbols = np.zeros(10_000, dtype=np.int64)
+        idx = rng.choice(10_000, 300, replace=False)
+        symbols[idx] = rng.integers(1, 50, 300)
+        tokens, literals = zero_rle_encode(symbols, arena=arena)
+        assert np.array_equal(zero_rle_decode(tokens, literals), symbols)
+        tokens2, literals2 = zero_rle_encode(symbols, arena=arena)
+        assert np.shares_memory(tokens, tokens2)
+        assert np.shares_memory(literals, literals2)
+
+    def test_arena_output_matches_plain_output(self, rng):
+        from repro.compressors.kernels import KernelArena
+
+        symbols = rng.integers(-5, 6, 4000)
+        plain_tokens, plain_literals = zero_rle_encode(symbols)
+        arena_tokens, arena_literals = zero_rle_encode(
+            symbols, arena=KernelArena()
+        )
+        assert np.array_equal(plain_tokens, arena_tokens)
+        assert np.array_equal(plain_literals, arena_literals)
+        plain_values, plain_runs = rle_encode(symbols)
+        arena_values, arena_runs = rle_encode(symbols, arena=KernelArena())
+        assert np.array_equal(plain_values, arena_values)
+        assert np.array_equal(plain_runs, arena_runs)
+
+    def test_all_zero_stream_with_arena(self):
+        from repro.compressors.kernels import KernelArena
+
+        tokens, literals = zero_rle_encode(
+            np.zeros(7, np.int64), arena=KernelArena()
+        )
+        assert tokens.tolist() == [7]
+        assert literals.size == 0

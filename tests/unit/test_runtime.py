@@ -32,7 +32,7 @@ class TestConfigLayering:
     def test_defaults(self):
         config = RuntimeConfig.resolve(env={})
         assert config.jobs == 1
-        assert config.backend == "process"
+        assert config.backend == "auto"
         assert config.trace == "" and config.metrics == ""
         assert config.seed == DEFAULT_SEED
         assert config.fallback == "fraz"
@@ -148,7 +148,9 @@ class TestContextLifecycle:
             assert ctx.executor is None
 
     def test_parallel_config_builds_executor_once(self):
-        with RuntimeContext(env={}, jobs=2) as ctx:
+        # Force the process backend: the "auto" default collapses to
+        # serial (no executor) on 1-CPU hosts.
+        with RuntimeContext(env={}, jobs=2, backend="process") as ctx:
             executor = ctx.executor
             assert executor is not None
             assert executor.n_jobs == 2
