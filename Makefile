@@ -1,7 +1,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness parallel obs runtime runtime-smoke bench bench-parallel bench-resilience bench-lifecycle bench-kernels serve-smoke trace-smoke chaos lifecycle kernels
+.PHONY: test robustness parallel obs obs-scrape-smoke runtime runtime-smoke bench bench-parallel bench-resilience bench-lifecycle bench-kernels serve-smoke trace-smoke chaos lifecycle kernels
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
@@ -25,10 +25,19 @@ robustness:
 parallel:
 	$(PYTEST) -x -q -W error::RuntimeWarning -m parallel
 
-# Observability gate: the obs-marked tests (tracer, registry,
-# exporters, cost tree, span-tree parity), RuntimeWarnings as errors.
+# Observability gate: the obs-marked tests (tracer, registry, ring
+# sampler, SLO burn rates, scrape endpoint, exporters, cost tree,
+# cross-process trace propagation) with RuntimeWarnings promoted to
+# errors, then the live scrape smoke against a real sharded service.
 obs:
 	$(PYTEST) -x -q -W error::RuntimeWarning -m obs
+	PYTHONPATH=src $(PY) examples/scrape_smoke.py
+
+# Scrape smoke alone: sharded service with an ephemeral scrape port
+# must answer /metrics, /healthz, /slo and /spans with the repro_*
+# series and SLOs the dashboards key on.
+obs-scrape-smoke:
+	PYTHONPATH=src $(PY) examples/scrape_smoke.py
 
 # Tracing smoke: trace a CLI train + estimate end to end, assert the
 # rendered cost tree accounts for the measured wall time within 5%.

@@ -15,7 +15,10 @@ ratio matches the coalescing math ((n-1)/n for one shared dataset).
 A second bench guards the observability layer's overhead: the same
 batch-16 workload with a live tracer + metrics registry must keep at
 least 95% of the plain throughput (recorded in the repo-root
-``BENCH_obs_overhead.json``).
+``BENCH_obs_overhead.json``), and a third applies the same guard to
+the sharded service with end-to-end trace propagation on — spans
+recorded in forked shards, shipped home in replies and re-parented —
+which must also keep >= 95% of the untraced sharded throughput.
 """
 
 import json
@@ -291,6 +294,161 @@ def test_tracing_overhead_guard(report):
         f"tracing overhead {overhead * 100:.1f}% in the best of {trials} "
         f"trials ({rounds} alternating rounds each) exceeds the 5% "
         "req/s budget"
+    )
+
+
+def test_sharded_tracing_overhead_guard(report, tmp_path):
+    """End-to-end tracing across the fork boundary must cost < 5% req/s.
+
+    The sharded path adds costs the in-process guard above cannot see:
+    the supervisor's request/admit/dispatch spans, the trace context
+    ride-along on every work message, the shard's local tracer, and the
+    drained span payloads serialized into every reply. Same design as
+    the in-process guard — two long-lived warm services (identical
+    except ``trace_sample`` 0.0 vs 1.0, built with the same installed
+    tracer + registry so the only delta is per-request tracing),
+    alternating one 16-request batch each per round, minimum trial
+    overhead guarded at 5% (rps_traced >= 0.95 * rps_plain).
+    """
+    from repro.core.persistence import save_pipeline
+    from repro.serving import ShardedEstimationService
+
+    pipeline = get_trained_fxrz("hurricane", "TC", "sz", config=BENCH_CONFIG)
+    snapshot = held_out_snapshots("hurricane", "TC")[0]
+    lo, hi = pipeline.trained_ratio_range(snapshot.data)
+    batch_size, rounds, trials = 16, 12, 3
+    batch = [
+        EstimateRequest(
+            data=snapshot.data,
+            target_ratio=float(tcr),
+            dataset_id=snapshot.name,
+        )
+        for tcr in np.linspace(lo * 1.05, hi * 0.95, batch_size)
+    ]
+    model_path = str(tmp_path / "model.fxrz")
+    save_pipeline(pipeline, model_path)
+
+    def _wait_ready(service, timeout: float = 60.0) -> None:
+        give_up = time.perf_counter() + timeout
+        while time.perf_counter() < give_up:
+            states = service.shard_states()
+            if all(s["state"] == "ready" for s in states):
+                return
+            time.sleep(0.02)
+        raise AssertionError(f"shards never ready: {service.shard_states()}")
+
+    tracer, registry = obs.Tracer(), obs.MetricsRegistry()
+    obs.install(tracer, registry)
+    spans_per_round = 0
+    try:
+        service_plain = ShardedEstimationService(
+            pipeline,
+            shards=1,
+            model_path=model_path,
+            trace_sample=0.0,
+        )
+        service_traced = ShardedEstimationService(
+            pipeline,
+            shards=1,
+            model_path=model_path,
+            trace_sample=1.0,
+        )
+
+        def run_plain() -> float:
+            tick = time.perf_counter()
+            service_plain.run_batch(batch, timeout=120.0)
+            return time.perf_counter() - tick
+
+        def run_traced() -> float:
+            nonlocal spans_per_round
+            tick = time.perf_counter()
+            service_traced.run_batch(batch, timeout=120.0)
+            elapsed = time.perf_counter() - tick
+            spans_per_round = len(tracer)
+            tracer.clear()
+            return elapsed
+
+        def run_trial() -> tuple[float, float]:
+            plain_seconds = traced_seconds = 0.0
+            for round_index in range(rounds):
+                if round_index % 2 == 0:
+                    plain_seconds += run_plain()
+                    traced_seconds += run_traced()
+                else:
+                    traced_seconds += run_traced()
+                    plain_seconds += run_plain()
+            return plain_seconds, traced_seconds
+
+        try:
+            _wait_ready(service_plain)
+            _wait_ready(service_traced)
+            run_plain()  # warm shard caches and both code paths
+            run_traced()
+            trial_seconds = [run_trial() for _ in range(trials)]
+        finally:
+            service_plain.close()
+            service_traced.close()
+    finally:
+        obs.uninstall()
+
+    total_requests = rounds * batch_size
+    ratios = [
+        (total_requests / traced) / (total_requests / plain)
+        for plain, traced in trial_seconds
+    ]
+    best = max(range(trials), key=lambda index: ratios[index])
+    plain_seconds, traced_seconds = trial_seconds[best]
+    rps_plain = total_requests / plain_seconds
+    rps_traced = total_requests / traced_seconds
+    ratio = ratios[best]
+    assert spans_per_round >= batch_size, (
+        "the traced service must have shipped every request's spans home"
+    )
+
+    report(
+        render_table(
+            ["variant", "req/s (best trial)", "rounds/trial"],
+            [
+                ["sharded plain", f"{rps_plain:.0f}", str(rounds)],
+                ["sharded traced", f"{rps_traced:.0f}", str(rounds)],
+                [
+                    "throughput ratio per trial",
+                    " / ".join(f"{r:.3f}" for r in ratios),
+                    "",
+                ],
+            ],
+            title=(
+                f"Sharded tracing overhead - alternating 16-request "
+                f"batches, {spans_per_round} spans per traced round"
+            ),
+        )
+    )
+
+    _merge_overhead_json(
+        {
+            "sharded_tracing_overhead": {
+                "batch_size": batch_size,
+                "rounds_per_trial": rounds,
+                "trials": trials,
+                "requests_per_side_per_trial": total_requests,
+                "trial_seconds": [list(pair) for pair in trial_seconds],
+                "throughput_ratios": ratios,
+                "throughput_ratio_best": ratio,
+                "rps_plain_best_trial": rps_plain,
+                "rps_traced_best_trial": rps_traced,
+                "spans_per_traced_round": spans_per_round,
+                "guard": (
+                    "max over trials of (traced req/s / plain req/s) "
+                    ">= 0.95"
+                ),
+            }
+        }
+    )
+
+    assert ratio >= 0.95, (
+        f"sharded tracing keeps only {ratio:.3f} of plain throughput in "
+        f"the best of {trials} trials ({rounds} alternating rounds "
+        "each); the end-to-end trace path exceeds its 5% budget"
     )
 
 

@@ -263,6 +263,7 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
         ]
         records = []
         failures = 0
+        trace_ids: list[int] = []
         for spec, future in zip(specs, futures):
             record = {
                 "id": str(spec.get("id", "")),
@@ -286,8 +287,11 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
                         "latency_ms": served.latency_seconds * 1e3,
                         "cache_hit": served.cache_hit,
                         "batch_size": served.batch_size,
+                        "trace_id": getattr(served, "trace_id", 0),
                     }
                 )
+                if getattr(served, "trace_id", 0):
+                    trace_ids.append(served.trace_id)
             records.append(json.dumps(record))
         snapshot = service.metrics
         supervision = getattr(service, "stats", None)
@@ -315,6 +319,12 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
                 f"fallbacks {supervision.fallbacks}, "
                 f"respawns {supervision.respawns}, kills {supervision.kills}"
             )
+        if trace_ids:
+            shown = ", ".join(str(t) for t in trace_ids[:4])
+            more = (
+                f" (+{len(trace_ids) - 4} more)" if len(trace_ids) > 4 else ""
+            )
+            print(f"trace ids       {shown}{more}")
     return 0
 
 
@@ -422,6 +432,53 @@ def _cmd_obs_report(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     return 0
 
 
+def _cmd_obs_top(args: argparse.Namespace, ctx: RuntimeContext) -> int:  # noqa: ARG001
+    """Poll a service's scrape endpoint: health, supervision, SLO burn."""
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def fetch(route: str) -> dict:
+        try:
+            with urllib.request.urlopen(
+                base + route, timeout=args.timeout
+            ) as response:
+                return json.load(response)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ReproError(f"cannot scrape {base}{route}: {exc}") from None
+
+    for iteration in range(args.iterations):
+        if iteration:
+            time.sleep(args.interval)
+        health = fetch("/healthz")
+        slo = fetch("/slo")
+        stats = health.get("stats", {})
+        shards = health.get("shards", [])
+        ready = sum(1 for s in shards if s.get("state") == "ready")
+        print(
+            f"[{iteration + 1}/{args.iterations}] "
+            f"healthy={health.get('healthy')} "
+            f"shards {ready}/{len(shards)} ready; "
+            f"admitted {stats.get('admitted', 0)}, "
+            f"completed {stats.get('completed', 0)}, "
+            f"failed {stats.get('failed', 0)}, "
+            f"fallbacks {stats.get('fallbacks', 0)}, "
+            f"kills {stats.get('kills', 0)}"
+        )
+        for status in slo.get("slos", []):
+            compliance = status.get("compliance")
+            burn = status.get("burn_rate")
+            print(
+                f"  slo {status.get('name', '?'):<14} "
+                f"compliance "
+                f"{'n/a' if compliance is None else format(compliance, '.4f'):>8} "
+                f"burn {'n/a' if burn is None else format(burn, '8.2f')}"
+                f"{'  ALERT' if status.get('alerting') else ''}"
+            )
+    return 0
+
+
 def _cmd_outcomes_report(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     from repro.lifecycle import read_outcomes
 
@@ -462,6 +519,33 @@ def _cmd_outcomes_report(args: argparse.Namespace, ctx: RuntimeContext) -> int:
             f"measured records: median relative CR error "
             f"{float(np.median(errors)):.2%} over {len(errors)} record(s)"
         )
+    if args.spans or args.trace_id:
+        if not args.spans:
+            raise ReproError("--trace-id needs --spans SPANS.jsonl to join")
+        spans = obs.load_trace(args.spans)
+        by_trace: dict[int, list] = {}
+        for span in spans:
+            by_trace.setdefault(span.trace_id, []).append(span)
+        traced = [r for r in records if getattr(r, "trace_id", 0)]
+        joined = [r for r in traced if r.trace_id in by_trace]
+        print(
+            f"traces: {len(traced)} record(s) carry a trace id, "
+            f"{len(joined)} joined against {args.spans} "
+            f"({len(by_trace)} trace(s) in the file)"
+        )
+        if args.trace_id:
+            tree_spans = by_trace.get(args.trace_id, [])
+            if not tree_spans:
+                raise ReproError(
+                    f"trace {args.trace_id} has no spans in {args.spans}"
+                )
+            for record in records:
+                if getattr(record, "trace_id", 0) == args.trace_id:
+                    print(
+                        f"trace {args.trace_id}: {record.dataset_key} "
+                        f"tier={record.tier} source={record.source}"
+                    )
+            print(obs.render_cost_tree(tree_spans))
     return 0
 
 
@@ -683,7 +767,34 @@ def build_parser() -> argparse.ArgumentParser:
         "outcomes-report", help="summarize a serving outcome log"
     )
     outcomes.add_argument("log", help="outcome JSONL from --outcome-log")
+    outcomes.add_argument(
+        "--spans",
+        default="",
+        help="span JSONL (from --trace or /spans) to join trace ids against",
+    )
+    outcomes.add_argument(
+        "--trace-id",
+        type=int,
+        default=0,
+        help="render the span tree of one trace id (needs --spans)",
+    )
     outcomes.set_defaults(func=_cmd_outcomes_report)
+
+    obs_top = sub.add_parser(
+        "obs-top",
+        help="poll a service scrape endpoint: health, supervision, SLO burn",
+    )
+    obs_top.add_argument(
+        "url", help="scrape base URL, e.g. http://127.0.0.1:9464"
+    )
+    obs_top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    obs_top.add_argument(
+        "--iterations", type=int, default=1, help="polls before exiting"
+    )
+    obs_top.add_argument("--timeout", type=float, default=5.0)
+    obs_top.set_defaults(func=_cmd_obs_top)
 
     retrain = sub.add_parser(
         "retrain",

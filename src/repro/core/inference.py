@@ -77,6 +77,10 @@ class Estimate:
             for this input (1.0 for the unguarded engine).
         fallback_reason: why guarded inference left the model tier
             (empty when the model answered).
+        trace_id: the distributed-trace id this estimate was served
+            under (0 when untraced). Excluded from equality — two
+            estimates from different requests must still compare equal
+            when the numbers agree (shard-vs-sequential parity).
     """
 
     config: float
@@ -88,6 +92,7 @@ class Estimate:
     tier: str = "model"
     confidence: float = 1.0
     fallback_reason: str = ""
+    trace_id: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "features", _frozen_array(self.features))

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import InvalidConfiguration
 from repro.lifecycle.outcomes import OutcomeRecord
 
@@ -191,8 +192,18 @@ class DriftDetector:
                 ):
                     self._state = STABLE
             snapshot = self._snapshot_locked(ood_rate)
-        if tripped and self._trips_counter is not None:
-            self._trips_counter.inc()
+        if tripped:
+            if self._trips_counter is not None:
+                self._trips_counter.inc()
+            # A zero-duration event span marking the trip, so retrain
+            # traces can be lined up against what set them off.
+            with obs.span(
+                "lifecycle.drift_trip",
+                ood_rate=snapshot.ood_rate,
+                error_ewma=snapshot.error_ewma,
+                samples=snapshot.samples,
+            ):
+                pass
         return snapshot
 
     def observe_all(self, records) -> DriftSnapshot:

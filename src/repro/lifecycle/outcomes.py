@@ -60,6 +60,9 @@ class OutcomeRecord:
         source: which layer recorded this (``guarded``/``service``/
             ``shard``/``fallback``/``compress``).
         timestamp: UNIX time of the recording.
+        trace_id: the distributed-trace id the request was served
+            under (0 when untraced) — joins this record back to its
+            span tree (``outcomes-report --spans``).
     """
 
     dataset_key: str
@@ -75,6 +78,7 @@ class OutcomeRecord:
     measured_ratio: float | None = None
     source: str = ""
     timestamp: float = 0.0
+    trace_id: int = 0
 
     @classmethod
     def from_estimate(
@@ -104,6 +108,7 @@ class OutcomeRecord:
             ),
             source=str(source),
             timestamp=time.time() if timestamp is None else float(timestamp),
+            trace_id=int(getattr(estimate, "trace_id", 0)),
         )
 
     @property
@@ -140,6 +145,7 @@ class OutcomeRecord:
             "measured_ratio": self.measured_ratio,
             "source": self.source,
             "timestamp": self.timestamp,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -161,6 +167,7 @@ class OutcomeRecord:
             measured_ratio=None if measured is None else float(measured),
             source=str(payload.get("source", "")),
             timestamp=float(payload.get("timestamp", 0.0)),
+            trace_id=int(payload.get("trace_id", 0)),
         )
 
 

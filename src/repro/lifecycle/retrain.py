@@ -30,6 +30,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from repro import obs
 from repro.compressors import get_compressor
 from repro.core.adjustment import adjusted_ratio
 from repro.core.inference import InferenceEngine
@@ -274,17 +275,43 @@ class BackgroundRetrainer:
         self.last_error: Exception | None = None
         if metrics is None and ctx is not None:
             metrics = ctx.registry
+        self._state = "idle"
         self._retrains_counter = None
         self._promotions_counter = None
+        self._state_gauge = None
         if metrics is not None:
             self._retrains_counter = metrics.counter(
                 "repro_lifecycle_retrains_total",
-                "candidate retrain attempts",
+                "completed retrain attempts, by result",
             )
             self._promotions_counter = metrics.counter(
                 "repro_lifecycle_promotions_total",
                 "canary promotions (registry alias flips)",
             )
+            self._state_gauge = metrics.gauge(
+                "repro_lifecycle_retrainer_state",
+                "retrainer phase (0 idle, 1 fitting, 2 canary, 3 promoting)",
+            )
+            self._state_gauge.set(0.0)
+
+    #: Gauge codes of the retrainer phases.
+    _STATE_CODES = {"idle": 0.0, "fitting": 1.0, "canary": 2.0,
+                    "promoting": 3.0}
+
+    @property
+    def state(self) -> str:
+        """Current retrainer phase (``idle``/``fitting``/``canary``/
+        ``promoting``)."""
+        return self._state
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        if self._state_gauge is not None:
+            self._state_gauge.set(self._STATE_CODES[state])
+
+    def _count_retrain(self, result: str) -> None:
+        if self._retrains_counter is not None:
+            self._retrains_counter.inc(result=result)
 
     # -- triggering ------------------------------------------------------------
 
@@ -345,15 +372,40 @@ class BackgroundRetrainer:
     # -- the retrain itself ----------------------------------------------------
 
     def retrain(self, records, *, triggered_by: str = "manual") -> RetrainResult:
-        """Fit candidates, publish the best, canary it (synchronous)."""
+        """Fit candidates, publish the best, canary it (synchronous).
+
+        The whole attempt runs under a ``lifecycle.retrain`` span (with
+        ``lifecycle.fit``/``lifecycle.canary``/``lifecycle.promote``
+        children) and lands exactly one
+        ``repro_lifecycle_retrains_total{result=...}`` increment:
+        ``promoted``, ``held`` (candidate published, canary said no),
+        ``skipped`` (nothing trainable) or ``error``.
+        """
+        with obs.span("lifecycle.retrain", trigger=triggered_by) as sp:
+            try:
+                result = self._retrain(records, triggered_by=triggered_by)
+            except Exception:
+                self._count_retrain("error")
+                raise
+            finally:
+                self._set_state("idle")
+            if result.promoted is not None:
+                outcome = "promoted"
+            elif result.candidate is not None:
+                outcome = "held"
+            else:
+                outcome = "skipped"
+            sp.set_attributes(result=outcome, reason=result.reason)
+        self._count_retrain(outcome)
+        return result
+
+    def _retrain(self, records, *, triggered_by: str) -> RetrainResult:
         start = time.perf_counter()
         records = list(records)
         trainable = [record for record in records if record.trainable]
         with self._lock:
             self._trained_through = len(trainable)
         self.retrains += 1
-        if self._retrains_counter is not None:
-            self._retrains_counter.inc()
 
         def done(reason, candidate=None, report=None, promoted=None,
                  train_rows=0, holdout=0) -> RetrainResult:
@@ -371,6 +423,7 @@ class BackgroundRetrainer:
 
         if len(trainable) < 2:
             return done("not enough measured outcomes to train and canary")
+        self._set_state("fitting")
         holdout_n = max(1, int(math.ceil(self.canary_fraction * len(trainable))))
         holdout_n = min(holdout_n, len(trainable) - 1)
         train_records = trainable[:-holdout_n]
@@ -416,18 +469,24 @@ class BackgroundRetrainer:
                 else 0
             ),
         }
-        if executor is not None:
-            scored = executor.map(
-                _fit_and_score_task,
-                tasks,
-                shared={"x": x, "y": y},
-                context=task_context,
-            )
-        else:
-            scored = [
-                _fit_and_score_task(task, {"x": x, "y": y}, task_context)
-                for task in tasks
-            ]
+        with obs.span(
+            "lifecycle.fit",
+            candidates=self.n_candidates,
+            train_rows=used,
+            holdout=len(holdout_records),
+        ):
+            if executor is not None:
+                scored = executor.map(
+                    _fit_and_score_task,
+                    tasks,
+                    shared={"x": x, "y": y},
+                    context=task_context,
+                )
+            else:
+                scored = [
+                    _fit_and_score_task(task, {"x": x, "y": y}, task_context)
+                    for task in tasks
+                ]
         incumbent_median = scored[0][1]
         models = [model for model, _ in scored[1:]]
         medians = [median for _, median in scored[1:]]
@@ -438,23 +497,34 @@ class BackgroundRetrainer:
         winner = int(np.argmin(medians))
         best = clone_with_model(base, models[winner])
 
-        published = self.registry.publish(
-            best, incumbent.fingerprint, promote=False
-        )
-        report = canary_report_from_medians(
-            incumbent_median,
-            medians[winner],
-            len(holdout_records),
-            margin=self.canary_margin,
-        )
+        self._set_state("canary")
+        with obs.span("lifecycle.canary", holdout=len(holdout_records)) as sp:
+            published = self.registry.publish(
+                best, incumbent.fingerprint, promote=False
+            )
+            report = canary_report_from_medians(
+                incumbent_median,
+                medians[winner],
+                len(holdout_records),
+                margin=self.canary_margin,
+            )
+            sp.set_attributes(
+                promote=report.promote,
+                incumbent_median=incumbent_median,
+                candidate_median=medians[winner],
+            )
         promoted = None
         if report.promote and self.auto_promote:
-            promoted = self.registry.promote(
-                published.compressor,
-                published.fingerprint,
-                published.version,
-                note=report.reason,
-            )
+            self._set_state("promoting")
+            with obs.span(
+                "lifecycle.promote", version=published.version
+            ):
+                promoted = self.registry.promote(
+                    published.compressor,
+                    published.fingerprint,
+                    published.version,
+                    note=report.reason,
+                )
             self.promotions += 1
             if self._promotions_counter is not None:
                 self._promotions_counter.inc()

@@ -24,6 +24,13 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_folded_stacks,
+    folded_stacks,
+)
+from repro.obs.http import ObservabilityServer
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -38,6 +45,16 @@ from repro.obs.report import (
     render_cost_tree,
     tree_shape,
 )
+from repro.obs.slo import (
+    SLO,
+    AvailabilitySLO,
+    LatencySLO,
+    SLOStatus,
+    SLOTracker,
+    ThresholdSLO,
+    default_serving_slos,
+)
+from repro.obs.timeseries import TimeSeriesBuffer
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -51,20 +68,33 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AvailabilitySLO",
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencySLO",
     "MetricsRegistry",
     "NULL_SPAN",
+    "ObservabilityServer",
     "Profiler",
+    "SLO",
+    "SLOStatus",
+    "SLOTracker",
     "Span",
     "SpanContext",
+    "ThresholdSLO",
+    "TimeSeriesBuffer",
     "Tracer",
     "attach",
     "bind_cache_gauges",
+    "chrome_trace_events",
     "cost_tree",
     "current_context",
+    "default_serving_slos",
     "detach",
+    "export_chrome_trace",
+    "export_folded_stacks",
+    "folded_stacks",
     "get_registry",
     "get_tracer",
     "install",

@@ -1,0 +1,121 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and folded stacks.
+
+Two render targets for a :class:`~repro.obs.trace.Tracer`'s spans (or
+any iterable of span dicts, e.g. re-read from an exported JSONL file):
+
+* :func:`chrome_trace_events` / :func:`export_chrome_trace` — the
+  Chrome tracing / Perfetto ``trace_event`` format (open the file at
+  ``chrome://tracing`` or https://ui.perfetto.dev). Each span becomes a
+  complete ("ph": "X") event; the originating process is the track
+  group and the trace id the track, so one distributed request reads
+  as one horizontal lane across process boundaries.
+* :func:`folded_stacks` / :func:`export_folded_stacks` — the
+  semicolon-separated "folded" format flamegraph.pl and speedscope
+  consume: one line per unique root-to-leaf path, weighted by the
+  path's *self* time in microseconds (wall time minus the wall time of
+  its children, clamped at zero so clock skew between processes cannot
+  produce negative weights).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+
+from repro.obs.trace import Span
+
+
+def _as_dicts(spans) -> list[dict]:
+    """Normalize ``Tracer``/list-of-``Span``/list-of-dict input."""
+    out = []
+    for span in getattr(spans, "spans", spans):
+        out.append(span.to_dict() if isinstance(span, Span) else dict(span))
+    return out
+
+
+def chrome_trace_events(spans) -> list[dict]:
+    """Spans as Chrome ``trace_event`` complete events, start-ordered."""
+    events = []
+    for span in _as_dicts(spans):
+        args = dict(span.get("attributes") or {})
+        args["trace_id"] = span.get("trace_id", 0)
+        args["span_id"] = span.get("span_id", 0)
+        args["parent_id"] = span.get("parent_id")
+        if span.get("status", "ok") != "ok":
+            args["status"] = span.get("status")
+            if span.get("error"):
+                args["error"] = span.get("error")
+        events.append(
+            {
+                "name": span.get("name", ""),
+                "ph": "X",
+                "ts": float(span.get("start_unix", 0.0)) * 1e6,
+                "dur": max(float(span.get("wall_seconds", 0.0)), 0.0) * 1e6,
+                "pid": int(span.get("pid", 0)),
+                "tid": int(span.get("trace_id", 0)),
+                "cat": span.get("name", "").split(".", 1)[0] or "span",
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: event["ts"])
+    return events
+
+
+def export_chrome_trace(spans, path: str | os.PathLike) -> int:
+    """Write ``{"traceEvents": [...]}`` JSON; returns the event count."""
+    events = chrome_trace_events(spans)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+        fh.write("\n")
+    return len(events)
+
+
+def folded_stacks(spans) -> dict[str, float]:
+    """``{"a;b;c": self_microseconds}`` aggregated over all traces."""
+    records = _as_dicts(spans)
+    by_id = {record["span_id"]: record for record in records}
+    children_wall: dict = defaultdict(float)
+    for record in records:
+        parent = record.get("parent_id")
+        if parent in by_id:
+            children_wall[parent] += float(record.get("wall_seconds", 0.0))
+
+    def stack_of(record: dict) -> str:
+        names = [record.get("name", "?")]
+        seen = {record["span_id"]}
+        parent = record.get("parent_id")
+        while parent in by_id and parent not in seen:
+            seen.add(parent)
+            record = by_id[parent]
+            names.append(record.get("name", "?"))
+            parent = record.get("parent_id")
+        return ";".join(reversed(names))
+
+    weights: dict[str, float] = defaultdict(float)
+    for record in records:
+        wall = float(record.get("wall_seconds", 0.0))
+        self_seconds = max(wall - children_wall[record["span_id"]], 0.0)
+        weights[stack_of(record)] += self_seconds * 1e6
+    return dict(weights)
+
+
+def export_folded_stacks(spans, path: str | os.PathLike) -> int:
+    """Write one ``stack weight`` line per unique path; returns lines.
+
+    Weights are integer microseconds of self time; zero-weight paths
+    are kept (a flamegraph of structure with no time yet is still a
+    structure), rounded weights floor at 1 for any path that saw time.
+    """
+    weights = folded_stacks(spans)
+    lines = []
+    for stack in sorted(weights):
+        weight = weights[stack]
+        rounded = int(round(weight))
+        if weight > 0 and rounded == 0:
+            rounded = 1
+        lines.append(f"{stack} {rounded}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)

@@ -46,11 +46,33 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+#: Prometheus text-exposition escapes for label *values*: backslash
+#: first (so escapes don't double), then quote and newline.
+_LABEL_ESCAPES = str.maketrans(
+    {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+)
+
+#: Escapes for ``# HELP`` text: backslash and newline only (quotes are
+#: legal in help text).
+_HELP_ESCAPES = str.maketrans({"\\": "\\\\", "\n": "\\n"})
+
+
 def _label_suffix(key: tuple) -> str:
-    """The ``{k="v",...}`` rendering of a canonical label key."""
+    """The ``{k="v",...}`` rendering of a canonical label key.
+
+    Label values are escaped per the Prometheus text exposition format
+    (backslash, double quote and newline), so a hostile dataset id like
+    ``he said "hi"\\n`` cannot corrupt the scrape output.
+    """
     if not key:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+    return (
+        "{"
+        + ",".join(
+            f'{k}="{v.translate(_LABEL_ESCAPES)}"' for k, v in key
+        )
+        + "}"
+    )
 
 
 class _Metric:
@@ -316,7 +338,10 @@ class MetricsRegistry:
         lines = []
         for metric in self.metrics():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} "
+                    f"{metric.help.translate(_HELP_ESCAPES)}"
+                )
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for key in metric.labels():

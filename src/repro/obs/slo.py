@@ -1,0 +1,392 @@
+"""Declarative SLOs with rolling error-budget burn-rate evaluation.
+
+An :class:`SLO` states an objective over a rolling window — "99.9% of
+requests succeed", "99% of requests finish under 250 ms", "the model's
+calibration-error EWMA stays under 0.25" — and is evaluated against
+the history a :class:`~repro.obs.timeseries.TimeSeriesBuffer` retains.
+
+**Burn rate** is the operator-facing number: the ratio of the error
+rate actually observed in the window to the error rate the objective
+*allows* (``1 - objective``). Burn 1.0 means the error budget is being
+spent exactly as fast as it accrues; burn 10 means a 30-day budget is
+gone in 3 days; burn 0 means no errors. An SLO alerts when its burn
+rate crosses ``alert_burn_rate`` (default 1.0). Threshold SLOs over
+gauges (calibration error) define burn as ``value / threshold`` — the
+same "1.0 = at budget" semantics.
+
+:class:`SLOTracker` owns a set of SLOs, evaluates them on demand, and
+exports the results as ``repro_slo_compliance{slo=}``,
+``repro_slo_burn_rate{slo=}`` and ``repro_slo_alert{slo=}`` gauges via
+a pull-model collector, so any scrape of the registry re-evaluates.
+
+**No data means no alert**: a window with zero events is compliant
+(compliance 1.0, burn 0.0). An idle service is not in violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidConfiguration
+from repro.obs.timeseries import TimeSeriesBuffer
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One evaluation result."""
+
+    name: str
+    kind: str
+    objective: float
+    window_seconds: float
+    compliance: float
+    burn_rate: float
+    alerting: bool
+    events: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "window_seconds": self.window_seconds,
+            "compliance": self.compliance,
+            "burn_rate": self.burn_rate,
+            "alerting": self.alerting,
+            "events": self.events,
+            "detail": self.detail,
+        }
+
+
+class SLO:
+    """Base: a named objective over a rolling window.
+
+    Args:
+        name: identifier used in the ``slo=`` metric label.
+        objective: required good-event fraction, in (0, 1].
+        window: rolling evaluation window, seconds.
+        alert_burn_rate: burn rate at which :attr:`SLOStatus.alerting`
+            flips on (1.0 = budget spent as fast as it accrues).
+    """
+
+    kind = "slo"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        objective: float,
+        window: float,
+        alert_burn_rate: float = 1.0,
+    ) -> None:
+        if not name:
+            raise InvalidConfiguration("an SLO needs a non-empty name")
+        if not 0.0 < objective <= 1.0:
+            raise InvalidConfiguration(
+                f"SLO {name}: objective must be in (0, 1], got {objective}"
+            )
+        if window <= 0:
+            raise InvalidConfiguration(
+                f"SLO {name}: window must be positive, got {window}"
+            )
+        if alert_burn_rate <= 0:
+            raise InvalidConfiguration(
+                f"SLO {name}: alert_burn_rate must be positive"
+            )
+        self.name = name
+        self.objective = float(objective)
+        self.window = float(window)
+        self.alert_burn_rate = float(alert_burn_rate)
+
+    # subclasses return (compliance, events, detail)
+    def _measure(
+        self, buffer: TimeSeriesBuffer
+    ) -> tuple[float, float, str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def evaluate(self, buffer: TimeSeriesBuffer) -> SLOStatus:
+        compliance, events, detail = self._measure(buffer)
+        allowed = 1.0 - self.objective
+        error_rate = 1.0 - compliance
+        if error_rate <= 0.0:
+            burn = 0.0
+        elif allowed <= 0.0:
+            burn = float("inf")  # a 100% objective has zero budget
+        else:
+            burn = error_rate / allowed
+        return SLOStatus(
+            name=self.name,
+            kind=self.kind,
+            objective=self.objective,
+            window_seconds=self.window,
+            compliance=compliance,
+            burn_rate=burn,
+            alerting=burn >= self.alert_burn_rate,
+            events=events,
+            detail=detail,
+        )
+
+
+class AvailabilitySLO(SLO):
+    """Good-outcome fraction of a labelled request counter.
+
+    Over the window, ``good = sum(delta(counter{label=v}))`` for ``v``
+    in ``good_values``; compliance is ``good / total``. The default
+    wiring reads ``repro_serving_requests_total{outcome=...}`` where
+    the serving recorder writes ``outcome="ok"`` / ``outcome="error"``.
+    """
+
+    kind = "availability"
+
+    def __init__(
+        self,
+        name: str = "availability",
+        *,
+        objective: float = 0.999,
+        window: float = 300.0,
+        counter: str = "repro_serving_requests_total",
+        label: str = "outcome",
+        good_values: tuple = ("ok",),
+        alert_burn_rate: float = 1.0,
+    ) -> None:
+        super().__init__(
+            name,
+            objective=objective,
+            window=window,
+            alert_burn_rate=alert_burn_rate,
+        )
+        self.counter = counter
+        self.label = label
+        self.good_values = tuple(good_values)
+
+    def _measure(self, buffer: TimeSeriesBuffer) -> tuple[float, float, str]:
+        total = buffer.delta(self.counter, self.window)
+        if total <= 0:
+            return 1.0, 0.0, "no traffic in window"
+        good = sum(
+            buffer.delta(
+                self.counter, self.window, labels={self.label: value}
+            )
+            for value in self.good_values
+        )
+        return good / total, total, f"{good:g}/{total:g} good"
+
+
+class LatencySLO(SLO):
+    """Fraction of requests under a latency threshold, from a histogram.
+
+    Compliance is the fraction of window events that landed in buckets
+    with an upper bound at or below ``threshold_seconds`` — the bucket
+    grid quantizes the threshold, so pick a threshold on (or above) a
+    bucket bound. An objective of 0.99 with a 0.25 s threshold reads as
+    "p99 latency stays under 250 ms".
+    """
+
+    kind = "latency"
+
+    def __init__(
+        self,
+        name: str = "latency_p99",
+        *,
+        objective: float = 0.99,
+        window: float = 300.0,
+        threshold_seconds: float = 0.25,
+        histogram: str = "repro_serving_latency_seconds",
+        alert_burn_rate: float = 1.0,
+    ) -> None:
+        super().__init__(
+            name,
+            objective=objective,
+            window=window,
+            alert_burn_rate=alert_burn_rate,
+        )
+        if threshold_seconds <= 0:
+            raise InvalidConfiguration(
+                f"SLO {name}: threshold_seconds must be positive"
+            )
+        self.threshold_seconds = float(threshold_seconds)
+        self.histogram = histogram
+
+    def _measure(self, buffer: TimeSeriesBuffer) -> tuple[float, float, str]:
+        delta = buffer.histogram_delta(self.histogram, self.window)
+        if delta is None or delta["count"] <= 0:
+            return 1.0, 0.0, "no traffic in window"
+        metric = buffer.registry.get(self.histogram)
+        bounds = getattr(metric, "buckets", None)
+        if not bounds:
+            return 1.0, 0.0, "histogram has no bucket bounds"
+        within = sum(
+            count
+            for bound, count in zip(bounds, delta["counts"])
+            if bound <= self.threshold_seconds
+        )
+        total = delta["count"]
+        return (
+            within / total,
+            total,
+            f"{within:g}/{total:g} under {self.threshold_seconds:g}s",
+        )
+
+
+class ThresholdSLO(SLO):
+    """A gauge that must stay at or below a threshold.
+
+    Burn rate is redefined as ``value / threshold`` (1.0 = exactly at
+    budget); compliance is binary. The default wiring watches the drift
+    detector's calibration-error EWMA.
+    """
+
+    kind = "threshold"
+
+    def __init__(
+        self,
+        name: str = "calibration",
+        *,
+        threshold: float = 0.25,
+        window: float = 300.0,
+        gauge: str = "repro_lifecycle_drift_error_ewma",
+        labels: dict | None = None,
+        alert_burn_rate: float = 1.0,
+    ) -> None:
+        # Objective is nominal here (burn is overridden); 0.5 keeps the
+        # base-class validation meaningful without implying a ratio.
+        super().__init__(
+            name,
+            objective=0.5,
+            window=window,
+            alert_burn_rate=alert_burn_rate,
+        )
+        if threshold <= 0:
+            raise InvalidConfiguration(
+                f"SLO {name}: threshold must be positive"
+            )
+        self.threshold = float(threshold)
+        self.gauge = gauge
+        self.labels = dict(labels or {})
+
+    def evaluate(self, buffer: TimeSeriesBuffer) -> SLOStatus:
+        points = buffer.series(self.gauge, labels=self.labels)
+        cutoff = points[-1].unix - self.window if points else 0.0
+        window_points = [p for p in points if p.unix >= cutoff]
+        if not window_points:
+            return SLOStatus(
+                name=self.name,
+                kind=self.kind,
+                objective=self.objective,
+                window_seconds=self.window,
+                compliance=1.0,
+                burn_rate=0.0,
+                alerting=False,
+                events=0.0,
+                detail="no samples in window",
+            )
+        worst = max(p.value for p in window_points)
+        burn = worst / self.threshold
+        return SLOStatus(
+            name=self.name,
+            kind=self.kind,
+            objective=self.objective,
+            window_seconds=self.window,
+            compliance=1.0 if worst <= self.threshold else 0.0,
+            burn_rate=burn,
+            alerting=burn >= self.alert_burn_rate,
+            events=float(len(window_points)),
+            detail=f"worst {worst:g} vs threshold {self.threshold:g}",
+        )
+
+
+class SLOTracker:
+    """Evaluates a set of SLOs and exports ``repro_slo_*`` gauges.
+
+    Args:
+        buffer: the sampled history to evaluate against.
+        slos: the SLO set (defaults come from
+            :func:`default_serving_slos`).
+        registry: where to export; defaults to the buffer's registry.
+            The exporter is a pull-model collector, so every
+            ``render_prometheus()`` / ``to_dict()`` re-evaluates.
+    """
+
+    def __init__(
+        self,
+        buffer: TimeSeriesBuffer,
+        slos: list[SLO] | None = None,
+        *,
+        registry=None,
+    ) -> None:
+        self.buffer = buffer
+        self.slos = list(slos) if slos is not None else []
+        names = [slo.name for slo in self.slos]
+        if len(set(names)) != len(names):
+            raise InvalidConfiguration(
+                f"SLO names must be unique, got {names}"
+            )
+        registry = buffer.registry if registry is None else registry
+        self._compliance = registry.gauge(
+            "repro_slo_compliance", "good-event fraction in the SLO window"
+        )
+        self._burn = registry.gauge(
+            "repro_slo_burn_rate",
+            "error-budget burn rate (1 = spending budget as it accrues)",
+        )
+        self._alert = registry.gauge(
+            "repro_slo_alert", "1 when the SLO burn rate is over its alert"
+        )
+        self._exporting = False
+        registry.register_collector(self._export)
+
+    def evaluate(self) -> list[SLOStatus]:
+        """Evaluate every SLO against the buffer, in declaration order."""
+        return [slo.evaluate(self.buffer) for slo in self.slos]
+
+    def _export(self) -> None:
+        # Evaluation reads the buffer, whose sample() calls
+        # registry.collect(), which runs this collector: a sample taken
+        # *during* an export must not recurse into another evaluation.
+        if self._exporting:
+            return
+        self._exporting = True
+        try:
+            for status in self.evaluate():
+                burn = status.burn_rate
+                self._compliance.set(status.compliance, slo=status.name)
+                self._burn.set(
+                    burn if burn != float("inf") else 1e12, slo=status.name
+                )
+                self._alert.set(
+                    1.0 if status.alerting else 0.0, slo=status.name
+                )
+        finally:
+            self._exporting = False
+
+    def report(self) -> dict:
+        """JSON-friendly burn report (the ``/slo`` endpoint body)."""
+        statuses = self.evaluate()
+        return {
+            "slos": [status.to_dict() for status in statuses],
+            "alerting": sorted(s.name for s in statuses if s.alerting),
+            "frames_sampled": len(self.buffer),
+        }
+
+
+def default_serving_slos(
+    *,
+    availability: float = 0.999,
+    p99_seconds: float = 0.25,
+    calibration_error: float = 0.25,
+    window: float = 300.0,
+) -> list[SLO]:
+    """The stock serving SLO set, shaped by the ``slo_*`` config knobs.
+
+    Availability and p99 latency read the serving recorder's metrics;
+    the calibration SLO reads the drift detector's error EWMA (silent
+    until a detector binds its gauges to the same registry).
+    """
+    return [
+        AvailabilitySLO(objective=availability, window=window),
+        LatencySLO(
+            objective=0.99, threshold_seconds=p99_seconds, window=window
+        ),
+        ThresholdSLO(threshold=calibration_error, window=window),
+    ]

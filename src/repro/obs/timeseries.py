@@ -1,0 +1,261 @@
+"""A ring-buffer time-series sampler over a :class:`MetricsRegistry`.
+
+The registry is a *point-in-time* store: counters and gauges answer
+"what is the value now", never "what was it 30 seconds ago". SLO
+burn-rate evaluation (:mod:`repro.obs.slo`) needs exactly that history
+— an availability SLO is a ratio of counter *deltas* over a rolling
+window, not of absolute totals that fold in yesterday's traffic.
+
+:class:`TimeSeriesBuffer` closes the gap without touching any hot
+path: :meth:`~TimeSeriesBuffer.sample` snapshots every scalar series
+(and every histogram's bucket counts / sum / count) into one timestamped
+frame in a bounded ``deque``. Sampling is pull-model — it runs the
+registry's collectors first, exactly like an export — and the buffer
+can drive itself from a daemon thread (:meth:`~TimeSeriesBuffer.start`)
+for long-lived services, or be sampled manually from tests.
+
+Memory is bounded by ``capacity`` frames; at the default 1-second
+cadence and 600 frames the buffer holds ten minutes of history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidConfiguration
+from repro.obs.metrics import Histogram, MetricsRegistry, _label_suffix
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One sampled value of one series at one instant."""
+
+    unix: float
+    value: float
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One full registry snapshot.
+
+    ``scalars`` maps ``(metric_name, label_key)`` to the counter/gauge
+    value; ``histograms`` maps the same key to a
+    ``{"counts": [...], "sum": s, "count": n}`` snapshot. Label keys
+    are the registry's canonical sorted tuples.
+    """
+
+    unix: float
+    scalars: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+
+class TimeSeriesBuffer:
+    """Bounded history of registry snapshots.
+
+    Args:
+        registry: the registry to sample.
+        capacity: frames retained (oldest evicted first).
+        interval: cadence of the background sampler thread, seconds
+            (only used once :meth:`start` is called).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        capacity: int = 600,
+        interval: float = 1.0,
+    ) -> None:
+        if capacity < 2:
+            raise InvalidConfiguration(
+                "a time-series buffer needs capacity >= 2 (deltas need "
+                "two frames)"
+            )
+        if interval <= 0:
+            raise InvalidConfiguration("sampling interval must be positive")
+        self.registry = registry
+        self.capacity = int(capacity)
+        self.interval = float(interval)
+        self._frames: deque[Frame] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(self, unix: float | None = None) -> Frame:
+        """Snapshot every series into one frame and retain it."""
+        self.registry.collect()
+        frame = Frame(unix=time.time() if unix is None else float(unix))
+        for metric in self.registry.metrics():
+            if isinstance(metric, Histogram):
+                for key in metric.labels():
+                    frame.histograms[(metric.name, key)] = metric.snapshot(
+                        **dict(key)
+                    )
+            else:
+                for key in metric.labels():
+                    frame.scalars[(metric.name, key)] = metric.value(
+                        **dict(key)
+                    )
+        with self._lock:
+            self._frames.append(frame)
+        return frame
+
+    # -- background sampler ----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the daemon sampler thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, daemon=True, name="fxrz-ts-sampler"
+            )
+            self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the sampler thread (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample()
+            except Exception:  # noqa: BLE001 — a sampler must not die
+                continue
+
+    # -- reading ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    def frames(self) -> list[Frame]:
+        """All retained frames, oldest first."""
+        with self._lock:
+            return list(self._frames)
+
+    def latest(self) -> Frame | None:
+        with self._lock:
+            return self._frames[-1] if self._frames else None
+
+    def window(self, seconds: float) -> list[Frame]:
+        """Frames no older than ``seconds`` before the newest frame."""
+        with self._lock:
+            if not self._frames:
+                return []
+            cutoff = self._frames[-1].unix - float(seconds)
+            return [f for f in self._frames if f.unix >= cutoff]
+
+    def series(self, name: str, labels: dict | None = None) -> list[SeriesPoint]:
+        """The sampled history of one scalar series, oldest first."""
+        key = tuple(sorted((str(k), str(v)) for k, v in (labels or {}).items()))
+        out = []
+        for frame in self.frames():
+            value = frame.scalars.get((name, key))
+            if value is not None:
+                out.append(SeriesPoint(unix=frame.unix, value=value))
+        return out
+
+    def delta(
+        self, name: str, seconds: float, labels: dict | None = None
+    ) -> float:
+        """Counter increase over the trailing window (0 without history).
+
+        Sums the increase across *all* label sets of ``name`` when
+        ``labels`` is ``None`` — the natural shape for an availability
+        SLO over ``repro_serving_requests_total{outcome=...}``.
+        """
+        frames = self.window(seconds)
+        if len(frames) < 2:
+            return 0.0
+        first, last = frames[0], frames[-1]
+        if labels is None:
+            keys = {
+                key
+                for metric_name, key in last.scalars
+                if metric_name == name
+            }
+        else:
+            keys = {
+                tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+            }
+        total = 0.0
+        for key in keys:
+            newest = last.scalars.get((name, key), 0.0)
+            oldest = first.scalars.get((name, key), 0.0)
+            # A counter that resets (process restart) shows a drop;
+            # count the post-reset value rather than a negative delta.
+            total += newest - oldest if newest >= oldest else newest
+        return total
+
+    def histogram_delta(self, name: str, seconds: float) -> dict | None:
+        """Bucket-count / sum / count increases over the trailing window.
+
+        Aggregated across label sets; ``None`` when the metric never
+        appeared or fewer than two frames cover the window.
+        """
+        frames = self.window(seconds)
+        if len(frames) < 2:
+            return None
+        first, last = frames[0], frames[-1]
+        keys = {
+            key for metric_name, key in last.histograms if metric_name == name
+        }
+        if not keys:
+            return None
+        counts: list[float] | None = None
+        total_sum = 0.0
+        total_count = 0.0
+        for key in keys:
+            newest = last.histograms.get((name, key))
+            oldest = first.histograms.get(
+                (name, key),
+                {"counts": [0] * len(newest["counts"]), "sum": 0.0, "count": 0},
+            )
+            if newest["count"] < oldest["count"]:  # reset mid-window
+                oldest = {
+                    "counts": [0] * len(newest["counts"]),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            if counts is None:
+                counts = [0.0] * len(newest["counts"])
+            for index, (new, old) in enumerate(
+                zip(newest["counts"], oldest["counts"])
+            ):
+                counts[index] += new - old
+            total_sum += newest["sum"] - oldest["sum"]
+            total_count += newest["count"] - oldest["count"]
+        return {"counts": counts, "sum": total_sum, "count": total_count}
+
+    def to_dict(self, seconds: float | None = None) -> dict:
+        """JSON-friendly dump of the (windowed) scalar history."""
+        frames = self.frames() if seconds is None else self.window(seconds)
+        return {
+            "frames": len(frames),
+            "span_seconds": (
+                frames[-1].unix - frames[0].unix if len(frames) > 1 else 0.0
+            ),
+            "samples": [
+                {
+                    "unix": frame.unix,
+                    "scalars": {
+                        f"{name}{_label_suffix(key)}": value
+                        for (name, key), value in sorted(
+                            frame.scalars.items()
+                        )
+                    },
+                }
+                for frame in frames
+            ],
+        }

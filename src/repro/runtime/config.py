@@ -78,6 +78,19 @@ class RuntimeConfig:
             held out for the canary replay, in (0, 1).
         canary_margin: fractional median-error improvement a candidate
             must show to be promoted, in [0, 1).
+        scrape_port: TCP port of the sharded service's embedded
+            observability endpoint (``/metrics``, ``/healthz``,
+            ``/slo``, ``/spans``); 0 picks an ephemeral port, -1
+            disables the server.
+        trace_sample: fraction of sharded requests that get a
+            distributed trace, in [0, 1] (1 = trace everything; only
+            meaningful when a tracer is installed at all).
+        slo_availability: availability SLO objective (good-request
+            fraction) in (0, 1].
+        slo_p99_ms: p99 latency SLO threshold, milliseconds.
+        slo_calibration_error: calibration-error EWMA the model SLO
+            tolerates before alerting.
+        slo_window: rolling SLO evaluation window, seconds.
         provenance: ``field -> layer`` map ("default"/"env"/"profile"/
             "override"); informational, excluded from equality.
     """
@@ -102,6 +115,12 @@ class RuntimeConfig:
     retrain_min_samples: int = 64
     canary_fraction: float = 0.25
     canary_margin: float = 0.0
+    scrape_port: int = -1
+    trace_sample: float = 1.0
+    slo_availability: float = 0.999
+    slo_p99_ms: float = 250.0
+    slo_calibration_error: float = 0.25
+    slo_window: float = 300.0
     provenance: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -141,6 +160,20 @@ class RuntimeConfig:
             raise InvalidConfiguration("canary_fraction must be in (0, 1)")
         if not 0.0 <= self.canary_margin < 1.0:
             raise InvalidConfiguration("canary_margin must be in [0, 1)")
+        if not -1 <= self.scrape_port <= 65535:
+            raise InvalidConfiguration(
+                "scrape_port must be -1 (off), 0 (ephemeral) or a TCP port"
+            )
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise InvalidConfiguration("trace_sample must be in [0, 1]")
+        if not 0.0 < self.slo_availability <= 1.0:
+            raise InvalidConfiguration("slo_availability must be in (0, 1]")
+        if self.slo_p99_ms <= 0:
+            raise InvalidConfiguration("slo_p99_ms must be > 0")
+        if self.slo_calibration_error <= 0:
+            raise InvalidConfiguration("slo_calibration_error must be > 0")
+        if self.slo_window <= 0:
+            raise InvalidConfiguration("slo_window must be > 0")
 
     def replace(self, **changes) -> "RuntimeConfig":
         """A copy with ``changes`` applied (provenance marks them)."""
@@ -222,6 +255,12 @@ def _coerce(name: str, value, source: str):
         "retrain_min_samples": int,
         "canary_fraction": float,
         "canary_margin": float,
+        "scrape_port": int,
+        "trace_sample": float,
+        "slo_availability": float,
+        "slo_p99_ms": float,
+        "slo_calibration_error": float,
+        "slo_window": float,
     }[name]
     try:
         if target is str:

@@ -370,6 +370,14 @@ class RuntimeContext:
             "retrain_min_samples": self.config.retrain_min_samples,
             "canary_fraction": self.config.canary_fraction,
             "canary_margin": self.config.canary_margin,
+            # Children never run a scrape server of their own; the
+            # parent's endpoint is the single operator surface.
+            "scrape_port": -1,
+            "trace_sample": self.config.trace_sample,
+            "slo_availability": self.config.slo_availability,
+            "slo_p99_ms": self.config.slo_p99_ms,
+            "slo_calibration_error": self.config.slo_calibration_error,
+            "slo_window": self.config.slo_window,
         }
 
     @classmethod

@@ -61,6 +61,10 @@ class EstimateRequest:
             :class:`~repro.errors.DeadlineExceededError` instead of
             waiting forever. ``None`` falls back to the service's
             ``default_deadline``.
+        trace: an explicit :class:`~repro.obs.SpanContext` to serve the
+            request under — the sharded supervisor parents its request
+            span (and every shard-side span) there. ``None`` lets the
+            service mint a fresh trace when tracing is on.
     """
 
     data: np.ndarray
@@ -68,11 +72,16 @@ class EstimateRequest:
     request_id: str = ""
     dataset_id: str = ""
     deadline_seconds: float | None = None
+    trace: "obs.SpanContext | None" = None
 
 
 @dataclass(frozen=True)
 class ServedEstimate:
-    """A completed request: the estimate plus serving bookkeeping."""
+    """A completed request: the estimate plus serving bookkeeping.
+
+    ``trace_id`` is the distributed-trace id the request was served
+    under (0 when tracing was off), matching ``estimate.trace_id``.
+    """
 
     request_id: str
     dataset_key: str
@@ -80,6 +89,7 @@ class ServedEstimate:
     latency_seconds: float
     cache_hit: bool
     batch_size: int
+    trace_id: int = 0
 
 
 @dataclass

@@ -27,13 +27,16 @@ fires, keeping the stream aligned across fault-probability settings.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from collections import OrderedDict
 
+from repro import obs
 from repro.core.inference import InferenceEngine
 from repro.core.persistence import load_pipeline
 from repro.errors import ReproError
+from repro.obs.trace import SpanContext, attach, detach
 from repro.parallel.shm import SharedNDArray
 from repro.runtime.worker import attach_worker_runtime
 
@@ -92,13 +95,21 @@ def shard_main(
         generation: incarnation counter; folded into the fault stream
             so a respawn does not replay the draws that killed it.
         spec: picklable setup — ``runtime`` (context spec), ``model_path``,
-            ``guarded``/``guard_options``, optional ``faults``.
+            ``guarded``/``guard_options``, optional ``faults``, and a
+            ``trace`` flag turning the shard-local tracer on.
         req_conn: read end of the request pipe.
         res_conn: write end of the reply pipe.
         beat / busy: shared doubles for liveness reporting (see module
             docstring).
     """
     attach_worker_runtime({"runtime": spec.get("runtime")})
+    if spec.get("trace"):
+        # The shard runs its own tracer; spans ship home inside each
+        # reply and re-parent under the supervisor's request span (the
+        # executor re-parenting idiom, across the fork boundary). The
+        # worker-runtime attach above uninstalled any inherited obs
+        # state, so this install is the shard's whole obs surface.
+        obs.install(tracer=obs.Tracer())
     faults = spec.get("faults")
     rng = faults.serving_rng(shard, generation) if faults is not None else None
     try:
@@ -157,12 +168,19 @@ def shard_main(
             busy.value = time.monotonic()
             try:
                 _serve(message, engine, analyses, segments, res_conn,
-                       faults, rng)
+                       faults, rng, shard, generation)
             finally:
                 busy.value = 0.0
     finally:
         for handle in segments.values():
             handle.close()
+
+
+def _drained_spans(tracer) -> list | None:
+    """The shard tracer's spans as picklable dicts (``None`` untraced)."""
+    if tracer is None:
+        return None
+    return [span.to_dict() for span in tracer.drain()]
 
 
 def _serve(
@@ -173,53 +191,87 @@ def _serve(
     res_conn,
     faults,
     rng,
+    shard: int,
+    generation: int,
 ) -> None:
     seq = message["seq"]
     deadline = message.get("deadline") or 0.0
-    if deadline and time.monotonic() > deadline:
-        # Expired in the pipe; answering would waste engine time the
-        # caller already gave up on.
-        _send(res_conn, {"kind": "expired", "seq": seq})
-        return
-    _apply_chaos(faults, rng, message["request_id"])
+    tracer = obs.get_tracer()
+    trace = message.get("trace")
+    token = None
+    if tracer is not None and trace is not None:
+        # Re-parent everything this request does under the supervisor's
+        # request span: the attached context makes the supervisor's
+        # (trace_id, span_id) the ambient parent in this process.
+        token = attach(SpanContext(int(trace[0]), int(trace[1])))
     try:
-        descriptor = message["descriptor"]
-        handle = segments.get(descriptor.name)
-        if handle is None:
-            handle = SharedNDArray.attach(descriptor)
-            segments[descriptor.name] = handle
-        data = handle.asarray()
-        key = message["dataset_key"]
-        analysis = analyses.get(key)
-        hit = analysis is not None
-        if hit:
-            analyses.move_to_end(key)
-        else:
-            analysis = engine.analyze(data)
-            analyses[key] = analysis
-            while len(analyses) > ANALYSIS_CACHE_ENTRIES:
-                analyses.popitem(last=False)
-        estimate = engine.estimate(
-            data, float(message["target_ratio"]), analysis=analysis
-        )
-    except Exception as exc:  # noqa: BLE001 — shipped to the future
-        reply = {
-            "kind": "error",
-            "seq": seq,
-            "error": f"{type(exc).__name__}: {exc}",
-            "retriable": not isinstance(exc, ReproError),
-        }
-        try:
-            res_conn.send({**reply, "exception": exc})
-        except Exception:  # noqa: BLE001 — unpicklable exception
+        if deadline and time.monotonic() > deadline:
+            # Expired in the pipe; answering would waste engine time
+            # the caller already gave up on.
+            reply = {"kind": "expired", "seq": seq}
+            spans = _drained_spans(tracer)
+            if spans is not None:
+                reply["spans"] = spans
             _send(res_conn, reply)
-        return
-    _send(
-        res_conn,
-        {
+            return
+        _apply_chaos(faults, rng, message["request_id"])
+        span = (
+            tracer.span(
+                "shard.serve",
+                shard=shard,
+                generation=generation,
+                request_id=message["request_id"],
+            )
+            if tracer is not None
+            else contextlib.nullcontext(obs.NULL_SPAN)
+        )
+        try:
+            with span as sp:
+                descriptor = message["descriptor"]
+                handle = segments.get(descriptor.name)
+                if handle is None:
+                    handle = SharedNDArray.attach(descriptor)
+                    segments[descriptor.name] = handle
+                data = handle.asarray()
+                key = message["dataset_key"]
+                analysis = analyses.get(key)
+                hit = analysis is not None
+                if hit:
+                    analyses.move_to_end(key)
+                else:
+                    analysis = engine.analyze(data)
+                    analyses[key] = analysis
+                    while len(analyses) > ANALYSIS_CACHE_ENTRIES:
+                        analyses.popitem(last=False)
+                estimate = engine.estimate(
+                    data, float(message["target_ratio"]), analysis=analysis
+                )
+                sp.set_attributes(cache_hit=hit, tier=estimate.tier)
+        except Exception as exc:  # noqa: BLE001 — shipped to the future
+            reply = {
+                "kind": "error",
+                "seq": seq,
+                "error": f"{type(exc).__name__}: {exc}",
+                "retriable": not isinstance(exc, ReproError),
+            }
+            spans = _drained_spans(tracer)
+            if spans is not None:
+                reply["spans"] = spans
+            try:
+                res_conn.send({**reply, "exception": exc})
+            except Exception:  # noqa: BLE001 — unpicklable exception
+                _send(res_conn, reply)
+            return
+        reply = {
             "kind": "result",
             "seq": seq,
             "estimate": estimate,
             "cache_hit": hit,
-        },
-    )
+        }
+        spans = _drained_spans(tracer)
+        if spans is not None:
+            reply["spans"] = spans
+        _send(res_conn, reply)
+    finally:
+        if token is not None:
+            detach(token)

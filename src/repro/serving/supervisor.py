@@ -34,6 +34,8 @@ the table empty and are counted, not raised.
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import itertools
 import multiprocessing
 import os
@@ -51,6 +53,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.persistence import save_pipeline
+from repro.obs.trace import Span, SpanContext, _new_id
 from repro.errors import (
     DeadlineExceededError,
     InvalidConfiguration,
@@ -201,6 +204,15 @@ class _Inflight:
     request_id: str
     shard: int = -1
     redeliveries: int = 0
+    # Distributed-tracing state: the request span's own coordinates
+    # (``trace``), the span it parents under (``parent_span``; None for
+    # a root trace), and the wall-clock admit instant the request span
+    # starts at. ``generation`` is the incarnation of the last shard
+    # this request was dispatched to.
+    trace: SpanContext | None = None
+    parent_span: int | None = None
+    start_unix: float = 0.0
+    generation: int = -1
 
 
 class _ShardSlot:
@@ -269,6 +281,16 @@ class ShardedEstimationService:
             the per-shard breakers; defaults to the context's
             :attr:`RuntimeContext.breaker_options`.
         poll_interval: monitor/dispatcher tick.
+        trace_sample: fraction of requests traced end to end when a
+            tracer is available, in [0, 1]; defaults to the context's
+            :attr:`RuntimeConfig.trace_sample` (1.0 without a context).
+            Sampling is deterministic in the admission sequence number,
+            so reruns trace the same requests.
+        scrape_port: when >= 0, start the embedded observability
+            endpoint (``/metrics``, ``/healthz``, ``/slo``, ``/spans``)
+            on this port (0 = ephemeral; read :attr:`scrape_url`).
+            Defaults to the context's :attr:`RuntimeConfig.scrape_port`
+            (-1 = off without a context).
         ctx: a :class:`~repro.runtime.RuntimeContext`; supplies config
             defaults, adopts the shared-memory segments, and its spec
             seeds each shard's child context.
@@ -305,6 +327,8 @@ class ShardedEstimationService:
         poll_interval: float = 0.02,
         latency_window: int = 4096,
         max_datasets: int = 64,
+        trace_sample: float | None = None,
+        scrape_port: int | None = None,
         ctx=None,
         outcome_log=None,
     ) -> None:
@@ -352,6 +376,21 @@ class ShardedEstimationService:
                 else {"failure_threshold": 5, "reset_seconds": 30.0}
             )
         self._breaker_options = breaker_options
+        if trace_sample is None:
+            trace_sample = (
+                float(ctx.config.trace_sample) if ctx is not None else 1.0
+            )
+        if not 0.0 <= trace_sample <= 1.0:
+            raise InvalidConfiguration("trace_sample must be in [0, 1]")
+        self.trace_sample = float(trace_sample)
+        if scrape_port is None:
+            scrape_port = (
+                int(ctx.config.scrape_port) if ctx is not None else -1
+            )
+        if not -1 <= int(scrape_port) <= 65535:
+            raise InvalidConfiguration(
+                "scrape_port must be -1 (off), 0 (ephemeral) or a TCP port"
+            )
 
         self._owns_model = model_path is None
         if model_path is None:
@@ -370,6 +409,11 @@ class ShardedEstimationService:
             "guarded": bool(guarded),
             "guard_options": guard_opts,
             "faults": faults,
+            # Shards run a local tracer only when the parent has a sink
+            # to absorb their spans into (and tracing is not sampled
+            # fully off).
+            "trace": self._trace_sink() is not None
+            and self.trace_sample > 0.0,
         }
         # The fallback rung runs in the parent, so it always terminates
         # in FRaZ — it is the last line of defense, not a mirror of the
@@ -385,7 +429,16 @@ class ShardedEstimationService:
         )
 
         self._mp = multiprocessing.get_context("fork")
-        self._metrics = MetricsRecorder(latency_window=latency_window)
+        registry = ctx.registry if ctx is not None else obs.get_registry()
+        if registry is None and int(scrape_port) >= 0:
+            # A scrape endpoint needs something behind /metrics: when
+            # neither the context nor the ambient install provides a
+            # registry, the service owns one.
+            registry = obs.MetricsRegistry()
+        self._registry = registry
+        self._metrics = MetricsRecorder(
+            latency_window=latency_window, registry=registry
+        )
         self._stats = SupervisorStats()
         self._ewma_latency = 0.05
         self._seq = itertools.count(1)
@@ -405,9 +458,7 @@ class ShardedEstimationService:
             _ShardSlot(i, CircuitBreaker(**breaker_options))
             for i in range(self.n_shards)
         ]
-        self._bind_gauges(
-            ctx.registry if ctx is not None else obs.get_registry()
-        )
+        self._bind_gauges(registry)
         for slot in self.slots:
             self._spawn(slot)
         self._threads = [
@@ -422,6 +473,11 @@ class ShardedEstimationService:
         ]
         for thread in self._threads:
             thread.start()
+        self._ts_buffer = None
+        self._slo_tracker = None
+        self._obs_server = None
+        if int(scrape_port) >= 0:
+            self._start_telemetry(int(scrape_port), registry)
 
     # -- construction helpers --------------------------------------------------
 
@@ -488,6 +544,21 @@ class ShardedEstimationService:
             deadline=None if relative is None else now + relative,
             request_id=request.request_id or f"req-{next(self._ids)}",
         )
+        if self._trace_sink() is not None and self._sampled(inf.seq):
+            # Join the caller's trace (explicit on the request, or the
+            # ambient context) or start a new root one; the request
+            # span itself is closed at resolution time.
+            parent = (
+                request.trace
+                if request.trace is not None
+                else obs.current_context()
+            )
+            inf.trace = SpanContext(
+                parent.trace_id if parent is not None else _new_id(),
+                _new_id(),
+            )
+            inf.parent_span = parent.span_id if parent is not None else None
+            inf.start_unix = time.time()
         with self._lock:
             # Re-checked here atomically with the insertion: a close
             # racing this submit either sees the entry (and rejects it
@@ -512,6 +583,13 @@ class ShardedEstimationService:
         with self._lock:
             self._stats = replace(
                 self._stats, admitted=self._stats.admitted + 1
+            )
+        if inf.trace is not None:
+            self._trace_event(
+                "supervisor.admit",
+                trace=inf.trace,
+                request_id=inf.request_id,
+                queue_depth=self._admit.qsize(),
             )
         return inf.future
 
@@ -606,6 +684,139 @@ class ShardedEstimationService:
 
         registry.register_collector(collect)
 
+    # -- telemetry plane -------------------------------------------------------
+
+    def _start_telemetry(self, scrape_port: int, registry) -> None:
+        """Stand up the ring sampler, SLO tracker and scrape endpoint."""
+        config = self.ctx.config if self.ctx is not None else None
+        window = float(getattr(config, "slo_window", 300.0))
+        self._ts_buffer = obs.TimeSeriesBuffer(
+            registry,
+            # one frame per second across the SLO window, plus slack so
+            # the window never outruns the ring
+            capacity=max(int(window) + 60, 120),
+            interval=1.0,
+        )
+        self._slo_tracker = obs.SLOTracker(
+            self._ts_buffer,
+            obs.default_serving_slos(
+                availability=float(
+                    getattr(config, "slo_availability", 0.999)
+                ),
+                p99_seconds=float(getattr(config, "slo_p99_ms", 250.0))
+                / 1000.0,
+                calibration_error=float(
+                    getattr(config, "slo_calibration_error", 0.25)
+                ),
+                window=window,
+            ),
+        )
+        self._ts_buffer.sample()  # a baseline frame so deltas exist early
+        self._ts_buffer.start()
+        self._obs_server = obs.ObservabilityServer(
+            registry,
+            tracer=self._trace_sink(),
+            slo_tracker=self._slo_tracker,
+            health=self._health,
+            port=scrape_port,
+        )
+
+    @property
+    def scrape_url(self) -> str | None:
+        """Base URL of the embedded scrape endpoint (None when off)."""
+        return self._obs_server.url if self._obs_server is not None else None
+
+    def _health(self) -> dict:
+        """The ``/healthz`` body: shard states, breakers, stats."""
+        states = self.shard_states()
+        with self._lock:
+            closed = self._closed
+        return {
+            "healthy": not closed
+            and any(state["state"] == READY for state in states),
+            "closed": closed,
+            "shards": states,
+            "breakers": {
+                str(state["shard"]): state["breaker"] for state in states
+            },
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _trace_sink(self):
+        """The tracer supervisor-side spans land in (None = untraced)."""
+        if self.ctx is not None:
+            tracer = self.ctx.tracer
+            if tracer is not None:
+                return tracer
+        return obs.get_tracer()
+
+    def _sampled(self, seq: int) -> bool:
+        """Deterministic per-request sampling decision (keyed on seq)."""
+        if self.trace_sample >= 1.0:
+            return True
+        if self.trace_sample <= 0.0:
+            return False
+        return ((seq * 0x9E3779B1) & 0xFFFF) / 65536.0 < self.trace_sample
+
+    def _trace_event(
+        self, name: str, trace: SpanContext | None = None, **attributes
+    ) -> None:
+        """Record a zero-duration event span (child of ``trace`` or root)."""
+        tracer = self._trace_sink()
+        if tracer is None:
+            return
+        if trace is not None:
+            trace_id, parent_id = trace.trace_id, trace.span_id
+        else:
+            trace_id, parent_id = _new_id(), None
+        tracer.absorb(
+            [
+                Span(
+                    name=name,
+                    trace_id=trace_id,
+                    span_id=_new_id(),
+                    parent_id=parent_id,
+                    start_unix=time.time(),
+                    pid=os.getpid(),
+                    attributes=attributes,
+                )
+            ]
+        )
+
+    def _finish_request_span(
+        self, inf: _Inflight, status: str, error: str = "", **attributes
+    ) -> None:
+        """Close the per-request root span (built by hand: the request
+        crosses threads and processes, so no ``with`` block can hold it)."""
+        if inf.trace is None:
+            return
+        tracer = self._trace_sink()
+        if tracer is None:
+            return
+        tracer.absorb(
+            [
+                Span(
+                    name="serving.sharded.request",
+                    trace_id=inf.trace.trace_id,
+                    span_id=inf.trace.span_id,
+                    parent_id=inf.parent_span,
+                    start_unix=inf.start_unix,
+                    wall_seconds=time.monotonic() - inf.submitted,
+                    status=status,
+                    error=error,
+                    pid=os.getpid(),
+                    attributes={
+                        "request_id": inf.request_id,
+                        "dataset_key": inf.dataset_key,
+                        "redeliveries": inf.redeliveries,
+                        **attributes,
+                    },
+                )
+            ]
+        )
+
     def kill_shard(self, index: int) -> None:
         """Kill one shard process outright (chaos/bench hook).
 
@@ -617,6 +828,9 @@ class ShardedEstimationService:
             slot = self.slots[index]
             process = slot.process
             self._stats = replace(self._stats, kills=self._stats.kills + 1)
+        self._trace_event(
+            "supervisor.kill", shard=index, reason="kill_shard"
+        )
         if process is not None and process.is_alive():
             process.kill()
 
@@ -648,6 +862,10 @@ class ShardedEstimationService:
             self._cond.notify_all()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        if self._obs_server is not None:
+            self._obs_server.close()
+        if self._ts_buffer is not None:
+            self._ts_buffer.stop()
         for slot in self.slots:
             with self._lock:
                 process, req_conn = slot.process, slot.req_conn
@@ -772,10 +990,21 @@ class ShardedEstimationService:
             }
             self._stats = replace(self._stats, **updates)
 
+    def _breaker_success(self, slot: _ShardSlot) -> None:
+        """Record a request-level success, tracing a breaker close."""
+        was = slot.breaker.state
+        slot.breaker.record_success()
+        if was != "closed":
+            self._trace_event(
+                "supervisor.breaker_close", shard=slot.index, from_state=was
+            )
+
     def _complete(
         self, inf: _Inflight, estimate, cache_hit: bool, source: str = "shard"
     ) -> None:
         latency = time.monotonic() - inf.submitted
+        if inf.trace is not None:
+            estimate = replace(estimate, trace_id=inf.trace.trace_id)
         with self._lock:
             self._ewma_latency = 0.8 * self._ewma_latency + 0.2 * latency
         self._metrics.record_request(
@@ -797,6 +1026,17 @@ class ShardedEstimationService:
                 )
             except OSError:
                 pass  # a full disk must not fail the request
+        # Close the request span *before* resolving the future, so a
+        # caller that inspects the tracer right after .result() sees a
+        # complete tree.
+        self._finish_request_span(
+            inf,
+            "ok",
+            source=source,
+            cache_hit=bool(cache_hit),
+            tier=estimate.tier,
+            shard=inf.shard,
+        )
         inf.future.set_result(
             ServedEstimate(
                 request_id=inf.request_id,
@@ -805,6 +1045,7 @@ class ShardedEstimationService:
                 latency_seconds=latency,
                 cache_hit=cache_hit,
                 batch_size=1,
+                trace_id=inf.trace.trace_id if inf.trace is not None else 0,
             )
         )
 
@@ -813,6 +1054,12 @@ class ShardedEstimationService:
             time.monotonic() - inf.submitted, failed=True
         )
         self._bump(expired=1) if expired else self._bump(failed=1)
+        self._finish_request_span(
+            inf,
+            "error",
+            error=f"{type(exc).__name__}: {exc}",
+            expired=bool(expired),
+        )
         inf.future.set_exception(exc)
 
     def _expire(self, inf: _Inflight) -> None:
@@ -892,25 +1139,37 @@ class ShardedEstimationService:
                 return "wait"
             slot.inflight.add(item.seq)
             item.shard = slot.index
+            item.generation = slot.generation
             conn = slot.req_conn
+        message = {
+            "kind": "request",
+            "seq": item.seq,
+            "request_id": item.request_id,
+            "descriptor": item.descriptor,
+            "dataset_key": item.dataset_key,
+            "target_ratio": float(item.request.target_ratio),
+            "deadline": item.deadline or 0.0,
+        }
+        if item.trace is not None:
+            # The propagated context: the shard's spans re-parent under
+            # the request span on the other side of the fork boundary.
+            message["trace"] = (item.trace.trace_id, item.trace.span_id)
         try:
-            conn.send(
-                {
-                    "kind": "request",
-                    "seq": item.seq,
-                    "request_id": item.request_id,
-                    "descriptor": item.descriptor,
-                    "dataset_key": item.dataset_key,
-                    "target_ratio": float(item.request.target_ratio),
-                    "deadline": item.deadline or 0.0,
-                }
-            )
+            conn.send(message)
         except (BrokenPipeError, OSError):
             # The shard died under us; the monitor will respawn it.
             with self._lock:
                 slot.inflight.discard(item.seq)
                 item.shard = -1
             return "wait"
+        if item.trace is not None:
+            self._trace_event(
+                "supervisor.dispatch",
+                trace=item.trace,
+                shard=item.shard,
+                generation=item.generation,
+                redeliveries=item.redeliveries,
+            )
         return "dispatched"
 
     # -- fallback ladder -------------------------------------------------------
@@ -938,19 +1197,34 @@ class ShardedEstimationService:
         if inf.deadline is not None and time.monotonic() > inf.deadline:
             self._expire(inf)
             return
-        try:
-            key = inf.dataset_key
-            analysis = self._fallback_analyses.get(key)
-            hit = analysis is not None
-            if not hit:
-                analysis = self._fallback_engine.analyze(inf.request.data)
-                if len(self._fallback_analyses) < self.max_datasets:
-                    self._fallback_analyses[key] = analysis
-            estimate = self._fallback_engine.estimate(
-                inf.request.data,
-                float(inf.request.target_ratio),
-                analysis=analysis,
+        tracer = self._trace_sink()
+        span = (
+            tracer.span(
+                "serving.sharded.fallback",
+                parent=inf.trace,
+                shard=inf.shard,
+                generation=inf.generation,
+                redeliveries=inf.redeliveries,
+                request_id=inf.request_id,
             )
+            if tracer is not None and inf.trace is not None
+            else contextlib.nullcontext(obs.NULL_SPAN)
+        )
+        try:
+            with span as sp:
+                key = inf.dataset_key
+                analysis = self._fallback_analyses.get(key)
+                hit = analysis is not None
+                if not hit:
+                    analysis = self._fallback_engine.analyze(inf.request.data)
+                    if len(self._fallback_analyses) < self.max_datasets:
+                        self._fallback_analyses[key] = analysis
+                estimate = self._fallback_engine.estimate(
+                    inf.request.data,
+                    float(inf.request.target_ratio),
+                    analysis=analysis,
+                )
+                sp.set_attributes(cache_hit=hit, tier=estimate.tier)
         except Exception as exc:  # noqa: BLE001 — future carries it
             self._fail(inf, exc)
             return
@@ -1006,8 +1280,15 @@ class ShardedEstimationService:
                 )
             return
         seq = message.get("seq")
+        spans = message.get("spans")
+        if spans:
+            # Absorb the shard-local spans shipped with the reply, even
+            # for late replies — the work happened; the trace shows it.
+            tracer = self._trace_sink()
+            if tracer is not None:
+                tracer.absorb(spans)
         if kind == "result":
-            slot.breaker.record_success()
+            self._breaker_success(slot)
             inf = self._pop_live(seq)
             if inf is None:
                 self._bump(late_replies=1)
@@ -1016,7 +1297,7 @@ class ShardedEstimationService:
         elif kind == "error":
             # Request-level engine error: the shard is healthy (it
             # answered), so the breaker records success, not failure.
-            slot.breaker.record_success()
+            self._breaker_success(slot)
             inf = self._pop_live(seq)
             if inf is None:
                 self._bump(late_replies=1)
@@ -1092,6 +1373,7 @@ class ShardedEstimationService:
 
     def _kill(self, slot: _ShardSlot, reason: str) -> None:
         self._bump(kills=1)
+        self._trace_event("supervisor.kill", shard=slot.index, reason=reason)
         process = slot.process
         if process is not None and process.is_alive():
             process.kill()
@@ -1104,7 +1386,9 @@ class ShardedEstimationService:
             if slot.state in (DEAD, FAILED, STOPPED):
                 return
             slot.state = DEAD
+            breaker_was = slot.breaker.state
             slot.breaker.record_failure()
+            breaker_now = slot.breaker.state
             slot.strikes += 1
             orphans = [
                 self._live[seq]
@@ -1132,6 +1416,20 @@ class ShardedEstimationService:
                 redelivered=self._stats.redelivered + len(orphans),
             )
             self._cond.notify_all()
+        if breaker_now == "open" and breaker_was != "open":
+            self._trace_event(
+                "supervisor.breaker_open", shard=slot.index, reason=reason
+            )
+        for inf in orphans:
+            if inf.trace is not None:
+                self._trace_event(
+                    "supervisor.redeliver",
+                    trace=inf.trace,
+                    shard=slot.index,
+                    generation=inf.generation,
+                    reason=reason,
+                    redeliveries=inf.redeliveries,
+                )
         process = slot.process
         if process is not None and not process.is_alive():
             process.join(timeout=0.5)
@@ -1155,6 +1453,12 @@ class ShardedEstimationService:
                     self._cond.notify_all()
             if due:
                 self._bump(respawns=1)
+                self._trace_event(
+                    "supervisor.respawn",
+                    shard=slot.index,
+                    strikes=slot.strikes,
+                    reason=slot.last_death_reason,
+                )
                 self._spawn(slot)
 
     # -- spawning --------------------------------------------------------------

@@ -284,6 +284,69 @@ class TestTriggering:
             BackgroundRetrainer(registry, "sz", n_candidates=0)
 
 
+class TestRetrainerMetrics:
+    def test_skipped_retrain_counts_result_and_idles_gauge(self, tmp_path):
+        from repro import obs
+
+        metrics = obs.MetricsRegistry()
+        retrainer = BackgroundRetrainer(
+            ModelRegistry(tmp_path / "reg"), "sz", metrics=metrics
+        )
+        result = retrainer.retrain([make_record(0)])
+        assert result.candidate is None
+        assert retrainer.state == "idle"
+        text = metrics.render_prometheus()
+        assert 'repro_lifecycle_retrains_total{result="skipped"} 1' in text
+        assert "repro_lifecycle_retrainer_state 0" in text
+
+    def test_failed_retrain_counts_error(self, tmp_path):
+        from repro import obs
+
+        class _Exploding(BackgroundRetrainer):
+            def _retrain(self, records, *, triggered_by):
+                self._set_state("fitting")
+                raise InvalidConfiguration("boom")
+
+        metrics = obs.MetricsRegistry()
+        retrainer = _Exploding(
+            ModelRegistry(tmp_path / "reg"), "sz", metrics=metrics
+        )
+        with pytest.raises(InvalidConfiguration):
+            retrainer.retrain([make_record(0), make_record(1)])
+        assert retrainer.state == "idle"
+        text = metrics.render_prometheus()
+        assert 'repro_lifecycle_retrains_total{result="error"} 1' in text
+        assert "repro_lifecycle_retrainer_state 0" in text
+
+    def test_completed_retrain_labels_promotion_outcome(
+        self, fitted_pipeline, tmp_path
+    ):
+        from repro import obs
+
+        pipeline, train = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(pipeline)
+        records = TestSynchronousRetrain().outcome_records(
+            pipeline, train, (6.0, 8.0, 10.0, 12.0)
+        )
+        metrics = obs.MetricsRegistry()
+        retrainer = BackgroundRetrainer(
+            registry,
+            "sz",
+            min_samples=4,
+            canary_fraction=0.25,
+            n_candidates=1,
+            metrics=metrics,
+        )
+        result = retrainer.retrain(records)
+        expected = "promoted" if result.promoted is not None else "held"
+        text = metrics.render_prometheus()
+        assert (
+            f'repro_lifecycle_retrains_total{{result="{expected}"}} 1' in text
+        )
+        assert retrainer.state == "idle"
+
+
 class TestSynchronousRetrain:
     def outcome_records(self, pipeline, fields, targets) -> list[OutcomeRecord]:
         """Measured outcomes where the incumbent is exactly calibrated."""

@@ -234,6 +234,29 @@ class TestRegistry:
         registry.histogram("repro_test_seconds").observe(0.1)
         json.dumps(registry.to_dict())
 
+    def test_label_value_escaping_survives_hostile_strings(self, registry):
+        counter = registry.counter(
+            "repro_hostile_total", "help with \\ backslash\nand newline"
+        )
+        counter.inc(path='C:\\data\nid="x"')
+        text = registry.render_prometheus()
+        # HELP escapes backslash and newline (quotes stay literal).
+        assert (
+            "# HELP repro_hostile_total "
+            "help with \\\\ backslash\\nand newline" in text
+        )
+        # The label value's backslash, newline and quotes are escaped.
+        assert (
+            'repro_hostile_total{path="C:\\\\data\\nid=\\"x\\""} 1' in text
+        )
+        # The raw newline must not have split the series line: every
+        # non-comment line still parses as `name{...} value`.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name and float(value) >= 0
+
 
 class TestRecorderMigration:
     def test_no_data_percentiles_are_none_not_zero(self):
