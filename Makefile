@@ -1,7 +1,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test robustness parallel obs obs-scrape-smoke runtime runtime-smoke bench bench-parallel bench-resilience bench-lifecycle bench-kernels serve-smoke trace-smoke chaos lifecycle kernels
+.PHONY: test robustness parallel obs obs-scrape-smoke runtime runtime-smoke bench bench-parallel bench-resilience bench-lifecycle bench-kernels serve-smoke trace-smoke chaos lifecycle kernels objective
 
 # Tier-1 suite (unit + property + integration), as CI runs it.
 test:
@@ -77,6 +77,13 @@ kernels:
 # promotion) with RuntimeWarnings promoted to errors.
 lifecycle:
 	$(PYTEST) -x -q -W error::RuntimeWarning -m lifecycle
+
+# Objective gate: the objective-marked tests (Objective grammar,
+# quality targeting, frontier queries, ratio bit-identity) with
+# DeprecationWarnings promoted to errors — the objective paths must
+# never trip a legacy shim.
+objective:
+	$(PYTEST) -x -q -W error::DeprecationWarning -m objective
 
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest -q

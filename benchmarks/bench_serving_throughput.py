@@ -146,6 +146,154 @@ def test_serving_throughput(benchmark, report):
         )
 
 
+def test_objective_mix_throughput_guard(report):
+    """Quality traffic in the mix must keep >= 90% of ratio-only req/s.
+
+    The objective refactor threads a typed target through submit,
+    coalescing (per-kind pending keys), dispatch and the span/outcome
+    plumbing; this guard pins that the machinery itself is free. The
+    quality requests run with ``quality_probes=0`` — the analytic tier,
+    a closed form — so the measured delta is objective dispatch, not
+    compressor time (probe costs are a workload property, not an
+    overhead; the resilience bench owns those). Same alternating
+    best-of-trials design as the tracing guard: per round each service
+    serves one 16-request batch, orders alternating, and the minimum
+    trial overhead is guarded at 10%.
+    """
+    from repro.core.inference import InferenceEngine
+
+    pipeline = get_trained_fxrz("hurricane", "TC", "sz", config=BENCH_CONFIG)
+    snapshot = held_out_snapshots("hurricane", "TC")[0]
+    lo, hi = pipeline.trained_ratio_range(snapshot.data)
+    batch_size, rounds, trials = 16, 40, 3
+    targets = np.linspace(lo * 1.05, hi * 0.95, batch_size)
+    ratio_batch = [
+        EstimateRequest(
+            data=snapshot.data,
+            target_ratio=float(tcr),
+            dataset_id=snapshot.name,
+        )
+        for tcr in targets
+    ]
+    # Every 4th request becomes a PSNR objective: 12 ratio + 4 quality.
+    mixed_batch = [
+        EstimateRequest(
+            data=snapshot.data,
+            dataset_id=snapshot.name,
+            objective=f"psnr:{50 + (i % 3) * 5}",
+        )
+        if i % 4 == 3
+        else request
+        for i, request in enumerate(ratio_batch)
+    ]
+    quality_requests = sum(1 for r in mixed_batch if r.objective is not None)
+
+    def make_service() -> EstimationService:
+        engine = InferenceEngine(
+            pipeline.model,
+            pipeline.compressor,
+            config=pipeline.config,
+            quality_probes=0,
+        )
+        return EstimationService(engine, workers=1, max_batch=batch_size)
+
+    service_ratio = make_service()
+    service_mixed = make_service()
+
+    def run_ratio() -> float:
+        tick = time.perf_counter()
+        service_ratio.run_batch(ratio_batch)
+        return time.perf_counter() - tick
+
+    def run_mixed() -> float:
+        tick = time.perf_counter()
+        service_mixed.run_batch(mixed_batch)
+        return time.perf_counter() - tick
+
+    def run_trial() -> tuple[float, float]:
+        ratio_seconds = mixed_seconds = 0.0
+        for round_index in range(rounds):
+            if round_index % 2 == 0:
+                ratio_seconds += run_ratio()
+                mixed_seconds += run_mixed()
+            else:
+                mixed_seconds += run_mixed()
+                ratio_seconds += run_ratio()
+        return ratio_seconds, mixed_seconds
+
+    try:
+        run_ratio()  # warm caches and both code paths
+        served = service_mixed.run_batch(mixed_batch)
+        for request, result in zip(mixed_batch, served):
+            if request.objective is not None:
+                assert result.estimate.tier == "analytic"
+        trial_seconds = [run_trial() for _ in range(trials)]
+    finally:
+        service_ratio.close()
+        service_mixed.close()
+
+    total_requests = rounds * batch_size
+    ratios = [
+        (total_requests / mixed) / (total_requests / ratio)
+        for ratio, mixed in trial_seconds
+    ]
+    best = max(range(trials), key=lambda index: ratios[index])
+    ratio_seconds, mixed_seconds = trial_seconds[best]
+    rps_ratio = total_requests / ratio_seconds
+    rps_mixed = total_requests / mixed_seconds
+    ratio = ratios[best]
+
+    report(
+        render_table(
+            ["variant", "req/s (best trial)", "rounds/trial"],
+            [
+                ["ratio-only", f"{rps_ratio:.0f}", str(rounds)],
+                [
+                    f"mixed ({quality_requests}/{batch_size} psnr)",
+                    f"{rps_mixed:.0f}",
+                    str(rounds),
+                ],
+                [
+                    "throughput ratio per trial",
+                    " / ".join(f"{r:.3f}" for r in ratios),
+                    "",
+                ],
+            ],
+            title=(
+                "Objective-mix throughput - PSNR objectives riding the "
+                "ratio serving path (analytic tier)"
+            ),
+        )
+    )
+
+    _merge_overhead_json(
+        {
+            "objective_mix_throughput": {
+                "batch_size": batch_size,
+                "quality_requests_per_batch": quality_requests,
+                "rounds_per_trial": rounds,
+                "trials": trials,
+                "requests_per_side_per_trial": total_requests,
+                "trial_seconds": [list(pair) for pair in trial_seconds],
+                "throughput_ratios": ratios,
+                "throughput_ratio_best": ratio,
+                "rps_ratio_only_best_trial": rps_ratio,
+                "rps_mixed_best_trial": rps_mixed,
+                "guard": (
+                    "max over trials of (mixed req/s / ratio-only req/s) "
+                    ">= 0.9"
+                ),
+            }
+        }
+    )
+
+    assert ratio >= 0.9, (
+        f"mixed objective round keeps only {ratio:.3f} of the ratio-only "
+        f"throughput in the best of {trials} trials; objective dispatch "
+        "exceeds its 10% budget"
+    )
+
+
 def test_tracing_overhead_guard(report):
     """Live tracing + metrics must cost < 5% req/s at batch 16.
 

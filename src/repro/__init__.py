@@ -24,6 +24,16 @@ Quickstart::
 from repro.config import FXRZConfig
 from repro.core.pipeline import FXRZ, FixedRatioResult
 from repro.core.inference import Estimate
+from repro.core.objective import (
+    Objective,
+    ParetoFrontier,
+    PSNRTarget,
+    QualityModel,
+    RatioTarget,
+    SSIMTarget,
+    as_objective,
+    parse_objective,
+)
 from repro.core.training import TrainingReport
 from repro.baselines.fraz import FRaZ, FRaZResult
 from repro.errors import (
@@ -52,6 +62,14 @@ __all__ = [
     "FXRZConfig",
     "FixedRatioResult",
     "Estimate",
+    "Objective",
+    "RatioTarget",
+    "PSNRTarget",
+    "SSIMTarget",
+    "QualityModel",
+    "ParetoFrontier",
+    "as_objective",
+    "parse_objective",
     "TrainingReport",
     "FRaZ",
     "FRaZResult",

@@ -4,6 +4,7 @@ from repro.analysis.distortion import (
     max_abs_error,
     normalized_rmse,
     psnr,
+    ssim,
     valid_ratio_range,
 )
 from repro.analysis.halos import find_halos, halo_mislocation_fraction
@@ -12,6 +13,7 @@ from repro.analysis.variability import series_variability, snapshot_statistics
 
 __all__ = [
     "psnr",
+    "ssim",
     "max_abs_error",
     "normalized_rmse",
     "valid_ratio_range",

@@ -45,6 +45,36 @@ def psnr(original: np.ndarray, reconstruction: np.ndarray) -> float:
     return float(-20.0 * np.log10(nrmse))
 
 
+def ssim(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Global structural similarity between two fields.
+
+    The single-window SSIM over the whole array — the statistic the
+    SSIM objective targets (see :mod:`repro.core.objective`). Windowed
+    mean-SSIM would need a convolution budget the estimation path
+    cannot afford; the global statistic matches the uniform-noise model
+    used to invert a target into an error bound. Stabilizers follow
+    Wang et al. with ``L`` = the original's value range (``1.0`` for
+    constant data so an exact reconstruction still scores 1).
+    """
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstruction, dtype=np.float64)
+    if a.shape != b.shape:
+        raise InvalidConfiguration("arrays must have matching shapes")
+    value_range = float(np.ptp(a))
+    dynamic = value_range if value_range > 0 else 1.0
+    c1 = (0.01 * dynamic) ** 2
+    c2 = (0.03 * dynamic) ** 2
+    mu_a = float(np.mean(a))
+    mu_b = float(np.mean(b))
+    var_a = float(np.var(a))
+    var_b = float(np.var(b))
+    cov = float(np.mean((a - mu_a) * (b - mu_b)))
+    return float(
+        ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+        / ((mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2))
+    )
+
+
 def valid_ratio_range(
     compressor: Compressor,
     data: np.ndarray,

@@ -4,7 +4,10 @@ Commands mirror the library's lifecycle so a shell user can run the
 whole fixed-ratio workflow on ``.npy`` files:
 
 * ``repro train``     — fit a pipeline on training arrays, save it.
-* ``repro estimate``  — predict the error config for a target ratio.
+* ``repro estimate``  — predict the error config for a target ratio,
+  PSNR or SSIM (``--target-ratio``/``--target-psnr``/``--target-ssim``),
+  or answer a Pareto query (``--frontier "cr>=10"``); see
+  ``docs/OBJECTIVES.md``.
 * ``repro estimate-batch`` (alias ``serve``) — push a JSONL request
   batch through the estimation service (batched, cached, concurrent);
   ``--stats`` appends the service metrics snapshot. ``--shards N``
@@ -135,21 +138,58 @@ def _cmd_train(args: argparse.Namespace, ctx: RuntimeContext) -> int:
     return 0
 
 
+def _objective_from_args(args: argparse.Namespace):
+    """Resolve the target flags into one Objective (``None`` when absent).
+
+    ``--ratio`` and ``--target-ratio`` are synonyms (the former predates
+    objectives); ``--target-psnr``/``--target-ssim`` pick the quality
+    kinds. Exactly one target may be given.
+    """
+    from repro.core.objective import as_objective
+
+    given = [
+        (flag, value)
+        for flag, value in (
+            ("--ratio", getattr(args, "ratio", None)),
+            ("--target-ratio", getattr(args, "target_ratio", None)),
+            ("--target-psnr", getattr(args, "target_psnr", None)),
+            ("--target-ssim", getattr(args, "target_ssim", None)),
+        )
+        if value is not None
+    ]
+    if len(given) > 1:
+        flags = " and ".join(flag for flag, _ in given)
+        raise ReproError(f"pass exactly one target ({flags} given)")
+    if not given:
+        return None
+    flag, value = given[0]
+    if flag in ("--ratio", "--target-ratio"):
+        return as_objective(float(value))
+    kind = "psnr" if flag == "--target-psnr" else "ssim"
+    return as_objective(f"{kind}:{float(value):g}")
+
+
 def _guarded_estimate(
-    args: argparse.Namespace, ctx: RuntimeContext, outcome_log=None
+    args: argparse.Namespace, ctx: RuntimeContext, objective, outcome_log=None
 ):
     """Shared guarded-inference path of ``estimate`` and ``compress``.
 
     The guarded engine records only to an *explicit* log (so a service
     wrapping one never double-records); ``estimate`` hands it the
     session's, while ``compress`` records its own measured outcome.
+    Ratio objectives take the legacy positional path (bit-identical to
+    pre-objective releases); quality objectives take the keyword path.
     """
     pipeline = load_pipeline(args.model)
     data = _load_array(args.input)
     engine = GuardedInferenceEngine(pipeline, ctx=ctx, outcome_log=outcome_log)
-    return pipeline, data, engine.estimate(
-        data, args.ratio, dataset_key=args.input
-    )
+    if objective.kind == "ratio":
+        estimate = engine.estimate(data, objective.tcr, dataset_key=args.input)
+    else:
+        estimate = engine.estimate(
+            data, dataset_key=args.input, objective=objective
+        )
+    return pipeline, data, estimate
 
 
 def _tier_note(estimate) -> str:
@@ -160,12 +200,51 @@ def _tier_note(estimate) -> str:
 
 
 def _cmd_estimate(args: argparse.Namespace, ctx: RuntimeContext) -> int:
-    _, _, estimate = _guarded_estimate(args, ctx, outcome_log=ctx.lifecycle)
+    if args.frontier:
+        return _cmd_frontier(args, ctx)
+    objective = _objective_from_args(args)
+    if objective is None:
+        raise ReproError(
+            "estimate needs a target (--ratio, --target-ratio, "
+            "--target-psnr or --target-ssim) or a --frontier query"
+        )
+    _, _, estimate = _guarded_estimate(
+        args, ctx, objective, outcome_log=ctx.lifecycle
+    )
+    if objective.is_quality:
+        print(
+            f"estimated config: {estimate.config:.6g} "
+            f"(objective {objective.canonical}, "
+            f"analysis {estimate.analysis_seconds * 1e3:.1f}ms; "
+            f"{_tier_note(estimate)})"
+        )
+    else:
+        print(
+            f"estimated config: {estimate.config:.6g} "
+            f"(ACR {estimate.adjusted_target:.2f}, R {estimate.nonconstant:.2f}, "
+            f"analysis {estimate.analysis_seconds * 1e3:.1f}ms; "
+            f"{_tier_note(estimate)})"
+        )
+    return 0
+
+
+def _cmd_frontier(args: argparse.Namespace, ctx: RuntimeContext) -> int:
+    """Answer a Pareto query (``--frontier "cr>=10"``) in one sweep."""
+    pipeline = load_pipeline(args.model)
+    data = _load_array(args.input)
+    front = pipeline.frontier(data, points=args.frontier_points)
+    for point in front.points:
+        print(
+            f"  config {point.config:.6g}: CR {point.ratio:.1f}x, "
+            f"PSNR {point.psnr:.1f} dB"
+        )
+    answer = front.query(args.frontier)
+    if answer is None:
+        print(f"frontier: no point satisfies {args.frontier!r}")
+        return 1
     print(
-        f"estimated config: {estimate.config:.6g} "
-        f"(ACR {estimate.adjusted_target:.2f}, R {estimate.nonconstant:.2f}, "
-        f"analysis {estimate.analysis_seconds * 1e3:.1f}ms; "
-        f"{_tier_note(estimate)})"
+        f"frontier({args.frontier}): config {answer.config:.6g} -> "
+        f"CR {answer.ratio:.1f}x, PSNR {answer.psnr:.1f} dB"
     )
     return 0
 
@@ -183,7 +262,12 @@ def _load_batch_pipeline(args: argparse.Namespace):
 
 
 def _read_batch_requests(path: str) -> list[dict]:
-    """Parse a JSONL request file: {"input": ..., "ratio": ...} per line."""
+    """Parse a JSONL request file: one target per line.
+
+    Each line carries ``"input"`` plus either ``"ratio"`` (the legacy
+    grammar) or ``"objective"`` (a canonical objective string such as
+    ``"psnr:60"`` — see ``docs/OBJECTIVES.md``).
+    """
     specs: list[dict] = []
     for lineno, line in enumerate(
         pathlib.Path(path).read_text().splitlines(), start=1
@@ -195,9 +279,18 @@ def _read_batch_requests(path: str) -> list[dict]:
             spec = json.loads(line)
         except ValueError as exc:
             raise ReproError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
-        if not isinstance(spec, dict) or "input" not in spec or "ratio" not in spec:
+        if (
+            not isinstance(spec, dict)
+            or "input" not in spec
+            or ("ratio" not in spec and "objective" not in spec)
+        ):
             raise ReproError(
-                f'{path}:{lineno}: each request needs "input" and "ratio"'
+                f'{path}:{lineno}: each request needs "input" and '
+                f'"ratio" or "objective"'
+            )
+        if "ratio" in spec and "objective" in spec:
+            raise ReproError(
+                f'{path}:{lineno}: "ratio" and "objective" are exclusive'
             )
         specs.append(spec)
     if not specs:
@@ -254,9 +347,14 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
                 service,
                 EstimateRequest(
                     data=arrays[str(spec["input"])],
-                    target_ratio=float(spec["ratio"]),
+                    target_ratio=(
+                        float(spec["ratio"]) if "ratio" in spec else 0.0
+                    ),
                     request_id=str(spec.get("id", "")),
                     dataset_id=str(spec["input"]),
+                    objective=(
+                        str(spec["objective"]) if "objective" in spec else None
+                    ),
                 ),
             )
             for spec in specs
@@ -268,18 +366,23 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
             record = {
                 "id": str(spec.get("id", "")),
                 "input": str(spec["input"]),
-                "ratio": float(spec["ratio"]),
             }
+            if "ratio" in spec:
+                record["ratio"] = float(spec["ratio"])
+            else:
+                record["objective"] = str(spec["objective"])
             try:
                 served = future.result()
             except Exception as exc:  # noqa: BLE001 — reported per line
                 failures += 1
                 record["error"] = str(exc)
             else:
+                objective = getattr(served.estimate, "objective", None)
                 record.update(
                     {
                         "id": served.request_id,
                         "config": served.estimate.config,
+                        "objective": objective.canonical if objective else "",
                         "acr": served.estimate.adjusted_target,
                         "nonconstant": served.estimate.nonconstant,
                         "tier": served.estimate.tier,
@@ -329,11 +432,25 @@ def _cmd_estimate_batch(args: argparse.Namespace, ctx: RuntimeContext) -> int:
 
 
 def _cmd_compress(args: argparse.Namespace, ctx: RuntimeContext) -> int:
-    pipeline, data, estimate = _guarded_estimate(args, ctx)
+    objective = _objective_from_args(args)
+    if objective is None:
+        raise ReproError(
+            "compress needs a target (--ratio, --target-ratio, "
+            "--target-psnr or --target-ssim)"
+        )
+    pipeline, data, estimate = _guarded_estimate(args, ctx, objective)
     blob = pipeline.compressor.compress(data, estimate.config)
     write_blob(blob, args.output)
     measured = blob.compression_ratio
-    error = abs(args.ratio - measured) / args.ratio
+    measured_psnr = None
+    reconstruction = None
+    if objective.is_quality:
+        # Quality targets are verified against the decompressed truth —
+        # one extra decompression, no extra compression.
+        from repro.analysis.distortion import psnr as measure_psnr
+
+        reconstruction = pipeline.compressor.decompress(blob)
+        measured_psnr = float(measure_psnr(data, reconstruction))
     if ctx.lifecycle is not None:
         # Estimate and measured truth meet here — the highest-value
         # record the online learning loop gets.
@@ -342,13 +459,34 @@ def _cmd_compress(args: argparse.Namespace, ctx: RuntimeContext) -> int:
             dataset_key=args.input,
             compressor=pipeline.compressor.name,
             measured_ratio=measured,
+            measured_psnr=measured_psnr,
             source="compress",
         )
-    print(
-        f"target {args.ratio:.1f}x -> measured {measured:.1f}x "
-        f"(error {error:.1%}; {_tier_note(estimate)}); wrote "
-        f"{blob.nbytes} bytes to {args.output}"
-    )
+    if objective.kind == "psnr":
+        miss = abs(measured_psnr - objective.db)
+        print(
+            f"target {objective.canonical} -> measured "
+            f"{measured_psnr:.1f} dB (miss {miss:.1f} dB) at "
+            f"{measured:.1f}x ({_tier_note(estimate)}); wrote "
+            f"{blob.nbytes} bytes to {args.output}"
+        )
+    elif objective.kind == "ssim":
+        from repro.analysis.distortion import ssim as measure_ssim
+
+        measured_ssim = float(measure_ssim(data, reconstruction))
+        print(
+            f"target {objective.canonical} -> measured SSIM "
+            f"{measured_ssim:.4f} (PSNR {measured_psnr:.1f} dB) at "
+            f"{measured:.1f}x ({_tier_note(estimate)}); wrote "
+            f"{blob.nbytes} bytes to {args.output}"
+        )
+    else:
+        error = abs(objective.tcr - measured) / objective.tcr
+        print(
+            f"target {objective.tcr:.1f}x -> measured {measured:.1f}x "
+            f"(error {error:.1%}; {_tier_note(estimate)}); wrote "
+            f"{blob.nbytes} bytes to {args.output}"
+        )
     return 0
 
 
@@ -634,12 +772,53 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--no-adjustment", action="store_true")
     train.set_defaults(func=_cmd_train)
 
+    def add_target_flags(cmd: argparse.ArgumentParser) -> None:
+        """The objective flags shared by estimate and compress."""
+        cmd.add_argument(
+            "--ratio",
+            type=float,
+            default=None,
+            help="target compression ratio (synonym of --target-ratio)",
+        )
+        cmd.add_argument(
+            "--target-ratio",
+            type=float,
+            default=None,
+            help="target compression ratio (TCR)",
+        )
+        cmd.add_argument(
+            "--target-psnr",
+            type=float,
+            default=None,
+            help="target PSNR in dB (quality objective)",
+        )
+        cmd.add_argument(
+            "--target-ssim",
+            type=float,
+            default=None,
+            help="target global SSIM in (0, 1] (quality objective)",
+        )
+
     estimate = sub.add_parser(
-        "estimate", parents=[runtime], help="predict config for a ratio"
+        "estimate",
+        parents=[runtime],
+        help="predict config for a ratio or quality target",
     )
     estimate.add_argument("input", help="data .npy file")
     estimate.add_argument("--model", required=True)
-    estimate.add_argument("--ratio", type=float, required=True)
+    add_target_flags(estimate)
+    estimate.add_argument(
+        "--frontier",
+        default="",
+        help='Pareto query instead of a point estimate, e.g. "cr>=10" '
+        'or "psnr>=60" (see docs/OBJECTIVES.md)',
+    )
+    estimate.add_argument(
+        "--frontier-points",
+        type=int,
+        default=12,
+        help="ratio grid size of the frontier sweep",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     batch = sub.add_parser(
@@ -650,7 +829,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "requests",
-        help='JSONL file, one {"input": "x.npy", "ratio": 40.0} per line '
+        help='JSONL file, one {"input": "x.npy", "ratio": 40.0} or '
+        '{"input": "x.npy", "objective": "psnr:60"} per line '
         '(optional "id")',
     )
     batch.add_argument("--model", default="", help="pipeline .npz archive")
@@ -704,11 +884,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.set_defaults(func=_cmd_estimate_batch)
 
     compress = sub.add_parser(
-        "compress", parents=[runtime], help="fixed-ratio compress"
+        "compress",
+        parents=[runtime],
+        help="compress to a ratio or quality target",
     )
     compress.add_argument("input", help="data .npy file")
     compress.add_argument("--model", required=True)
-    compress.add_argument("--ratio", type=float, required=True)
+    add_target_flags(compress)
     compress.add_argument("--output", required=True, help="output blob file")
     compress.set_defaults(func=_cmd_compress)
 

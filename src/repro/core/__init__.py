@@ -22,6 +22,17 @@ from repro.core.adjustment import (
 )
 from repro.core.training import TrainingEngine, TrainingReport
 from repro.core.inference import InferenceEngine, Estimate
+from repro.core.objective import (
+    FrontierPoint,
+    Objective,
+    ParetoFrontier,
+    PSNRTarget,
+    QualityModel,
+    RatioTarget,
+    SSIMTarget,
+    as_objective,
+    parse_objective,
+)
 from repro.core.pipeline import FXRZ, FixedRatioResult
 from repro.core.persistence import load_pipeline, save_pipeline
 from repro.core.tiling import TiledFixedRatio, TiledResult, tile_grid
@@ -41,6 +52,15 @@ __all__ = [
     "TrainingReport",
     "InferenceEngine",
     "Estimate",
+    "Objective",
+    "RatioTarget",
+    "PSNRTarget",
+    "SSIMTarget",
+    "QualityModel",
+    "FrontierPoint",
+    "ParetoFrontier",
+    "as_objective",
+    "parse_objective",
     "FXRZ",
     "FixedRatioResult",
     "save_pipeline",

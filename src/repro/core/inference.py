@@ -1,14 +1,17 @@
 """FXRZ inference engine (paper Fig. 1, steps 9-10).
 
-Given a runtime dataset and a target compression ratio, the engine
-extracts the same sampled features as training, adjusts the target by
-the non-constant block fraction (CA), and asks the regression model for
-the error configuration — all without touching the compressor. The
-recorded ``analysis_seconds`` is what Table VIII compares against
+Given a runtime dataset and an estimation objective, the engine
+extracts the same sampled features as training and answers with an
+error configuration. Ratio objectives (the paper's TCR) go through the
+regression model — compression-free, with the target adjusted by the
+non-constant block fraction (CA); quality objectives (PSNR/SSIM, see
+:mod:`repro.core.objective`) go through the quality model, with the
+closed forms of :mod:`repro.core.psnr_control` as the analytic prior.
+The recorded ``analysis_seconds`` is what Table VIII compares against
 FRaZ's iterative search cost.
 
 The per-dataset half of that work (feature extraction + block
-classification) is independent of the target ratio, so it is split out
+classification) is independent of the target, so it is split out
 as :meth:`InferenceEngine.analyze`: a serving layer can run it once per
 dataset and answer many targets from the cached
 :class:`DatasetAnalysis` (see :mod:`repro.serving`).
@@ -26,6 +29,14 @@ from repro.compressors.base import Compressor
 from repro.config import FXRZConfig
 from repro.core.adjustment import adjusted_ratio, nonconstant_fraction
 from repro.core.features import extract_features
+from repro.core.objective import (
+    Objective,
+    ParetoFrontier,
+    QualityModel,
+    RatioTarget,
+    as_objective,
+    build_frontier,
+)
 from repro.errors import InvalidConfiguration
 
 
@@ -64,15 +75,20 @@ class Estimate:
     Attributes:
         config: the estimated error configuration (ready to pass to
             ``compressor.compress``).
-        target_ratio: the user's TCR.
-        adjusted_target: ACR fed to the model (TCR when CA is off).
+        target_ratio: the requested TCR for ratio objectives, ``0.0``
+            for quality objectives. Deprecated as an input — read
+            ``objective`` instead; this stays a real field so existing
+            constructors, pickles and ``replace()`` calls keep working.
+        adjusted_target: ACR fed to the model (TCR when CA is off;
+            ``0.0`` for quality objectives, which bypass the model).
         nonconstant: the measured non-constant block fraction R.
         features: the five model-input features (stored read-only, so a
             frozen ``Estimate`` cannot be mutated through its array).
         analysis_seconds: end-to-end inference wall time.
         tier: which engine produced ``config`` — ``"model"`` for the
             plain regression path, ``"curve"`` / ``"fraz"`` when guarded
-            inference degraded to a fallback.
+            inference degraded to a fallback, ``"analytic"`` /
+            ``"probe"`` for the quality rungs.
         confidence: the guarded engine's confidence in the *model* tier
             for this input (1.0 for the unguarded engine).
         fallback_reason: why guarded inference left the model tier
@@ -81,6 +97,10 @@ class Estimate:
             under (0 when untraced). Excluded from equality — two
             estimates from different requests must still compare equal
             when the numbers agree (shard-vs-sequential parity).
+        objective: the estimation target this estimate answers. ``None``
+            in the constructor is normalized to
+            ``RatioTarget(target_ratio)`` so pre-objective call sites
+            produce fully-formed estimates.
     """
 
     config: float
@@ -93,9 +113,14 @@ class Estimate:
     confidence: float = 1.0
     fallback_reason: str = ""
     trace_id: int = 0
+    objective: Objective | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "features", _frozen_array(self.features))
+        if self.objective is None and self.target_ratio > 0:
+            object.__setattr__(
+                self, "objective", RatioTarget(self.target_ratio)
+            )
 
     def __eq__(self, other: object) -> bool:
         # The generated dataclass __eq__ compares the features arrays
@@ -112,16 +137,18 @@ class Estimate:
             and self.tier == other.tier
             and self.confidence == other.confidence
             and self.fallback_reason == other.fallback_reason
+            and self.objective == other.objective
             and np.array_equal(self.features, other.features)
         )
 
 
 class InferenceEngine:
-    """Maps (dataset, target ratio) -> error configuration.
+    """Maps (dataset, objective) -> error configuration.
 
     ``ctx`` (a :class:`~repro.runtime.RuntimeContext`) is carried for
-    API uniformity — inference itself is compression-free, but engines
-    hand the context on to the guarded ladder and serving layers.
+    API uniformity — ratio inference itself is compression-free, but
+    engines hand the context on to the quality probes, the guarded
+    ladder and serving layers.
     """
 
     def __init__(
@@ -131,17 +158,36 @@ class InferenceEngine:
         config: FXRZConfig | None = None,
         *,
         ctx=None,
+        quality: QualityModel | None = None,
+        quality_probes: int = 2,
     ) -> None:
         self.model = model
         self.compressor = compressor
         self.config = config or FXRZConfig()
         self.ctx = ctx
+        self._quality = quality
+        self.quality_probes = int(quality_probes)
+
+    @property
+    def quality(self) -> QualityModel:
+        """The quality model answering PSNR/SSIM objectives.
+
+        An uncalibrated analytic prior until one is assigned (e.g.
+        resolved from the registry beside the ratio model).
+        """
+        if self._quality is None:
+            self._quality = QualityModel()
+        return self._quality
+
+    @quality.setter
+    def quality(self, model: QualityModel | None) -> None:
+        self._quality = model
 
     def analyze(self, data: np.ndarray) -> DatasetAnalysis:
         """Run the target-independent dataset analysis once.
 
         The returned record can be passed to :meth:`estimate` for any
-        number of target ratios on the *same* dataset, skipping the
+        number of objectives on the *same* dataset, skipping the
         feature/block passes each time.
         """
         with obs.span("inference.analyze") as span:
@@ -171,21 +217,51 @@ class InferenceEngine:
     def estimate(
         self,
         data: np.ndarray,
-        target_ratio: float,
+        target_ratio: float | None = None,
         analysis: DatasetAnalysis | None = None,
+        *,
+        objective: Objective | float | str | None = None,
     ) -> Estimate:
-        """Predict the error configuration for ``target_ratio``.
+        """Predict the error configuration for an objective.
 
         Args:
             data: the runtime dataset.
-            target_ratio: the user's TCR.
+            target_ratio: the user's TCR — the pre-objective calling
+                convention, equivalent to
+                ``objective=RatioTarget(target_ratio)``.
             analysis: a cached :meth:`analyze` result for ``data``; when
                 given, the feature/block passes are skipped and
                 ``analysis_seconds`` covers only the per-request
-                remainder (adjustment + model query).
+                remainder (adjustment + model query or quality probes).
+            objective: a :class:`~repro.core.objective.Objective`, a
+                canonical string (``"psnr:60"``) or a bare ratio.
+                Mutually exclusive with ``target_ratio``.
         """
-        if target_ratio <= 0:
-            raise InvalidConfiguration("target ratio must be > 0")
+        if objective is not None:
+            if target_ratio is not None:
+                raise InvalidConfiguration(
+                    "pass either target_ratio or objective, not both"
+                )
+            resolved = as_objective(objective)
+        else:
+            if target_ratio is None:
+                raise InvalidConfiguration(
+                    "an estimate needs a target_ratio or an objective"
+                )
+            if target_ratio <= 0:
+                raise InvalidConfiguration("target ratio must be > 0")
+            resolved = RatioTarget(float(target_ratio))
+        if isinstance(resolved, RatioTarget):
+            return self._estimate_ratio(data, resolved, analysis)
+        return self._estimate_quality(data, resolved, analysis)
+
+    def _estimate_ratio(
+        self,
+        data: np.ndarray,
+        objective: RatioTarget,
+        analysis: DatasetAnalysis | None,
+    ) -> Estimate:
+        target_ratio = objective.tcr
         with obs.span(
             "inference.estimate", target_ratio=float(target_ratio)
         ) as span:
@@ -211,4 +287,65 @@ class InferenceEngine:
                 nonconstant=analysis.nonconstant,
                 features=features,
                 analysis_seconds=elapsed,
+                objective=objective,
             )
+
+    def _estimate_quality(
+        self,
+        data: np.ndarray,
+        objective: Objective,
+        analysis: DatasetAnalysis | None,
+    ) -> Estimate:
+        with obs.span(
+            "inference.estimate", objective=objective.canonical
+        ) as span:
+            start = time.perf_counter()
+            if analysis is None:
+                analysis = self.analyze(data)
+            with obs.span(
+                "inference.quality_query", objective=objective.canonical
+            ):
+                result = self.quality.refine(
+                    self.compressor,
+                    data,
+                    objective,
+                    probes=self.quality_probes,
+                    ctx=self.ctx,
+                )
+            elapsed = time.perf_counter() - start
+            tier = "probe" if result.probes_spent > 0 else "analytic"
+            span.set_attributes(config=result.config, tier=tier)
+            return Estimate(
+                config=float(result.config),
+                target_ratio=0.0,
+                adjusted_target=0.0,
+                nonconstant=analysis.nonconstant,
+                features=analysis.features,
+                analysis_seconds=elapsed,
+                tier=tier,
+                objective=objective,
+            )
+
+    def frontier(
+        self,
+        data: np.ndarray,
+        analysis: DatasetAnalysis | None = None,
+        *,
+        ratios=None,
+        points: int = 12,
+    ) -> ParetoFrontier:
+        """The learned config -> (CR, PSNR) trade-off for ``data``.
+
+        Sweeps the ratio model over a target grid and predicts the PSNR
+        of each resulting config with the quality model; the returned
+        :class:`~repro.core.objective.ParetoFrontier` answers "best
+        quality at CR >= N" (and the converse) in one call.
+        """
+        return build_frontier(
+            self,
+            data,
+            analysis,
+            ratios=ratios,
+            points=points,
+            quality=self.quality,
+        )

@@ -34,16 +34,25 @@ class FixedRatioResult:
         estimate: the inference record (config, ACR, timing, ...).
         measured_ratio: MCR actually achieved.
         compressions: compressor runs spent (1 + refinements used).
-        estimation_error: Formula (5), |TCR - MCR| / TCR.
+        measured_psnr: achieved PSNR in dB, measured by decompressing
+            (quality-objective results only; ``None`` on ratio paths,
+            which never decompress).
+        estimation_error: Formula (5), |TCR - MCR| / TCR (``nan`` for
+            quality objectives, which have no TCR).
     """
 
     blob: CompressedBlob
     estimate: Estimate
     measured_ratio: float
     compressions: int = 1
+    measured_psnr: float | None = None
 
     @property
     def estimation_error(self) -> float:
+        if self.estimate.target_ratio <= 0:
+            # Quality-objective results have no TCR; Formula (5) is
+            # undefined for them (the miss lives in measured_psnr).
+            return float("nan")
         return abs(self.estimate.target_ratio - self.measured_ratio) / (
             self.estimate.target_ratio
         )
@@ -164,11 +173,35 @@ class FXRZ:
         r = max(r, 1e-6)
         return max(acr_lo / r, 1.0), acr_hi / r
 
-    def estimate_config(self, data: np.ndarray, target_ratio: float) -> Estimate:
-        """Pick the error configuration for ``target_ratio`` (no compression)."""
+    def estimate_config(
+        self,
+        data: np.ndarray,
+        target_ratio: float | None = None,
+        *,
+        objective=None,
+    ) -> Estimate:
+        """Pick the error configuration for a target (no compression for ratio).
+
+        Either ``target_ratio`` (the paper's TCR) or ``objective`` — a
+        :class:`~repro.core.objective.Objective`, its canonical string
+        form (``"psnr:60"``), or a bare number meaning a ratio target.
+        Quality objectives may spend probe compressions; see
+        :class:`~repro.core.objective.QualityModel`.
+        """
         if self._inference is None:
             raise NotFittedError("FXRZ.fit must be called first")
-        return self._inference.estimate(data, target_ratio)
+        return self._inference.estimate(data, target_ratio, objective=objective)
+
+    def frontier(self, data: np.ndarray, analysis=None, *, ratios=None, points=12):
+        """The (ratio, PSNR) Pareto frontier for ``data``.
+
+        See :meth:`~repro.core.inference.InferenceEngine.frontier`.
+        """
+        if self._inference is None:
+            raise NotFittedError("FXRZ.fit must be called first")
+        return self._inference.frontier(
+            data, analysis, ratios=ratios, points=points
+        )
 
     def guarded(self, fallback: str | None = None, **kwargs):
         """A hardened inference engine over this fitted pipeline.
@@ -267,3 +300,52 @@ class FXRZ:
             except OSError:
                 pass  # a full disk must not fail the compression
         return best
+
+    def compress_to_objective(self, data: np.ndarray, objective) -> FixedRatioResult:
+        """Estimate a config for ``objective``, compress, measure the truth.
+
+        Ratio objectives delegate to :meth:`compress_to_ratio` (the
+        paper's compression-free path). Quality objectives estimate via
+        the quality model, compress once, and measure the achieved PSNR
+        by decompressing — the measured value lands in
+        ``result.measured_psnr`` and in the outcome log.
+        """
+        from repro.core.objective import as_objective
+
+        objective = as_objective(objective)
+        if objective.kind == "ratio":
+            return self.compress_to_ratio(data, objective.value)
+        estimate = self.estimate_config(data, objective=objective)
+        blob = self.compressor.compress(data, estimate.config)
+        from repro.analysis.distortion import psnr as measure_psnr
+
+        reconstruction = self.compressor.decompress(blob)
+        measured_psnr = float(measure_psnr(data, reconstruction))
+        result = FixedRatioResult(
+            blob=blob,
+            estimate=estimate,
+            measured_ratio=blob.compression_ratio,
+            measured_psnr=measured_psnr,
+        )
+        outcome_log = (
+            self.ctx.lifecycle
+            if self.ctx is not None and not self.ctx.closed
+            else None
+        )
+        if outcome_log is not None:
+            try:
+                from repro.serving.cache import dataset_fingerprint
+
+                outcome_log.record_estimate(
+                    estimate,
+                    dataset_key=dataset_fingerprint(
+                        data, stride=self.config.sampling_stride
+                    ),
+                    compressor=self.compressor.name,
+                    measured_ratio=result.measured_ratio,
+                    measured_psnr=measured_psnr,
+                    source="compress",
+                )
+            except OSError:
+                pass  # a full disk must not fail the compression
+        return result

@@ -15,7 +15,9 @@ times (still far cheaper than a full search).
 This module complements FXRZ: ratio-targeted control needs learning
 because ratios depend on data statistics; PSNR-targeted control is
 nearly closed-form — exactly why the paper frames fixed-*ratio* as the
-open problem.
+open problem. Objective-driven callers reach it through
+:class:`repro.core.objective.QualityModel`, which folds the closed
+form in as the analytic prior of the PSNR rung.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import numpy as np
 from repro.analysis.distortion import psnr
 from repro.compressors.base import Compressor
 from repro.errors import InvalidConfiguration
+from repro.runtime.compat import UNSET, legacy
 
 _SQRT3 = float(np.sqrt(3.0))
 
@@ -40,7 +43,13 @@ def analytic_bound_for_psnr(data: np.ndarray, target_psnr: float) -> float:
     """
     if target_psnr <= 0:
         raise InvalidConfiguration("target PSNR must be > 0 dB")
-    value_range = float(np.ptp(data))
+    array = np.asarray(data)
+    if not np.all(np.isfinite(array)):
+        # np.ptp would silently propagate NaN/inf into the bound.
+        raise InvalidConfiguration(
+            "PSNR targeting requires finite data (found NaN or inf)"
+        )
+    value_range = float(np.ptp(array))
     if value_range == 0:
         raise InvalidConfiguration("constant data has undefined PSNR")
     return value_range * _SQRT3 * 10.0 ** (-target_psnr / 20.0)
@@ -51,7 +60,7 @@ def calibrated_bound_for_psnr(
     data: np.ndarray,
     target_psnr: float,
     probes: int = 2,
-    memo=None,
+    memo=UNSET,
     *,
     ctx=None,
 ) -> float:
@@ -65,12 +74,36 @@ def calibrated_bound_for_psnr(
         data: the dataset.
         target_psnr: desired reconstruction quality in dB.
         probes: refinement compressions to spend (0 = pure analytic).
-        memo: optional :class:`~repro.parallel.CompressionMemoCache`;
-            probes whose PSNR an earlier caller already measured are
-            answered from it, and fresh probes record both the ratio
-            and the PSNR for everyone downstream.
+        memo: deprecated — pass ``ctx`` instead; the context's shared
+            compression memo answers probes an earlier caller already
+            measured and records fresh probes for everyone downstream.
         ctx: a :class:`~repro.runtime.RuntimeContext` whose shared memo
-            is used when ``memo`` is not given.
+            is used for probe caching.
+    """
+    memo = legacy("calibrated_bound_for_psnr", "memo", memo)
+    if memo is None and ctx is not None:
+        memo = ctx.memo
+    bound, _achieved, _spent = _calibrated_search(
+        compressor, data, target_psnr, probes, memo
+    )
+    return bound
+
+
+def _calibrated_search(
+    compressor: Compressor,
+    data: np.ndarray,
+    target_psnr: float,
+    probes: int,
+    memo,
+) -> tuple[float, float | None, int]:
+    """The probe-refinement loop behind :func:`calibrated_bound_for_psnr`.
+
+    Internal entry point for objective-driven callers (QualityModel,
+    the guarded probe rung) that already resolved their memo and also
+    need the measured PSNR: returns ``(bound, achieved, probes_spent)``
+    where ``achieved`` is the PSNR measured at the returned bound
+    (``None`` when no probe ran, or the probe came from the memo with
+    an infinite/lossless result).
     """
     if compressor.error_mode != "abs":
         raise InvalidConfiguration(
@@ -78,8 +111,6 @@ def calibrated_bound_for_psnr(
         )
     if probes < 0:
         raise InvalidConfiguration("probes must be >= 0")
-    if memo is None and ctx is not None:
-        memo = ctx.memo
     bound = analytic_bound_for_psnr(data, target_psnr)
     lo, hi = compressor.config_domain(data)
     bound = float(np.clip(bound, lo, hi))
@@ -87,7 +118,9 @@ def calibrated_bound_for_psnr(
     # multiplicative correction can oscillate around the target; keep
     # the closest bound seen rather than the last.
     best_bound = bound
+    best_achieved: float | None = None
     best_miss = np.inf
+    spent = 0
     fingerprint = memo.fingerprint(data) if memo is not None else None
     for _ in range(probes):
         achieved = None
@@ -101,6 +134,7 @@ def calibrated_bound_for_psnr(
             tick = perf_counter()
             recon, blob = compressor.roundtrip(data, bound)
             seconds = perf_counter() - tick
+            spent += 1
             achieved = psnr(data, recon)
             if memo is not None:
                 from repro.parallel.memo import MemoRecord
@@ -114,13 +148,15 @@ def calibrated_bound_for_psnr(
                     ),
                 )
         if not np.isfinite(achieved):
-            return bound  # lossless already; cannot miss the target
+            # Lossless already; cannot miss the target from above.
+            return bound, None, spent
         miss_db = achieved - target_psnr
         if abs(miss_db) < abs(best_miss):
             best_miss = miss_db
             best_bound = bound
+            best_achieved = float(achieved)
         if abs(miss_db) < 0.5:
             break
         # One dB of excess quality <=> the bound may grow by 10**(1/20).
         bound = float(np.clip(bound * 10.0 ** (miss_db / 20.0), lo, hi))
-    return best_bound
+    return best_bound, best_achieved, spent

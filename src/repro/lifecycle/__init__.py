@@ -32,7 +32,12 @@ from repro.lifecycle.outcomes import (
     OutcomeReplay,
     read_outcomes,
 )
-from repro.lifecycle.promote import CanaryReport, evaluate_canary, run_canary
+from repro.lifecycle.promote import (
+    CanaryReport,
+    evaluate_canary,
+    quality_errors,
+    run_canary,
+)
 from repro.lifecycle.retrain import (
     BackgroundRetrainer,
     RetrainResult,
@@ -49,6 +54,7 @@ __all__ = [
     "OutcomeReplay",
     "RetrainResult",
     "evaluate_canary",
+    "quality_errors",
     "read_outcomes",
     "run_canary",
     "training_rows_from_outcomes",

@@ -63,6 +63,13 @@ class OutcomeRecord:
         trace_id: the distributed-trace id the request was served
             under (0 when untraced) — joins this record back to its
             span tree (``outcomes-report --spans``).
+        objective: canonical objective string the request carried
+            (``"ratio:10"``, ``"psnr:60"``); empty on rows written
+            before objectives existed — read :attr:`objective_kind`
+            instead of parsing this directly.
+        measured_psnr: the reconstruction PSNR actually measured, when
+            the caller compressed (or a quality probe ran); ``None``
+            otherwise.
     """
 
     dataset_key: str
@@ -79,6 +86,8 @@ class OutcomeRecord:
     source: str = ""
     timestamp: float = 0.0
     trace_id: int = 0
+    objective: str = ""
+    measured_psnr: float | None = None
 
     @classmethod
     def from_estimate(
@@ -88,10 +97,12 @@ class OutcomeRecord:
         dataset_key: str = "",
         compressor: str = "",
         measured_ratio: float | None = None,
+        measured_psnr: float | None = None,
         source: str = "",
         timestamp: float | None = None,
     ) -> "OutcomeRecord":
         """Build a record from an :class:`~repro.core.inference.Estimate`."""
+        objective = getattr(estimate, "objective", None)
         return cls(
             dataset_key=str(dataset_key),
             compressor=str(compressor),
@@ -109,7 +120,30 @@ class OutcomeRecord:
             source=str(source),
             timestamp=time.time() if timestamp is None else float(timestamp),
             trace_id=int(getattr(estimate, "trace_id", 0)),
+            objective=objective.canonical if objective is not None else "",
+            measured_psnr=(
+                None
+                if measured_psnr is None or not math.isfinite(measured_psnr)
+                else float(measured_psnr)
+            ),
         )
+
+    @property
+    def objective_kind(self) -> str:
+        """``"ratio"``/``"psnr"``/``"ssim"``; pre-objective rows are ratio."""
+        if not self.objective:
+            return "ratio"
+        return self.objective.split(":", 1)[0]
+
+    @property
+    def objective_value(self) -> float:
+        """The objective's target value (falls back to ``target_ratio``)."""
+        if not self.objective:
+            return self.target_ratio
+        try:
+            return float(self.objective.split(":", 1)[1])
+        except (IndexError, ValueError):
+            return self.target_ratio
 
     @property
     def trainable(self) -> bool:
@@ -146,11 +180,14 @@ class OutcomeRecord:
             "source": self.source,
             "timestamp": self.timestamp,
             "trace_id": self.trace_id,
+            "objective": self.objective,
+            "measured_psnr": self.measured_psnr,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "OutcomeRecord":
         measured = payload.get("measured_ratio")
+        measured_psnr = payload.get("measured_psnr")
         return cls(
             dataset_key=str(payload.get("dataset_key", "")),
             compressor=str(payload.get("compressor", "")),
@@ -168,6 +205,10 @@ class OutcomeRecord:
             source=str(payload.get("source", "")),
             timestamp=float(payload.get("timestamp", 0.0)),
             trace_id=int(payload.get("trace_id", 0)),
+            objective=str(payload.get("objective", "")),
+            measured_psnr=(
+                None if measured_psnr is None else float(measured_psnr)
+            ),
         )
 
 
@@ -244,6 +285,7 @@ class OutcomeLog:
         dataset_key: str = "",
         compressor: str = "",
         measured_ratio: float | None = None,
+        measured_psnr: float | None = None,
         source: str = "",
     ) -> OutcomeRecord:
         """Convenience: build a record from ``estimate`` and append it."""
@@ -252,6 +294,7 @@ class OutcomeLog:
             dataset_key=dataset_key,
             compressor=compressor,
             measured_ratio=measured_ratio,
+            measured_psnr=measured_psnr,
             source=source,
         )
         self.record(record)

@@ -20,6 +20,7 @@ with one call.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,6 +46,14 @@ class CanaryReport:
         margin: fractional improvement the candidate had to show.
         promote: whether the candidate won.
         reason: human-readable verdict.
+        quality_records: holdout records carrying a PSNR objective and
+            a measured PSNR (evaluated under the quality contract, not
+            the CR one).
+        quality_error: median absolute dB miss over those records
+            (``nan`` when there are none). Informational: the ratio
+            contract gates promotion — quality answers come from the
+            quality model, which versions independently (see
+            :meth:`~repro.serving.registry.ModelRegistry.publish_quality`).
     """
 
     n_records: int
@@ -53,6 +62,8 @@ class CanaryReport:
     margin: float
     promote: bool
     reason: str
+    quality_records: int = 0
+    quality_error: float = float("nan")
 
 
 def _model_config(model, compressor, features: np.ndarray, acr: float) -> float:
@@ -129,10 +140,38 @@ def replay_errors(pipeline, records) -> list[float]:
     return errors
 
 
+def quality_errors(records) -> list[float]:
+    """Per-record absolute dB miss of PSNR-objective holdout records.
+
+    The quality contract is evaluated per objective kind: a PSNR
+    request's ground truth is the measured PSNR, and the miss is
+    ``|measured - target|`` in dB. Records without a PSNR objective or
+    a measured PSNR (including every pre-objective row) are skipped.
+    """
+    misses: list[float] = []
+    for record in records:
+        if record.objective_kind != "psnr":
+            continue
+        measured = record.measured_psnr
+        if measured is None or not np.isfinite(measured):
+            continue
+        target = record.objective_value
+        if target <= 0:
+            continue
+        misses.append(abs(float(measured) - float(target)))
+    return misses
+
+
 def evaluate_canary(
     incumbent, candidate, records, *, margin: float = 0.0
 ) -> CanaryReport:
-    """Replay ``records`` through both pipelines; verdict by median error."""
+    """Replay ``records`` through both pipelines; verdict by median error.
+
+    Ratio-objective records gate the verdict (the ratio model is what a
+    promotion flips); PSNR-objective records are summarized into the
+    report's ``quality_*`` fields under their own contract.
+    """
+    records = list(records)
     incumbent_errors = replay_errors(incumbent, records)
     candidate_errors = replay_errors(candidate, records)
     n_records = len(candidate_errors)
@@ -141,7 +180,15 @@ def evaluate_canary(
         if n_records
         else (float("nan"), float("nan"))
     )
-    return canary_report_from_medians(*medians, n_records, margin=margin)
+    report = canary_report_from_medians(*medians, n_records, margin=margin)
+    misses = quality_errors(records)
+    if misses:
+        report = dataclasses.replace(
+            report,
+            quality_records=len(misses),
+            quality_error=float(np.median(misses)),
+        )
+    return report
 
 
 def canary_report_from_medians(

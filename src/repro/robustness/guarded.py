@@ -30,6 +30,12 @@ from repro.baselines.fraz import FRaZ
 from repro.core.adjustment import adjusted_ratio, nonconstant_fraction
 from repro.core.features import extract_features
 from repro.core.inference import Estimate
+from repro.core.objective import (
+    Objective,
+    QualityModel,
+    RatioTarget,
+    as_objective,
+)
 from repro.errors import (
     FallbackExhaustedError,
     InvalidConfiguration,
@@ -46,6 +52,17 @@ _LADDERS = {
     "none": ("model",),
     "curve": ("model", "curve"),
     "fraz": ("model", "curve", "fraz"),
+}
+
+#: Quality objectives use their own two-rung ladder: the analytic prior
+#: (compression-free, trusted only for calibrated models or the
+#: SZ-style quantizer it is exact for), then measured probe refinement
+#: — the quality analogue of the FRaZ rung. ``fallback="none"`` forbids
+#: running the compressor, exactly as it forbids the FRaZ rung.
+_QUALITY_LADDERS = {
+    "none": ("analytic",),
+    "curve": ("analytic", "probe"),
+    "fraz": ("analytic", "probe"),
 }
 
 #: How far (fractionally) outside a curve's anchored ratio range the
@@ -98,6 +115,10 @@ class GuardedInferenceEngine:
             do not double-log.
         memo: deprecated — contexts share their memo automatically.
         executor: deprecated — pass ``ctx=RuntimeContext(jobs=...)``.
+        quality_model: the :class:`~repro.core.objective.QualityModel`
+            answering PSNR/SSIM objectives; an uncalibrated analytic
+            prior when not given.
+        quality_probes: compressor-run budget of the quality probe rung.
     """
 
     def __init__(
@@ -112,6 +133,8 @@ class GuardedInferenceEngine:
         *,
         ctx=None,
         outcome_log=None,
+        quality_model: QualityModel | None = None,
+        quality_probes: int = 2,
     ) -> None:
         if ctx is None:
             ctx = getattr(pipeline, "ctx", None)
@@ -133,6 +156,8 @@ class GuardedInferenceEngine:
         self.fallback = fallback
         self.min_confidence = min_confidence
         self.fraz_iterations = fraz_iterations
+        self.quality = quality_model or QualityModel()
+        self.quality_probes = int(quality_probes)
         memo = legacy("GuardedInferenceEngine", "memo", memo)
         executor = legacy("GuardedInferenceEngine", "executor", executor)
         if memo is None:
@@ -258,10 +283,11 @@ class GuardedInferenceEngine:
     def estimate(
         self,
         data: np.ndarray,
-        target_ratio: float,
+        target_ratio: float | None = None,
         analysis: GuardedAnalysis | None = None,
         *,
         dataset_key: str = "",
+        objective: Objective | float | str | None = None,
     ) -> Estimate:
         """Guarded version of :meth:`InferenceEngine.estimate`.
 
@@ -269,29 +295,56 @@ class GuardedInferenceEngine:
         confidence model answers fall through the ladder, and if every
         permitted rung fails, :class:`FallbackExhaustedError` (or
         :class:`OutOfDistributionError` for ``fallback="none"``) is
-        raised instead of a bad number.
+        raised instead of a bad number. Quality objectives walk their
+        own ladder (analytic prior, then measured probes — see
+        ``_QUALITY_LADDERS``).
 
         ``analysis`` accepts a cached :meth:`analyze` result for
         ``data``, skipping the validation/feature/block passes.
         ``dataset_key`` labels the outcome-log record when this engine
-        carries an :class:`~repro.lifecycle.OutcomeLog`.
+        carries an :class:`~repro.lifecycle.OutcomeLog`. ``objective``
+        (an :class:`~repro.core.objective.Objective`, canonical string
+        or bare ratio) is mutually exclusive with ``target_ratio``.
         """
-        try:
-            target_ratio = float(target_ratio)
-        except (TypeError, ValueError) as exc:
-            raise InvalidConfiguration(
-                f"target ratio must be a number: {exc}"
-            ) from exc
-        if not math.isfinite(target_ratio) or target_ratio <= 0:
-            raise InvalidConfiguration("target ratio must be finite and > 0")
-
-        with obs.span(
-            "guarded.estimate", target_ratio=target_ratio
-        ) as span:
-            try:
-                estimate, measured_ratio = self._estimate_body(
-                    data, target_ratio, analysis
+        if objective is not None:
+            if target_ratio is not None:
+                raise InvalidConfiguration(
+                    "pass either target_ratio or objective, not both"
                 )
+            resolved = as_objective(objective)
+        else:
+            if target_ratio is None:
+                raise InvalidConfiguration(
+                    "an estimate needs a target_ratio or an objective"
+                )
+            try:
+                target_ratio = float(target_ratio)
+            except (TypeError, ValueError) as exc:
+                raise InvalidConfiguration(
+                    f"target ratio must be a number: {exc}"
+                ) from exc
+            if not math.isfinite(target_ratio) or target_ratio <= 0:
+                raise InvalidConfiguration(
+                    "target ratio must be finite and > 0"
+                )
+            resolved = RatioTarget(target_ratio)
+
+        if isinstance(resolved, RatioTarget):
+            span_attrs = {"target_ratio": resolved.tcr}
+        else:
+            span_attrs = {"objective": resolved.canonical}
+        with obs.span("guarded.estimate", **span_attrs) as span:
+            try:
+                if isinstance(resolved, RatioTarget):
+                    estimate, measured_ratio = self._estimate_body(
+                        data, resolved.tcr, analysis
+                    )
+                    measured_psnr = None
+                else:
+                    estimate, measured_psnr = self._estimate_quality_body(
+                        data, resolved, analysis
+                    )
+                    measured_ratio = None
             except (OutOfDistributionError, FallbackExhaustedError):
                 registry = obs.get_registry()
                 if registry is not None:
@@ -322,11 +375,126 @@ class GuardedInferenceEngine:
                     dataset_key=dataset_key,
                     compressor=self.compressor.name,
                     measured_ratio=measured_ratio,
+                    measured_psnr=measured_psnr,
                     source="guarded",
                 )
             except OSError:
                 pass  # a full disk must not fail the estimate
         return estimate
+
+    def _estimate_quality_body(
+        self,
+        data: np.ndarray,
+        objective: Objective,
+        analysis: GuardedAnalysis | None,
+    ) -> tuple[Estimate, float | None]:
+        """Walk the quality ladder: analytic prior, then measured probes."""
+        start = time.perf_counter()
+        if analysis is None:
+            analysis = self.analyze(data)
+        report = analysis.report
+        confidence = 0.25 if report.issues else 1.0
+
+        config: float | None = None
+        tier = ""
+        fallback_reason = ""
+        measured: float | None = None
+        for rung in _QUALITY_LADDERS[self.fallback]:
+            with obs.span(
+                "guarded.tier", tier=rung, accepted=False
+            ) as rung_span:
+                if rung == "analytic":
+                    # The closed form is only trustworthy without
+                    # measurement when the field is clean and the model
+                    # is calibrated (or the quantizer it is exact for).
+                    if report.issues:
+                        fallback_reason = (
+                            "field issues: " + ",".join(report.issues)
+                        )
+                        continue
+                    if not self.quality.trusts(self.compressor):
+                        fallback_reason = (
+                            f"analytic prior uncalibrated for "
+                            f"{self.compressor.name!r}"
+                        )
+                        continue
+                    try:
+                        lo, hi = self.compressor.config_domain(report.data)
+                        candidate = float(
+                            np.clip(
+                                self.quality.analytic_config(
+                                    report.data, objective
+                                ),
+                                lo,
+                                hi,
+                            )
+                        )
+                    except ReproError as exc:
+                        fallback_reason = f"analytic prior failed: {exc}"
+                        continue
+                    if not _usable(candidate):
+                        fallback_reason = (
+                            f"analytic prior produced unusable config "
+                            f"{candidate!r}"
+                        )
+                        continue
+                    config, tier = candidate, "analytic"
+                    rung_span.set_attribute("accepted", True)
+                    break
+                if rung == "probe":
+                    # Terminal rung: measured refinement on the patched
+                    # field — the quality analogue of the FRaZ rung.
+                    try:
+                        result = self.quality.refine(
+                            self.compressor,
+                            report.data,
+                            objective,
+                            probes=max(self.quality_probes, 1),
+                            ctx=self.ctx,
+                        )
+                        candidate = float(result.config)
+                    except ReproError as exc:
+                        fallback_reason += f"; probe refinement failed: {exc}"
+                        continue
+                    if not _usable(candidate):
+                        fallback_reason += (
+                            f"; probe refinement produced unusable config "
+                            f"{candidate!r}"
+                        )
+                        continue
+                    config, tier = candidate, "probe"
+                    measured = result.measured
+                    rung_span.set_attribute("accepted", True)
+                    break
+
+        if config is None:
+            detail = fallback_reason.lstrip("; ") or "no tier produced a config"
+            if self.fallback == "none":
+                raise OutOfDistributionError(
+                    f"analytic tier rejected and fallbacks disabled: {detail}"
+                )
+            raise FallbackExhaustedError(
+                f"quality ladder exhausted ({self.fallback}): {detail}"
+            )
+
+        if objective.kind != "psnr":
+            # The outcome log's measured-quality column is PSNR-denominated;
+            # an SSIM probe measurement would be apples to oranges there.
+            measured = None
+
+        estimate = Estimate(
+            config=config,
+            target_ratio=0.0,
+            adjusted_target=0.0,
+            nonconstant=analysis.nonconstant,
+            features=analysis.features,
+            analysis_seconds=time.perf_counter() - start,
+            tier=tier,
+            confidence=confidence,
+            fallback_reason=fallback_reason.lstrip("; "),
+            objective=objective,
+        )
+        return estimate, measured
 
     def _estimate_body(
         self,

@@ -27,11 +27,17 @@ layout and cache keying semantics.
 
 from repro.serving.cache import FeatureCache, dataset_fingerprint
 from repro.serving.metrics import MetricsRecorder, MetricsSnapshot
-from repro.serving.registry import LATEST, ModelRegistry, ModelVersion
+from repro.serving.registry import (
+    LATEST,
+    ModelRegistry,
+    ModelVersion,
+    QualityVersion,
+)
 from repro.serving.service import (
     EstimateRequest,
     EstimationService,
     ServedEstimate,
+    resolved_objective,
 )
 from repro.serving.supervisor import (
     CircuitBreaker,
@@ -49,8 +55,10 @@ __all__ = [
     "MetricsSnapshot",
     "ModelRegistry",
     "ModelVersion",
+    "QualityVersion",
     "ServedEstimate",
     "ShardedEstimationService",
     "SupervisorStats",
     "dataset_fingerprint",
+    "resolved_objective",
 ]

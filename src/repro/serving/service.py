@@ -31,6 +31,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.inference import Estimate, InferenceEngine
+from repro.core.objective import Objective, RatioTarget, as_objective
 from repro.core.pipeline import FXRZ
 from repro.errors import (
     DeadlineExceededError,
@@ -50,7 +51,8 @@ class EstimateRequest:
 
     Attributes:
         data: the dataset to answer for.
-        target_ratio: the requested TCR.
+        target_ratio: the requested TCR — the pre-objective calling
+            convention; leave at ``0.0`` when ``objective`` is given.
         request_id: caller-chosen identifier echoed in the result
             (auto-assigned ``req-N`` when empty).
         dataset_id: optional explicit dataset key; requests sharing it
@@ -65,14 +67,30 @@ class EstimateRequest:
             request under — the sharded supervisor parents its request
             span (and every shard-side span) there. ``None`` lets the
             service mint a fresh trace when tracing is on.
+        objective: the estimation target — an
+            :class:`~repro.core.objective.Objective`, canonical string
+            (``"psnr:60"``) or bare ratio. Mutually exclusive with a
+            non-zero ``target_ratio``.
     """
 
     data: np.ndarray
-    target_ratio: float
+    target_ratio: float = 0.0
     request_id: str = ""
     dataset_id: str = ""
     deadline_seconds: float | None = None
     trace: "obs.SpanContext | None" = None
+    objective: "Objective | float | str | None" = None
+
+
+def resolved_objective(request: EstimateRequest) -> Objective:
+    """The request's :class:`Objective`, from whichever field carried it."""
+    if request.objective is not None:
+        if request.target_ratio:
+            raise InvalidConfiguration(
+                "request carries both target_ratio and objective"
+            )
+        return as_objective(request.objective)
+    return RatioTarget(float(request.target_ratio))
 
 
 @dataclass(frozen=True)
@@ -99,6 +117,8 @@ class _Pending:
     submitted: float
     request_id: str
     deadline: float | None = None  # absolute, on the ``submitted`` clock
+    objective: Objective | None = None
+    dataset_key: str = ""
 
 
 class EstimationService:
@@ -257,11 +277,21 @@ class EstimationService:
                 ) from exc
         return results
 
-    def estimate(self, data: np.ndarray, target_ratio: float) -> ServedEstimate:
+    def estimate(
+        self,
+        data: np.ndarray,
+        target_ratio: float | None = None,
+        *,
+        objective=None,
+    ) -> ServedEstimate:
         """Synchronous single-request convenience."""
-        return self.submit(
-            EstimateRequest(data=data, target_ratio=float(target_ratio))
-        ).result()
+        if objective is not None:
+            request = EstimateRequest(data=data, objective=objective)
+        else:
+            request = EstimateRequest(
+                data=data, target_ratio=float(target_ratio)
+            )
+        return self.submit(request).result()
 
     @property
     def metrics(self) -> MetricsSnapshot:
@@ -320,6 +350,7 @@ class EstimationService:
         return dataset_fingerprint(request.data, stride=stride)
 
     def _enqueue(self, request: EstimateRequest) -> Future:
+        objective = resolved_objective(request)  # validates at submit time
         key = self._dataset_key(request)
         future: Future = Future()
         submitted = time.perf_counter()
@@ -336,13 +367,20 @@ class EstimationService:
             submitted=submitted,
             request_id=request.request_id or f"req-{next(self._ids)}",
             deadline=None if relative is None else submitted + relative,
+            objective=objective,
+            dataset_key=key,
         )
         with self._cond:
             if self._closed:
                 raise ServiceClosedError(
                     "estimation service is closed; no new requests accepted"
                 )
-            self._pending.setdefault(key, deque()).append(item)
+            # Coalesce by (objective kind, dataset): same-dataset batches
+            # share one analysis either way, but quality batches run the
+            # compressor and must not head-of-line-block ratio batches.
+            self._pending.setdefault(
+                f"{objective.kind}|{key}", deque()
+            ).append(item)
         return future
 
     def _worker(self) -> None:
@@ -369,7 +407,7 @@ class EstimationService:
         self._metrics.record_batch(len(batch))
         with obs.span("serving.batch", batch_size=len(batch)):
             for item in batch:
-                self._serve_one(key, item, len(batch))
+                self._serve_one(item.dataset_key or key, item, len(batch))
 
     def _serve_one(self, key: str, item: _Pending, batch_size: int) -> None:
         if item.deadline is not None and time.perf_counter() > item.deadline:
@@ -385,20 +423,31 @@ class EstimationService:
                 )
             )
             return
+        objective = item.objective or resolved_objective(item.request)
         with obs.span(
             "serving.request",
-            target_ratio=float(item.request.target_ratio),
+            target_ratio=(
+                objective.tcr if isinstance(objective, RatioTarget) else 0.0
+            ),
+            objective=objective.canonical,
         ) as span:
             try:
                 analysis, hit = self.cache.get_or_compute(
                     key, lambda: self.engine.analyze(item.request.data)
                 )
                 span.set_attribute("cache_hit", hit)
-                estimate = self.engine.estimate(
-                    item.request.data,
-                    float(item.request.target_ratio),
-                    analysis=analysis,
-                )
+                if isinstance(objective, RatioTarget):
+                    estimate = self.engine.estimate(
+                        item.request.data,
+                        objective.tcr,
+                        analysis=analysis,
+                    )
+                else:
+                    estimate = self.engine.estimate(
+                        item.request.data,
+                        analysis=analysis,
+                        objective=objective,
+                    )
             except Exception as exc:  # noqa: BLE001 — future carries it
                 latency = time.perf_counter() - item.submitted
                 self._metrics.record_request(latency, failed=True)

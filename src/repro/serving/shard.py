@@ -243,10 +243,24 @@ def _serve(
                     analyses[key] = analysis
                     while len(analyses) > ANALYSIS_CACHE_ENTRIES:
                         analyses.popitem(last=False)
-                estimate = engine.estimate(
-                    data, float(message["target_ratio"]), analysis=analysis
+                objective = message.get("objective")
+                if objective and not objective.startswith("ratio:"):
+                    estimate = engine.estimate(
+                        data, analysis=analysis, objective=objective
+                    )
+                else:
+                    # Ratio requests (and messages from pre-objective
+                    # supervisors) take the legacy float path unchanged.
+                    estimate = engine.estimate(
+                        data,
+                        float(message["target_ratio"]),
+                        analysis=analysis,
+                    )
+                sp.set_attributes(
+                    cache_hit=hit,
+                    tier=estimate.tier,
+                    objective=objective or f"ratio:{message['target_ratio']:g}",
                 )
-                sp.set_attributes(cache_hit=hit, tier=estimate.tier)
         except Exception as exc:  # noqa: BLE001 — shipped to the future
             reply = {
                 "kind": "error",

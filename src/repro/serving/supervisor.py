@@ -65,9 +65,14 @@ from repro.errors import (
 )
 from repro.parallel.shm import SharedNDArray
 from repro.robustness.faults import RetryPolicy, backoff_schedule
+from repro.core.objective import Objective, RatioTarget
 from repro.serving.cache import dataset_fingerprint
 from repro.serving.metrics import MetricsRecorder, MetricsSnapshot
-from repro.serving.service import EstimateRequest, ServedEstimate
+from repro.serving.service import (
+    EstimateRequest,
+    ServedEstimate,
+    resolved_objective,
+)
 from repro.serving.shard import shard_main
 
 #: Shard lifecycle states.
@@ -213,6 +218,7 @@ class _Inflight:
     parent_span: int | None = None
     start_unix: float = 0.0
     generation: int = -1
+    objective: Objective | None = None
 
 
 class _ShardSlot:
@@ -531,6 +537,7 @@ class ShardedEstimationService:
         )
         if relative is not None and relative <= 0:
             raise InvalidConfiguration("deadline_seconds must be positive")
+        objective = resolved_objective(request)  # validates at admission
         key = self._dataset_key(request)
         descriptor = self._segment_for(key, request.data).descriptor
         now = time.monotonic()
@@ -543,6 +550,7 @@ class ShardedEstimationService:
             submitted=now,
             deadline=None if relative is None else now + relative,
             request_id=request.request_id or f"req-{next(self._ids)}",
+            objective=objective,
         )
         if self._trace_sink() is not None and self._sampled(inf.seq):
             # Join the caller's trace (explicit on the request, or the
@@ -610,11 +618,17 @@ class ShardedEstimationService:
                 ) from exc
         return results
 
-    def estimate(self, data, target_ratio: float) -> ServedEstimate:
+    def estimate(
+        self, data, target_ratio: float | None = None, *, objective=None
+    ) -> ServedEstimate:
         """Synchronous single-request convenience."""
-        return self.submit(
-            EstimateRequest(data=data, target_ratio=float(target_ratio))
-        ).result()
+        if objective is not None:
+            request = EstimateRequest(data=data, objective=objective)
+        else:
+            request = EstimateRequest(
+                data=data, target_ratio=float(target_ratio)
+            )
+        return self.submit(request).result()
 
     @property
     def metrics(self) -> MetricsSnapshot:
@@ -811,6 +825,11 @@ class ShardedEstimationService:
                         "request_id": inf.request_id,
                         "dataset_key": inf.dataset_key,
                         "redeliveries": inf.redeliveries,
+                        "objective": (
+                            inf.objective.canonical
+                            if inf.objective is not None
+                            else ""
+                        ),
                         **attributes,
                     },
                 )
@@ -1141,13 +1160,22 @@ class ShardedEstimationService:
             item.shard = slot.index
             item.generation = slot.generation
             conn = slot.req_conn
+        objective = item.objective or resolved_objective(item.request)
         message = {
             "kind": "request",
             "seq": item.seq,
             "request_id": item.request_id,
             "descriptor": item.descriptor,
             "dataset_key": item.dataset_key,
-            "target_ratio": float(item.request.target_ratio),
+            # Both forms ride the message: ``objective`` is the source
+            # of truth; ``target_ratio`` keeps pre-objective shards (and
+            # message-level tooling) working for ratio requests.
+            "target_ratio": (
+                objective.tcr
+                if isinstance(objective, RatioTarget)
+                else 0.0
+            ),
+            "objective": objective.canonical,
             "deadline": item.deadline or 0.0,
         }
         if item.trace is not None:
@@ -1219,12 +1247,24 @@ class ShardedEstimationService:
                     analysis = self._fallback_engine.analyze(inf.request.data)
                     if len(self._fallback_analyses) < self.max_datasets:
                         self._fallback_analyses[key] = analysis
-                estimate = self._fallback_engine.estimate(
-                    inf.request.data,
-                    float(inf.request.target_ratio),
-                    analysis=analysis,
+                objective = inf.objective or resolved_objective(inf.request)
+                if isinstance(objective, RatioTarget):
+                    estimate = self._fallback_engine.estimate(
+                        inf.request.data,
+                        objective.tcr,
+                        analysis=analysis,
+                    )
+                else:
+                    estimate = self._fallback_engine.estimate(
+                        inf.request.data,
+                        analysis=analysis,
+                        objective=objective,
+                    )
+                sp.set_attributes(
+                    cache_hit=hit,
+                    tier=estimate.tier,
+                    objective=objective.canonical,
                 )
-                sp.set_attributes(cache_hit=hit, tier=estimate.tier)
         except Exception as exc:  # noqa: BLE001 — future carries it
             self._fail(inf, exc)
             return

@@ -1,5 +1,7 @@
 """Integration tests of the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -76,6 +78,81 @@ class TestCommands:
         original = np.load(test_path)
         reconstructed = np.load(recon)
         assert reconstructed.shape == original.shape
+
+    @pytest.mark.objective
+    def test_quality_objective_workflow(self, npy_files, capsys, tmp_path):
+        train_paths, test_path, root = npy_files
+        model = str(root / "model-q.npz")
+        assert main(
+            ["train", *train_paths, "--model", model,
+             "--stationary-points", "8", "--augmented-samples", "50"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(
+            ["estimate", test_path, "--model", model, "--target-psnr", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "psnr:50" in out
+
+        blob = str(tmp_path / "q.fxrz")
+        assert main(
+            ["compress", test_path, "--model", model, "--target-psnr", "50",
+             "--output", blob]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "psnr:50" in out and "measured" in out
+
+        assert main(
+            ["estimate", test_path, "--model", model, "--frontier", "cr>=4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "frontier(cr>=4)" in out
+
+        assert main(
+            ["estimate", test_path, "--model", model]
+        ) == 2  # no target given
+
+    @pytest.mark.objective
+    def test_estimate_batch_objective_grammar(
+        self, npy_files, capsys, tmp_path
+    ):
+        train_paths, test_path, root = npy_files
+        model = str(root / "model-q2.npz")
+        assert main(
+            ["train", *train_paths, "--model", model,
+             "--stationary-points", "8", "--augmented-samples", "50"]
+        ) == 0
+        capsys.readouterr()
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                [
+                    '{"input": "%s", "ratio": 6.0, "id": "r1"}' % test_path,
+                    '{"input": "%s", "objective": "psnr:50", "id": "q1"}'
+                    % test_path,
+                ]
+            )
+            + "\n"
+        )
+        output = tmp_path / "results.jsonl"
+        assert main(
+            ["estimate-batch", str(requests), "--model", model,
+             "--engine", "plain", "--workers", "1",
+             "--output", str(output)]
+        ) == 0
+        capsys.readouterr()
+        rows = [
+            json.loads(line)
+            for line in output.read_text().splitlines()
+            if line
+        ]
+        assert len(rows) == 2
+        by_id = {row["id"]: row for row in rows}
+        assert by_id["r1"]["objective"] == "ratio:6"
+        assert by_id["q1"]["objective"] == "psnr:50"
+        assert by_id["q1"]["config"] > 0
 
     def test_search_command(self, npy_files, capsys):
         _, test_path, _ = npy_files

@@ -1,0 +1,88 @@
+"""Property-based tests for the Pareto frontier over (ratio, PSNR) points."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import FrontierPoint, ParetoFrontier
+
+pytestmark = pytest.mark.objective
+
+_points = st.lists(
+    st.builds(
+        FrontierPoint,
+        config=st.floats(1e-9, 1.0, allow_nan=False, allow_infinity=False),
+        ratio=st.floats(1.0, 1e4, allow_nan=False, allow_infinity=False),
+        psnr=st.floats(0.0, 200.0, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestFrontierProperties:
+    @given(_points)
+    @settings(max_examples=120, deadline=None)
+    def test_frontier_is_non_dominated(self, points):
+        front = ParetoFrontier(points=tuple(points))
+        for a in front.points:
+            for b in front.points:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    @given(_points)
+    @settings(max_examples=120, deadline=None)
+    def test_frontier_is_cr_monotone(self, points):
+        front = ParetoFrontier(points=tuple(points))
+        ratios = [p.ratio for p in front]
+        psnrs = [p.psnr for p in front]
+        assert ratios == sorted(ratios)
+        assert all(r1 < r2 for r1, r2 in zip(ratios, ratios[1:]))
+        # Dominance pruning makes quality strictly decrease along the
+        # curve: keeping more data must buy more fidelity.
+        assert all(q1 > q2 for q1, q2 in zip(psnrs, psnrs[1:]))
+
+    @given(_points, st.floats(1.0, 1e4, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_best_quality_matches_brute_force(self, points, min_ratio):
+        """The one-call answer equals a brute-force scan of ALL swept points."""
+        front = ParetoFrontier(points=tuple(points))
+        answer = front.best_quality_at(min_ratio)
+        eligible = [p for p in points if p.ratio >= min_ratio]
+        if not eligible:
+            assert answer is None
+        else:
+            assert answer is not None
+            assert answer.ratio >= min_ratio
+            assert answer.psnr == max(p.psnr for p in eligible)
+
+    @given(_points, st.floats(0.0, 200.0, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_best_ratio_matches_brute_force(self, points, min_psnr):
+        front = ParetoFrontier(points=tuple(points))
+        answer = front.best_ratio_at(min_psnr)
+        eligible = [p for p in points if p.psnr >= min_psnr]
+        if not eligible:
+            assert answer is None
+        else:
+            assert answer is not None
+            assert answer.psnr >= min_psnr
+            assert answer.ratio == max(p.ratio for p in eligible)
+
+    @given(_points, st.floats(1.0, 9999.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_query_equals_direct_call(self, points, threshold):
+        front = ParetoFrontier(points=tuple(points))
+        expr = f"cr>={threshold:.3f}"
+        assert front.query(expr) == front.best_quality_at(float(f"{threshold:.3f}"))
+        expr = f"psnr>={min(threshold, 200.0):.3f}"
+        assert front.query(expr) == front.best_ratio_at(
+            float(f"{min(threshold, 200.0):.3f}")
+        )
+
+    @given(_points)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, points):
+        once = ParetoFrontier(points=tuple(points))
+        twice = ParetoFrontier(points=once.points)
+        assert once.points == twice.points

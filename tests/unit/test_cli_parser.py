@@ -36,9 +36,45 @@ class TestParser:
                 ["train", "a.npy", "--model", "m.npz", "--compressor", "lz4"]
             )
 
-    def test_estimate_requires_ratio(self, parser):
-        with pytest.raises(SystemExit):
-            parser.parse_args(["estimate", "a.npy", "--model", "m.npz"])
+    def test_estimate_accepts_any_target_kind(self, parser):
+        # The target moved from a required --ratio to one-of-four
+        # objective flags; absence is a command-time ReproError now
+        # (the parser cannot express "exactly one of").
+        from repro.cli import _objective_from_args
+
+        args = parser.parse_args(["estimate", "a.npy", "--model", "m.npz"])
+        assert _objective_from_args(args) is None
+        args = parser.parse_args(
+            ["estimate", "a.npy", "--model", "m.npz", "--target-psnr", "60"]
+        )
+        assert _objective_from_args(args).canonical == "psnr:60"
+        args = parser.parse_args(
+            ["estimate", "a.npy", "--model", "m.npz", "--target-ssim", "0.99"]
+        )
+        assert _objective_from_args(args).canonical == "ssim:0.99"
+        args = parser.parse_args(
+            ["estimate", "a.npy", "--model", "m.npz", "--target-ratio", "12"]
+        )
+        assert _objective_from_args(args).canonical == "ratio:12"
+
+    def test_conflicting_targets_rejected(self, parser):
+        from repro.cli import _objective_from_args
+        from repro.errors import ReproError
+
+        args = parser.parse_args(
+            ["estimate", "a.npy", "--model", "m.npz", "--ratio", "8",
+             "--target-psnr", "60"]
+        )
+        with pytest.raises(ReproError):
+            _objective_from_args(args)
+
+    def test_frontier_flags(self, parser):
+        args = parser.parse_args(
+            ["estimate", "a.npy", "--model", "m.npz",
+             "--frontier", "cr>=10", "--frontier-points", "8"]
+        )
+        assert args.frontier == "cr>=10"
+        assert args.frontier_points == 8
 
     def test_compress_round_trip_args(self, parser):
         args = parser.parse_args(

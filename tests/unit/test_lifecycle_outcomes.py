@@ -68,6 +68,60 @@ class TestOutcomeRecord:
         assert record.relative_error == pytest.approx(0.2)
         assert make_record(measured=None).relative_error is None
 
+    @pytest.mark.objective
+    def test_pre_objective_rows_parse_as_ratio(self):
+        """Rows written before the objective refactor keep loading."""
+        legacy = make_record(measured=9.0).to_dict()
+        legacy.pop("objective", None)
+        legacy.pop("measured_psnr", None)
+        record = OutcomeRecord.from_dict(legacy)
+        assert record.objective == ""
+        assert record.objective_kind == "ratio"
+        assert record.objective_value == record.target_ratio
+        assert record.measured_psnr is None
+        assert record.trainable
+
+    @pytest.mark.objective
+    def test_quality_row_round_trip(self):
+        estimate = Estimate(
+            config=2e-3,
+            target_ratio=0.0,
+            adjusted_target=0.0,
+            nonconstant=0.8,
+            features=np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+            analysis_seconds=0.01,
+            tier="probe",
+        )
+        from repro.core.objective import PSNRTarget
+
+        object.__setattr__(estimate, "objective", PSNRTarget(55.0))
+        record = OutcomeRecord.from_estimate(
+            estimate, dataset_key="k", compressor="sz",
+            measured_ratio=11.0, measured_psnr=54.2, source="guarded",
+        )
+        assert record.objective == "psnr:55"
+        assert record.objective_kind == "psnr"
+        assert record.objective_value == 55.0
+        assert record.measured_psnr == 54.2
+        assert OutcomeRecord.from_dict(record.to_dict()) == record
+
+    @pytest.mark.objective
+    def test_non_finite_measured_psnr_dropped(self):
+        estimate = Estimate(
+            config=2e-3,
+            target_ratio=0.0,
+            adjusted_target=0.0,
+            nonconstant=1.0,
+            features=np.array([1.0]),
+            analysis_seconds=0.0,
+            tier="probe",
+        )
+        record = OutcomeRecord.from_estimate(
+            estimate, dataset_key="k", compressor="sz",
+            measured_psnr=float("inf"), source="guarded",
+        )
+        assert record.measured_psnr is None
+
 
 class TestOutcomeLog:
     def test_append_flush_replay(self, tmp_path):

@@ -69,3 +69,64 @@ class TestCalibrated:
         comp = get_compressor("sz")
         with pytest.raises(InvalidConfiguration):
             calibrated_bound_for_psnr(comp, smooth_field3d, 50.0, probes=-1)
+
+
+@pytest.mark.objective
+class TestEdgeCases:
+    def test_non_finite_data_rejected(self):
+        bad = np.array([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(InvalidConfiguration):
+            analytic_bound_for_psnr(bad, 50.0)
+        bad = np.array([1.0, np.inf, 2.0])
+        with pytest.raises(InvalidConfiguration):
+            analytic_bound_for_psnr(bad, 50.0)
+
+    def test_zero_probes_never_runs_the_compressor(
+        self, smooth_field3d, monkeypatch
+    ):
+        comp = get_compressor("sz")
+        calls = []
+        original = comp.roundtrip
+
+        def spy(data, config):
+            calls.append(config)
+            return original(data, config)
+
+        monkeypatch.setattr(comp, "roundtrip", spy)
+        calibrated_bound_for_psnr(comp, smooth_field3d, 55.0, probes=0)
+        assert calls == []
+
+    def test_constant_after_sampling_rejected(self):
+        # A field whose value range collapses to zero: the analytic
+        # inversion has no bound to offer and both paths must say so
+        # instead of returning 0 (which every compressor rejects).
+        constant = np.full((12, 12, 12), 3.75)
+        comp = get_compressor("sz")
+        with pytest.raises(InvalidConfiguration):
+            analytic_bound_for_psnr(constant, 50.0)
+        with pytest.raises(InvalidConfiguration):
+            calibrated_bound_for_psnr(comp, constant, 50.0, probes=2)
+
+    def test_target_above_lossless_knee_stops_early(
+        self, smooth_field3d, monkeypatch
+    ):
+        # When a probe comes back bit-exact (infinite PSNR) the search
+        # must return that bound instead of spending the rest of the
+        # budget chasing a target no tighter bound can improve on.
+        comp = get_compressor("sz")
+        calls = []
+
+        def lossless(data, config):
+            calls.append(config)
+            return data.copy(), None
+
+        monkeypatch.setattr(comp, "roundtrip", lossless)
+        bound = calibrated_bound_for_psnr(
+            comp, smooth_field3d, 300.0, probes=4
+        )
+        assert len(calls) == 1
+        lo, hi = comp.config_domain(smooth_field3d)
+        expected = float(
+            np.clip(analytic_bound_for_psnr(smooth_field3d, 300.0), lo, hi)
+        )
+        assert bound == pytest.approx(expected)

@@ -336,3 +336,81 @@ class TestCorruptionFallback:
         registry = ModelRegistry(tmp_path / "reg")
         with pytest.raises(CorruptStreamError):
             registry.load("sz")
+
+
+@pytest.mark.objective
+class TestQualityArtifacts:
+    def test_publish_and_load_beside_ratio_models(
+        self, fitted_pipeline, tmp_path
+    ):
+        from repro.core.objective import QualityModel
+
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        published = registry.publish(pipeline)
+        quality = QualityModel(compressor="sz", offset_db=1.5)
+        coordinate = registry.publish_quality(
+            quality, "sz", published.fingerprint
+        )
+        assert coordinate.version == 1
+        assert coordinate.path == published.path.parent / "q1.json"
+        restored = registry.load_quality("sz", published.fingerprint)
+        assert restored == quality
+
+    def test_quality_versions_are_independent(self, fitted_pipeline, tmp_path):
+        from repro.core.objective import QualityModel
+
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        published = registry.publish(pipeline)
+        registry.publish(pipeline)  # ratio v2
+        first = registry.publish_quality(
+            QualityModel(offset_db=1.0), "sz", published.fingerprint
+        )
+        second = registry.publish_quality(
+            QualityModel(offset_db=2.0), "sz", published.fingerprint
+        )
+        assert (first.version, second.version) == (1, 2)
+        # Ratio resolution is untouched by quality publishes.
+        assert registry.resolve("sz", published.fingerprint).version == 2
+        latest = registry.load_quality("sz", published.fingerprint)
+        assert latest.offset_db == 2.0
+
+    def test_fingerprint_resolves_through_ratio_entry(
+        self, fitted_pipeline, tmp_path
+    ):
+        from repro.core.objective import QualityModel
+
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        published = registry.publish(pipeline)
+        registry.publish_quality(
+            QualityModel(offset_db=0.5), "sz", published.fingerprint
+        )
+        coordinate = registry.resolve_quality("sz")
+        assert coordinate.fingerprint == published.fingerprint
+
+    def test_missing_quality_model_raises(self, fitted_pipeline, tmp_path):
+        pipeline, _ = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        published = registry.publish(pipeline)
+        with pytest.raises(InvalidConfiguration):
+            registry.resolve_quality("sz", published.fingerprint)
+
+    def test_pre_objective_entries_still_serve(
+        self, fitted_pipeline, tmp_path
+    ):
+        """A registry written before quality artifacts loads unchanged."""
+        pipeline, train = fitted_pipeline
+        registry = ModelRegistry(tmp_path / "reg")
+        published = registry.publish(pipeline)
+        manifest_path = published.path.parent / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest.pop("quality_latest", None)
+        manifest.pop("quality_versions", None)
+        manifest_path.write_text(json.dumps(manifest))
+        served = ModelRegistry(tmp_path / "reg").load("sz")
+        probe = train[0]
+        assert served.estimate_config(probe, 6.0).config == pytest.approx(
+            pipeline.estimate_config(probe, 6.0).config
+        )
